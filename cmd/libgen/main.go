@@ -1,0 +1,63 @@
+// Command libgen characterizes the multi-Vth cell library for the default
+// process and writes it as a Liberty file — the artifact a real Selective-MT
+// flow would hand to synthesis and sign-off tools.
+//
+// Usage:
+//
+//	libgen -o olp130_smt.lib [-bounce 0.06]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/tech"
+)
+
+func main() {
+	out := flag.String("o", "", "output Liberty path (default stdout)")
+	bounce := flag.Float64("bounce", 0, "VGND bounce limit in volts (default 5% of Vdd)")
+	corner := flag.String("corner", "typ", "PVT corner: typ, slow, fast-hot or fast-cold")
+	flag.Parse()
+	log.SetFlags(0)
+
+	proc := tech.Default130()
+	switch *corner {
+	case "typ":
+	case "slow":
+		proc = proc.AtCorner(tech.CornerSlow)
+	case "fast-hot":
+		proc = proc.AtCorner(tech.CornerFastHot)
+	case "fast-cold":
+		proc = proc.AtCorner(tech.CornerFastCold)
+	default:
+		log.Fatalf("unknown corner %q", *corner)
+	}
+	opts := liberty.DefaultBuildOptions(proc)
+	if *bounce > 0 {
+		opts.BounceLimitV = *bounce
+	}
+	lib, err := liberty.Generate(proc, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := liberty.WriteLiberty(w, lib); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d cells, bounce limit %.3f V)\n",
+			*out, len(lib.Cells), lib.BounceLimitV)
+	}
+}

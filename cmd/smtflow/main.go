@@ -1,0 +1,174 @@
+// Command smtflow runs the improved Selective-MT flow end to end on a
+// benchmark circuit or an external Verilog netlist, printing stage-by-stage
+// reports and optionally writing the final netlist, SPEF and library.
+//
+// Usage:
+//
+//	smtflow -circuit a|b|small [-technique improved|conventional|dual]
+//	smtflow -verilog design.v -sdc design.sdc
+//	smtflow -circuit a -out-verilog out.v -out-spef vgnd.spef
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"selectivemt"
+	"selectivemt/internal/core"
+	"selectivemt/internal/def"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/parasitics"
+	"selectivemt/internal/place"
+	"selectivemt/internal/sdc"
+	"selectivemt/internal/verilog"
+)
+
+func main() {
+	circuit := flag.String("circuit", "small", "benchmark circuit: a, b or small")
+	verilogIn := flag.String("verilog", "", "structural Verilog netlist to run instead of a benchmark")
+	sdcIn := flag.String("sdc", "", "SDC constraints for -verilog input")
+	technique := flag.String("technique", "improved", "improved, conventional or dual")
+	outVerilog := flag.String("out-verilog", "", "write the final netlist here")
+	outSpef := flag.String("out-spef", "", "write the VGND parasitics here")
+	outDef := flag.String("out-def", "", "write the final placement here (DEF)")
+	inrush := flag.Float64("inrush", 0, "stagger cluster wake-up under this inrush limit (mA)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	env, err := selectivemt.NewEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := env.NewConfig()
+
+	var base *netlist.Design
+	if *verilogIn != "" {
+		f, err := os.Open(*verilogIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err = verilog.Parse(f, env.Lib)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *sdcIn != "" {
+			sf, err := os.Open(*sdcIn)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cons, err := sdc.Parse(sf)
+			sf.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.ClockPort = cons.ClockPort
+			cfg.ClockPeriodNs = cons.ClockPeriodNs
+		}
+		if _, err := place.Place(base, cfg.PlaceOpts); err != nil {
+			log.Fatal(err)
+		}
+		if cfg.ClockPeriodNs <= 0 {
+			log.Fatal("smtflow: -verilog input needs -sdc with create_clock")
+		}
+	} else {
+		var spec selectivemt.CircuitSpec
+		switch *circuit {
+		case "a":
+			spec = selectivemt.CircuitA()
+		case "b":
+			spec = selectivemt.CircuitB()
+		case "small":
+			spec = selectivemt.SmallTest()
+		default:
+			log.Fatalf("unknown circuit %q", *circuit)
+		}
+		cfg.ClockSlack = spec.ClockSlack
+		base, err = env.Synthesize(spec, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var res *selectivemt.TechniqueResult
+	switch *technique {
+	case "improved":
+		res, err = selectivemt.RunImprovedSMT(base, cfg)
+	case "conventional":
+		res, err = selectivemt.RunConventionalSMT(base, cfg)
+	case "dual":
+		res, err = selectivemt.RunDualVth(base, cfg)
+	default:
+		log.Fatalf("unknown technique %q", *technique)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s @ %.3f ns\n", res.Technique, base.Name, res.ClockPeriodNs)
+	fmt.Printf("  area    %.1f µm²\n", res.AreaUm2)
+	fmt.Printf("  standby %.6f mW   dynamic %.3f mW\n", res.StandbyLeakMW, res.DynamicMW)
+	fmt.Printf("  WNS     %.4f ns   worst hold %.4f ns\n", res.WNSNs, res.WorstHoldNs)
+	c := res.Counts
+	fmt.Printf("  cells: MT=%d HVT=%d LVT=%d FF=%d switches=%d holders=%d mtebuf=%d ckbuf=%d holdbuf=%d\n",
+		c.MT, c.HVT, c.LVT, c.Flops, c.Switches, c.Holders, c.MTEBuffers, c.ClockBuffers, c.HoldBuffers)
+	if len(res.Clusters) > 0 {
+		total := 0
+		for _, cl := range res.Clusters {
+			total += len(cl.Cells)
+		}
+		fmt.Printf("  clusters: %d (avg %.1f cells/switch)  naive single-switch bounce: %.3f V  reopt resized: %d  wakeup: %.3f ns\n",
+			len(res.Clusters), float64(total)/float64(len(res.Clusters)),
+			res.InitialSingleSwitchBounceV, res.ReoptResized, res.WakeupNs)
+	}
+	fmt.Println("  stages:")
+	for _, s := range res.Stages {
+		fmt.Printf("    %-40s area=%10.1f leak=%10.6f wns=%8.4f\n", s.Name, s.AreaUm2, s.LeakMW, s.WNSNs)
+	}
+
+	if *inrush > 0 && len(res.Clusters) > 0 {
+		sched, err := core.ScheduleWakeup(res.Clusters, env.Proc, *inrush)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wake-up schedule @ %.2f mA limit: %d stages (peak %.2f mA, simultaneous would be %.2f mA), total %.3f ns\n",
+			*inrush, len(sched.Groups), sched.PeakInrushMA, sched.SimultaneousInrushMA, sched.TotalWakeupNs)
+	}
+
+	if *outVerilog != "" {
+		f, err := os.Create(*outVerilog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := selectivemt.WriteVerilog(f, res.Design); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *outVerilog)
+	}
+	if *outDef != "" {
+		f, err := os.Create(*outDef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := def.Write(f, res.Design); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *outDef)
+	}
+	if *outSpef != "" {
+		trees := core.ExtractVGND(res.Design, cfg)
+		f, err := os.Create(*outSpef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := parasitics.WriteSPEF(f, res.Design.Name, trees); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d VGND nets)\n", *outSpef, len(trees))
+	}
+}

@@ -1,0 +1,85 @@
+// Command smtgen emits the benchmark circuits as structural Verilog plus a
+// matching SDC file, so external tools (or smtflow -verilog) can consume
+// them.
+//
+// Usage:
+//
+//	smtgen -circuit a -o circuit_a.v -sdc circuit_a.sdc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"selectivemt"
+	"selectivemt/internal/core"
+	"selectivemt/internal/sdc"
+	"selectivemt/internal/verilog"
+)
+
+func main() {
+	circuit := flag.String("circuit", "a", "benchmark circuit: a, b or small")
+	out := flag.String("o", "", "output Verilog path (default stdout)")
+	sdcOut := flag.String("sdc", "", "also write an SDC file here")
+	flag.Parse()
+	log.SetFlags(0)
+
+	env, err := selectivemt.NewEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var spec selectivemt.CircuitSpec
+	switch *circuit {
+	case "a":
+		spec = selectivemt.CircuitA()
+	case "b":
+		spec = selectivemt.CircuitB()
+	case "small":
+		spec = selectivemt.SmallTest()
+	default:
+		log.Fatalf("unknown circuit %q", *circuit)
+	}
+	cfg := env.NewConfig()
+	cfg.ClockSlack = spec.ClockSlack
+	d, err := core.PrepareBase(spec.Module, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := verilog.Write(w, d); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d instances, clock %.3f ns)\n",
+			*out, d.NumInstances(), cfg.ClockPeriodNs)
+	}
+
+	if *sdcOut != "" {
+		cons := sdc.New()
+		cons.ClockName = "core_clk"
+		cons.ClockPort = cfg.ClockPort
+		cons.ClockPeriodNs = cfg.ClockPeriodNs
+		cons.InputDelayNs["*"] = 0
+		cons.OutputDelayNs["*"] = 0
+		f, err := os.Create(*sdcOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := sdc.Write(f, cons); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *sdcOut)
+	}
+}

@@ -1,0 +1,180 @@
+// Command smtreport analyzes a netlist without modifying it: area by cell
+// class, state-dependent standby leakage (optionally minimized over the
+// standby input vector), and setup/hold timing.
+//
+// Usage:
+//
+//	smtreport -verilog design.v -sdc design.sdc [-optimize-vector]
+//	smtreport -circuit a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"selectivemt"
+	"selectivemt/internal/core"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/parasitics"
+	"selectivemt/internal/place"
+	"selectivemt/internal/power"
+	"selectivemt/internal/report"
+	"selectivemt/internal/sdc"
+	"selectivemt/internal/sta"
+	"selectivemt/internal/verilog"
+)
+
+func main() {
+	verilogIn := flag.String("verilog", "", "structural Verilog netlist to analyze")
+	sdcIn := flag.String("sdc", "", "SDC constraints (clock) for the netlist")
+	circuit := flag.String("circuit", "", "analyze a generated benchmark instead: a, b or small")
+	optVector := flag.Bool("optimize-vector", false, "search for the minimum-leakage standby input vector")
+	flag.Parse()
+	log.SetFlags(0)
+
+	env, err := selectivemt.NewEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := env.NewConfig()
+
+	var d *netlist.Design
+	switch {
+	case *verilogIn != "":
+		f, err := os.Open(*verilogIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err = verilog.Parse(f, env.Lib)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *sdcIn != "" {
+			sf, err := os.Open(*sdcIn)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cons, err := sdc.Parse(sf)
+			sf.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.ClockPort = cons.ClockPort
+			cfg.ClockPeriodNs = cons.ClockPeriodNs
+		}
+		if _, err := place.Place(d, cfg.PlaceOpts); err != nil {
+			log.Fatal(err)
+		}
+	case *circuit != "":
+		var spec selectivemt.CircuitSpec
+		switch *circuit {
+		case "a":
+			spec = selectivemt.CircuitA()
+		case "b":
+			spec = selectivemt.CircuitB()
+		case "small":
+			spec = selectivemt.SmallTest()
+		default:
+			log.Fatalf("unknown circuit %q", *circuit)
+		}
+		cfg.ClockSlack = spec.ClockSlack
+		d, err = env.Synthesize(spec, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("smtreport: need -verilog or -circuit")
+	}
+
+	// Area by cell base.
+	type row struct {
+		base  string
+		count int
+		area  float64
+	}
+	byBase := map[string]*row{}
+	for _, inst := range d.Instances() {
+		r := byBase[inst.Cell.Base]
+		if r == nil {
+			r = &row{base: inst.Cell.Base}
+			byBase[inst.Cell.Base] = r
+		}
+		r.count++
+		r.area += inst.Cell.AreaUm2
+	}
+	var rows []*row
+	for _, r := range byBase {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].area > rows[j].area })
+	t := report.New(fmt.Sprintf("Area report: %s (total %.1f µm², %d instances)",
+		d.Name, d.TotalArea(), d.NumInstances()),
+		"cell", "count", "area µm²", "share")
+	for _, r := range rows {
+		t.Add(r.base, r.count, r.area, fmt.Sprintf("%.1f%%", 100*r.area/d.TotalArea()))
+	}
+	fmt.Println(t.String())
+
+	// Leakage.
+	gated := core.IsGatedMT
+	holder := core.HolderOn
+	rep, err := power.Standby(d, power.StandbyOptions{Gated: gated, HolderOn: holder})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lt := report.New("Standby leakage (all-zeros standby vector)", "source", "mW")
+	var cats []string
+	for c := range rep.Breakdown {
+		cats = append(cats, string(c))
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		lt.Add(c, fmt.Sprintf("%.3e", rep.Breakdown[power.Category(c)]))
+	}
+	lt.Add("TOTAL", fmt.Sprintf("%.3e", rep.StandbyLeakMW))
+	fmt.Println(lt.String())
+
+	if *optVector {
+		vec, leak, err := power.OptimizeStandbyVector(d,
+			power.StandbyOptions{Gated: gated, HolderOn: holder}, 4, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("optimized standby vector: %.3e mW (%.1f%% below all-zeros)\n",
+			leak, 100*(1-leak/rep.StandbyLeakMW))
+		var names []string
+		for n := range vec {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Print("  vector:")
+		for _, n := range names {
+			fmt.Printf(" %s=%s", n, vec[n])
+		}
+		fmt.Println()
+	}
+
+	// Timing.
+	if cfg.ClockPeriodNs > 0 {
+		stCfg := sta.Config{
+			ClockPeriodNs: cfg.ClockPeriodNs,
+			ClockPort:     cfg.ClockPort,
+			InputSlewNs:   0.03,
+			InputDelayNs:  0.1,
+			Extractor:     &parasitics.EstimateExtractor{Proc: env.Proc},
+		}
+		timing, err := sta.Analyze(d, stCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Timing @ %.3f ns: WNS %.4f ns, TNS %.4f ns, worst hold %.4f ns\n",
+			cfg.ClockPeriodNs, timing.WNS, timing.TNS, timing.WorstHold)
+		for i, p := range timing.WorstPaths(3) {
+			fmt.Printf("  path %d: slack %.4f ns, %d stages\n", i+1, p.SlackNs, len(p.Steps))
+		}
+	}
+}

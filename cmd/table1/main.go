@@ -1,0 +1,85 @@
+// Command table1 regenerates Table 1 of Kitahara et al. (DATE 2005):
+// area and standby leakage of the Dual-Vth, conventional Selective-MT and
+// improved Selective-MT techniques on circuits A and B, normalized to the
+// Dual-Vth baseline.
+//
+// Usage:
+//
+//	table1 [-circuit a|b|both] [-csv] [-detail]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"selectivemt"
+	"selectivemt/internal/power"
+)
+
+func main() {
+	circuit := flag.String("circuit", "both", "which circuit to run: a, b or both")
+	detail := flag.Bool("detail", false, "print per-technique detail (counts, clusters, stages)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	env, err := selectivemt.NewEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var specs []selectivemt.CircuitSpec
+	switch *circuit {
+	case "a":
+		specs = []selectivemt.CircuitSpec{selectivemt.CircuitA()}
+	case "b":
+		specs = []selectivemt.CircuitSpec{selectivemt.CircuitB()}
+	case "both":
+		specs = []selectivemt.CircuitSpec{selectivemt.CircuitA(), selectivemt.CircuitB()}
+	default:
+		log.Fatalf("unknown -circuit %q", *circuit)
+	}
+
+	var comps []*selectivemt.Comparison
+	for _, spec := range specs {
+		fmt.Fprintf(os.Stderr, "running %s (3 techniques)...\n", spec.Module.Name)
+		cmp, err := env.Compare(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		comps = append(comps, cmp)
+	}
+	fmt.Println(selectivemt.FormatTable1(comps))
+	fmt.Println("Paper reference:  A: 164.84/133.18 area, 14.58/9.42 leakage;" +
+		"  B: 142.22/115.65 area, 19.42/12.21 leakage (% of Dual-Vth)")
+
+	if *detail {
+		for _, cmp := range comps {
+			for _, r := range []*selectivemt.TechniqueResult{cmp.Dual, cmp.Conv, cmp.Improved} {
+				fmt.Printf("\n%s / %s: period=%.3fns WNS=%.3fns hold=%.3fns area=%.0fµm² leak=%.6fmW dyn=%.3fmW\n",
+					cmp.Circuit, r.Technique, r.ClockPeriodNs, r.WNSNs, r.WorstHoldNs,
+					r.AreaUm2, r.StandbyLeakMW, r.DynamicMW)
+				c := r.Counts
+				fmt.Printf("  cells: MT=%d HVT=%d LVT=%d FF=%d switches=%d holders=%d mtebuf=%d ckbuf=%d holdbuf=%d\n",
+					c.MT, c.HVT, c.LVT, c.Flops, c.Switches, c.Holders, c.MTEBuffers, c.ClockBuffers, c.HoldBuffers)
+				fmt.Printf("  leakage breakdown:")
+				for _, cat := range []string{"lvt-comb", "hvt-comb", "mt-gated", "flop", "switch", "holder", "clock"} {
+					fmt.Printf(" %s=%.2e", cat, r.Breakdown[power.Category(cat)])
+				}
+				fmt.Println()
+				if len(r.Clusters) > 0 {
+					total := 0
+					for _, cl := range r.Clusters {
+						total += len(cl.Cells)
+					}
+					fmt.Printf("  clusters: %d (avg %.1f cells/switch), single-switch bounce %.4fV, reopt resized %d, wakeup %.3fns\n",
+						len(r.Clusters), float64(total)/float64(len(r.Clusters)),
+						r.InitialSingleSwitchBounceV, r.ReoptResized, r.WakeupNs)
+				}
+				for _, s := range r.Stages {
+					fmt.Printf("  stage %-36s area=%9.0f leak=%9.6f wns=%7.3f\n", s.Name, s.AreaUm2, s.LeakMW, s.WNSNs)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// netlist_io demonstrates the file-level API: generate a benchmark, write
+// it as structural Verilog + SDC, read both back, run the improved flow,
+// and emit the final netlist and the VGND parasitics as SPEF — the
+// artifacts a real tapeout flow exchanges.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"selectivemt"
+	"selectivemt/internal/core"
+	"selectivemt/internal/parasitics"
+	"selectivemt/internal/place"
+	"selectivemt/internal/sdc"
+)
+
+func main() {
+	log.SetFlags(0)
+	env, err := selectivemt.NewEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "selectivemt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Synthesize the small benchmark and serialize it.
+	spec := selectivemt.SmallTest()
+	cfg := env.NewConfig()
+	cfg.ClockSlack = spec.ClockSlack
+	base, err := env.Synthesize(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var vbuf bytes.Buffer
+	if err := selectivemt.WriteVerilog(&vbuf, base); err != nil {
+		log.Fatal(err)
+	}
+	vPath := filepath.Join(dir, "design.v")
+	if err := os.WriteFile(vPath, vbuf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	cons := sdc.New()
+	cons.ClockPort = "clk"
+	cons.ClockPeriodNs = cfg.ClockPeriodNs
+	var sbuf bytes.Buffer
+	if err := sdc.Write(&sbuf, cons); err != nil {
+		log.Fatal(err)
+	}
+	sdcPath := filepath.Join(dir, "design.sdc")
+	if err := os.WriteFile(sdcPath, sbuf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes) and %s\n", vPath, vbuf.Len(), sdcPath)
+
+	// Read both back, as an external tool would.
+	vf, err := os.Open(vPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := env.LoadVerilog(vf)
+	vf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sf, err := os.Open(sdcPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cons2, err := sdc.Parse(sf)
+	sf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded %s: %d instances, clock %s @ %.3f ns\n",
+		design.Name, design.NumInstances(), cons2.ClockPort, cons2.ClockPeriodNs)
+
+	// Run the improved flow on the reloaded design.
+	cfg2 := env.NewConfig()
+	cfg2.ClockPort = cons2.ClockPort
+	cfg2.ClockPeriodNs = cons2.ClockPeriodNs
+	if _, err := place.Place(design, cfg2.PlaceOpts); err != nil {
+		log.Fatal(err)
+	}
+	res, err := selectivemt.RunImprovedSMT(design, cfg2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("improved SMT: %d MT cells behind %d switches, leak %.6f mW, WNS %.4f ns\n",
+		res.Counts.MT, res.Counts.Switches, res.StandbyLeakMW, res.WNSNs)
+
+	// Emit the final artifacts.
+	outV := filepath.Join(dir, "design_smt.v")
+	f, err := os.Create(outV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := selectivemt.WriteVerilog(f, res.Design); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	trees := core.ExtractVGND(res.Design, cfg2)
+	outS := filepath.Join(dir, "vgnd.spef")
+	f2, err := os.Create(outS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := parasitics.WriteSPEF(f2, res.Design.Name, trees); err != nil {
+		log.Fatal(err)
+	}
+	f2.Close()
+	// Round-trip the SPEF to prove it parses.
+	f3, err := os.Open(outS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spef, err := parasitics.ParseSPEF(f3)
+	f3.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s and %s (%d VGND nets, reparsed OK)\n", outV, outS, len(spef.Nets))
+}

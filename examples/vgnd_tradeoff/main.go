@@ -1,0 +1,73 @@
+// vgnd_tradeoff sweeps the designer-facing knobs of the switch-structure
+// optimizer — the VGND bounce limit and the cells-per-switch (EM) cap —
+// and prints the resulting area / leakage / switch-count trade-off, the
+// ablation study behind the design rules in Section 3 of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selectivemt"
+	"selectivemt/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	env, err := selectivemt.NewEnvironment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := selectivemt.SmallTest()
+
+	// Sweep 1: bounce limit as a fraction of Vdd. Tighter limits force
+	// wider (leakier, bigger) switches or more clusters.
+	t1 := report.New("Sweep: VGND bounce limit (cells/switch cap fixed at default)",
+		"bounce %Vdd", "switches", "avg cells/sw", "area µm²", "standby mW", "WNS ns")
+	for _, frac := range []float64{0.025, 0.05, 0.075, 0.10} {
+		cfg := env.NewConfig()
+		cfg.ClockSlack = spec.ClockSlack
+		cfg.Rules.MaxBounceV = frac * env.Proc.Vdd
+		base, err := env.Synthesize(spec, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := selectivemt.RunImprovedSMT(base, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		avg := 0.0
+		if len(res.Clusters) > 0 {
+			total := 0
+			for _, cl := range res.Clusters {
+				total += len(cl.Cells)
+			}
+			avg = float64(total) / float64(len(res.Clusters))
+		}
+		t1.Add(fmt.Sprintf("%.1f%%", frac*100), res.Counts.Switches, avg,
+			res.AreaUm2, fmt.Sprintf("%.6f", res.StandbyLeakMW), fmt.Sprintf("%.4f", res.WNSNs))
+	}
+	fmt.Println(t1.String())
+
+	// Sweep 2: the electromigration cells-per-switch cap. Small caps
+	// fragment clusters (more switches, more area); large caps let the
+	// diversity effect shrink total switch width.
+	t2 := report.New("Sweep: cells-per-switch EM cap (bounce fixed at 5% Vdd)",
+		"max cells/sw", "switches", "area µm²", "standby mW", "worst wakeup ns")
+	for _, cap := range []int{4, 8, 16, 24, 48} {
+		cfg := env.NewConfig()
+		cfg.ClockSlack = spec.ClockSlack
+		cfg.Rules.MaxCellsPerSW = cap
+		base, err := env.Synthesize(spec, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := selectivemt.RunImprovedSMT(base, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2.Add(cap, res.Counts.Switches, res.AreaUm2,
+			fmt.Sprintf("%.6f", res.StandbyLeakMW), fmt.Sprintf("%.4f", res.WakeupNs))
+	}
+	fmt.Println(t2.String())
+}

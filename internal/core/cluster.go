@@ -1,0 +1,237 @@
+// Package core implements the paper's contribution: the improved
+// Selective-MT design methodology. It covers stage 2 of Fig. 4 (timing-
+// aware MT/HVT assignment), the MT-cell VGND conversion with a single
+// initial switch, the output-holder insertion rule, the switch-structure
+// construction (the CoolPower analog: placement-driven clustering under
+// bounce / wire-length / electromigration rules with discrete switch
+// sizing), MTE high-fanout buffering, post-route SPEF re-optimization, the
+// hold-fix ECO, and the conventional Selective-MT comparison flow.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"selectivemt/internal/geom"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/place"
+	"selectivemt/internal/tech"
+	"selectivemt/internal/vgnd"
+)
+
+// currents adapts power.CellCurrents maps to the vgnd.Currents interface,
+// with the library peak as fallback for cells without activity data.
+type currents struct {
+	avg, peak map[*netlist.Instance]float64
+}
+
+// Peak implements vgnd.Currents.
+func (c currents) Peak(inst *netlist.Instance) float64 {
+	if v, ok := c.peak[inst]; ok && v > 0 {
+		return v
+	}
+	return inst.Cell.PeakCurrentMA
+}
+
+// Avg implements vgnd.Currents.
+func (c currents) Avg(inst *netlist.Instance) float64 { return c.avg[inst] }
+
+// BuildClusters groups the MT-cells of a design into sleep-switch clusters
+// respecting every vgnd rule. The construction is greedy geometric growth:
+// seed at the lowest-leftmost unassigned MT-cell, absorb nearest neighbors
+// while the cluster still admits a legal switch, then a merge pass that
+// combines adjacent small clusters when the combined cluster still fits —
+// the diversity effect usually lets the merged switch be *smaller* than
+// the two originals combined.
+func BuildClusters(d *netlist.Design, mtCells []*netlist.Instance, cur vgnd.Currents,
+	proc *tech.Process, rules vgnd.Rules) ([]*vgnd.Cluster, error) {
+	if len(mtCells) == 0 {
+		return nil, nil
+	}
+	lib := d.Lib
+	// Deterministic seeding order: lower-left first.
+	ordered := append([]*netlist.Instance(nil), mtCells...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Pos.Y != ordered[j].Pos.Y {
+			return ordered[i].Pos.Y < ordered[j].Pos.Y
+		}
+		if ordered[i].Pos.X != ordered[j].Pos.X {
+			return ordered[i].Pos.X < ordered[j].Pos.X
+		}
+		return ordered[i].Name < ordered[j].Name
+	})
+	grid := geom.NewGrid(d.Core.Expand(1), growPitch(d))
+	id2inst := make(map[int32]*netlist.Instance, len(ordered))
+	for i, inst := range ordered {
+		grid.Insert(int32(i), inst.Pos)
+		id2inst[int32(i)] = inst
+	}
+	assigned := make(map[*netlist.Instance]bool, len(ordered))
+
+	var clusters []*vgnd.Cluster
+	for _, seed := range ordered {
+		if assigned[seed] {
+			continue
+		}
+		cl := &vgnd.Cluster{Cells: []*netlist.Instance{seed}}
+		assigned[seed] = true
+		grid.Remove(idOf(ordered, seed))
+		// Grow: repeatedly try the nearest unassigned MT-cell.
+		for len(cl.Cells) < rules.MaxCellsPerSW {
+			center := cl.Center()
+			nid, _, ok := grid.Nearest(center, nil)
+			if !ok {
+				break
+			}
+			cand := id2inst[nid]
+			trial := &vgnd.Cluster{Cells: append(append([]*netlist.Instance(nil), cl.Cells...), cand)}
+			if !clusterFits(trial, lib, cur, proc, rules) {
+				break // nearest candidate already violates; stop growing
+			}
+			cl.Cells = trial.Cells
+			assigned[cand] = true
+			grid.Remove(nid)
+		}
+		clusters = append(clusters, cl)
+	}
+	// Merge pass: combine geometrically adjacent clusters when legal.
+	clusters = mergeClusters(clusters, lib, cur, proc, rules)
+
+	// Final pre-route sizing: star-topology estimate from placement (the
+	// paper's "estimated based on the placement information"); the
+	// post-route pass re-sizes from the routed trunk RC.
+	pre := preRouteRules(rules)
+	for _, cl := range clusters {
+		sw, _, err := vgnd.SizeSwitchTopo(cl, cl.Center(), lib, cur, proc, pre, vgnd.TopoEstimate)
+		if err != nil {
+			return nil, fmt.Errorf("core: sizing cluster of %d cells: %w", len(cl.Cells), err)
+		}
+		cl.SwitchCell = sw
+	}
+	return clusters, nil
+}
+
+// preRouteRules tightens the bounce budget by the guardband for pre-route
+// sizing decisions.
+func preRouteRules(r vgnd.Rules) vgnd.Rules {
+	if r.PreRouteGuardband > 0 && r.PreRouteGuardband < 1 {
+		r.MaxBounceV *= r.PreRouteGuardband
+	}
+	return r
+}
+
+func growPitch(d *netlist.Design) float64 {
+	p := d.Core.W() / 16
+	if p < 4 {
+		p = 4
+	}
+	return p
+}
+
+func idOf(ordered []*netlist.Instance, inst *netlist.Instance) int32 {
+	for i, o := range ordered {
+		if o == inst {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// clusterFits reports whether a cluster admits any legal switch under all
+// rules.
+func clusterFits(cl *vgnd.Cluster, lib *liberty.Library, cur vgnd.Currents,
+	proc *tech.Process, rules vgnd.Rules) bool {
+	if rules.MaxCellsPerSW > 0 && len(cl.Cells) > rules.MaxCellsPerSW {
+		return false
+	}
+	center := cl.Center()
+	if rules.MaxWirelengthUm > 0 && cl.WirelengthUm(center) > rules.MaxWirelengthUm {
+		return false
+	}
+	if len(cl.Cells) > 1 && rules.MaxCurrentMA > 0 &&
+		vgnd.ClusterCurrent(cl.Cells, cur, rules) > rules.MaxCurrentMA {
+		return false
+	}
+	_, _, err := vgnd.SizeSwitchTopo(cl, center, lib, cur, proc, preRouteRules(rules), vgnd.TopoEstimate)
+	return err == nil
+}
+
+// mergeClusters greedily merges neighboring clusters when the merged
+// cluster is legal and its switch is no larger than the pair's total.
+func mergeClusters(clusters []*vgnd.Cluster, lib *liberty.Library, cur vgnd.Currents,
+	proc *tech.Process, rules vgnd.Rules) []*vgnd.Cluster {
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(clusters) && !changed; i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				a, b := clusters[i], clusters[j]
+				if rules.MaxCellsPerSW > 0 && len(a.Cells)+len(b.Cells) > rules.MaxCellsPerSW {
+					continue
+				}
+				if a.Center().Manhattan(b.Center()) > rules.MaxWirelengthUm/2 {
+					continue
+				}
+				merged := &vgnd.Cluster{Cells: append(append([]*netlist.Instance(nil), a.Cells...), b.Cells...)}
+				if !clusterFits(merged, lib, cur, proc, rules) {
+					continue
+				}
+				pr := preRouteRules(rules)
+				swA, _, errA := vgnd.SizeSwitchTopo(a, a.Center(), lib, cur, proc, pr, vgnd.TopoEstimate)
+				swB, _, errB := vgnd.SizeSwitchTopo(b, b.Center(), lib, cur, proc, pr, vgnd.TopoEstimate)
+				swM, _, errM := vgnd.SizeSwitchTopo(merged, merged.Center(), lib, cur, proc, pr, vgnd.TopoEstimate)
+				if errA != nil || errB != nil || errM != nil {
+					continue
+				}
+				if swM.AreaUm2 > swA.AreaUm2+swB.AreaUm2 {
+					continue // merging would cost area
+				}
+				clusters[i] = merged
+				clusters = append(clusters[:j], clusters[j+1:]...)
+				changed = true
+				break
+			}
+		}
+	}
+	return clusters
+}
+
+// InsertSwitches materializes clusters into the netlist: one switch
+// instance per cluster placed at the cluster centroid, a VGND net per
+// cluster connecting the switch to every member's VGND port, and the
+// switch MTE pin left for BuildMTE to wire. MT cells must already be the
+// MV (VGND-port) flavor.
+func InsertSwitches(d *netlist.Design, clusters []*vgnd.Cluster, placeOpts place.Options) error {
+	for i, cl := range clusters {
+		if cl.SwitchCell == nil {
+			return fmt.Errorf("core: cluster %d has no sized switch", i)
+		}
+		sw, err := d.AddInstance(fmt.Sprintf("smt_sw_%d", i), cl.SwitchCell)
+		if err != nil {
+			return err
+		}
+		place.PlaceNear(d, sw, cl.Center(), placeOpts)
+		sw.Fixed = true
+		vnet, err := d.AddNet(fmt.Sprintf("vgnd_%d", i))
+		if err != nil {
+			return err
+		}
+		vnet.IsVGND = true
+		if err := d.Connect(sw, "VGND", vnet); err != nil {
+			return err
+		}
+		for _, inst := range cl.Cells {
+			if inst.Cell.Pin("VGND") == nil {
+				return fmt.Errorf("core: %s (%s) lacks a VGND port — convert to MV first",
+					inst.Name, inst.Cell.Name)
+			}
+			if err := d.Connect(inst, "VGND", vnet); err != nil {
+				return err
+			}
+		}
+		cl.Switch = sw
+		cl.Net = vnet
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"selectivemt/internal/gen"
+	"selectivemt/internal/verilog"
+)
+
+// TestFlowDeterministic runs the improved flow twice from scratch and
+// requires bit-identical outputs — the property that makes every number in
+// EXPERIMENTS.md reproducible and guards against map-iteration order
+// sneaking into any engine.
+func TestFlowDeterministic(t *testing.T) {
+	run := func() (string, float64, float64, int) {
+		l := lib(t)
+		cfg := DefaultConfig(sharedProc, l)
+		cfg.ClockSlack = 1.12
+		base, err := PrepareBase(gen.SmallTest().Module, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunImprovedSMT(base, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := verilog.Write(&buf, res.Design); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), res.AreaUm2, res.StandbyLeakMW, len(res.Clusters)
+	}
+	v1, a1, l1, c1 := run()
+	v2, a2, l2, c2 := run()
+	if a1 != a2 || l1 != l2 || c1 != c2 {
+		t.Fatalf("metrics differ between runs: area %v/%v leak %v/%v clusters %d/%d",
+			a1, a2, l1, l2, c1, c2)
+	}
+	if v1 != v2 {
+		t.Fatal("final netlists differ between identical runs")
+	}
+}
+
+// TestConventionalDeterministic covers the other mutating flow.
+func TestConventionalDeterministic(t *testing.T) {
+	run := func() (float64, float64) {
+		l := lib(t)
+		cfg := DefaultConfig(sharedProc, l)
+		cfg.ClockSlack = 1.12
+		base, err := PrepareBase(gen.SmallTest().Module, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunConventionalSMT(base, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AreaUm2, res.StandbyLeakMW
+	}
+	a1, l1 := run()
+	a2, l2 := run()
+	if a1 != a2 || l1 != l2 {
+		t.Fatalf("conventional flow nondeterministic: %v/%v %v/%v", a1, a2, l1, l2)
+	}
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+
+	"selectivemt/internal/cts"
+	"selectivemt/internal/dualvth"
+	"selectivemt/internal/eco"
+	"selectivemt/internal/gen"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/logic"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/parasitics"
+	"selectivemt/internal/place"
+	"selectivemt/internal/power"
+	"selectivemt/internal/sim"
+	"selectivemt/internal/sta"
+	"selectivemt/internal/synth"
+	"selectivemt/internal/tech"
+	"selectivemt/internal/vgnd"
+)
+
+// Config parameterizes the full design flow.
+type Config struct {
+	Proc *tech.Process
+	Lib  *liberty.Library
+
+	ClockPort     string
+	ClockPeriodNs float64 // 0 → ClockSlack × post-synthesis minimum period
+	ClockSlack    float64 // default 1.1
+
+	Rules      vgnd.Rules
+	PlaceOpts  place.Options
+	CTSOpts    cts.Options
+	AssignOpts dualvth.Options
+	ECOOpts    eco.Options
+
+	MTEMaxFanout   int
+	ActivityCycles int
+	Seed           int64
+	// StandbyInputs is the primary-input vector held in standby.
+	StandbyInputs map[string]logic.Value
+}
+
+// DefaultConfig builds a configuration for the process/library pair.
+func DefaultConfig(proc *tech.Process, lib *liberty.Library) *Config {
+	po := place.DefaultOptions(proc.RowHeightUm, proc.SitePitchUm)
+	return &Config{
+		Proc:           proc,
+		Lib:            lib,
+		ClockPort:      "clk",
+		ClockSlack:     1.1,
+		Rules:          vgnd.DefaultRules(proc, lib),
+		PlaceOpts:      po,
+		CTSOpts:        cts.DefaultOptions(proc),
+		AssignOpts:     dualvth.DefaultOptions(),
+		ECOOpts:        eco.DefaultOptions(po),
+		MTEMaxFanout:   16,
+		ActivityCycles: 96,
+		Seed:           1,
+	}
+}
+
+func (c *Config) staConfig(ex parasitics.Extractor, clk func(*netlist.Instance) float64) sta.Config {
+	return sta.Config{
+		ClockPeriodNs: c.ClockPeriodNs,
+		ClockPort:     c.ClockPort,
+		InputSlewNs:   0.03,
+		// External inputs arrive from registered upstream logic: a small
+		// guaranteed delay, so input-fed flops are not flagged for hold.
+		InputDelayNs: 0.1,
+		Extractor:    ex,
+		ClockArrival: clk,
+	}
+}
+
+// assignOpts returns the assignment options with a slack reserve for what
+// the pre-route estimate cannot see (post-route wire RC, clock skew): the
+// assignment must not consume every picosecond of the budget.
+func (c *Config) assignOpts() dualvth.Options {
+	o := c.AssignOpts
+	if o.SlackMarginNs == 0 {
+		o.SlackMarginNs = 0.04 * c.ClockPeriodNs
+	}
+	return o
+}
+
+// StageReport records one flow stage's vitals.
+type StageReport struct {
+	Name    string
+	AreaUm2 float64
+	LeakMW  float64 // standby leakage at that stage
+	WNSNs   float64
+}
+
+// Counts tallies the instance population of a finished design.
+type Counts struct {
+	MT, HVT, LVT      int
+	Flops             int
+	Switches, Holders int
+	MTEBuffers        int
+	ClockBuffers      int
+	HoldBuffers       int
+}
+
+// TechniqueResult is the outcome of one technique's flow on one circuit.
+type TechniqueResult struct {
+	Technique     string
+	Design        *netlist.Design
+	ClockPeriodNs float64
+
+	AreaUm2       float64
+	StandbyLeakMW float64
+	Breakdown     map[power.Category]float64
+	DynamicMW     float64
+	WNSNs         float64
+	WorstHoldNs   float64
+
+	Counts   Counts
+	Clusters []*vgnd.Cluster
+	CTS      *cts.Result
+	Stages   []StageReport
+
+	// InitialSingleSwitchBounceV is the bounce the naive "one switch for
+	// everything" structure would suffer (improved flow only) — the
+	// motivation for the clustering step.
+	InitialSingleSwitchBounceV float64
+	// ReoptResized counts switches resized by the post-route pass.
+	ReoptResized int
+	// WakeupNs is the worst cluster wake-up estimate.
+	WakeupNs float64
+
+	// gating predicates used for standby measurement (set per technique).
+	gatedFn  func(*netlist.Instance) bool
+	holderFn func(*netlist.Net) bool
+}
+
+// PrepareBase maps a generic module with low-Vth cells and places it —
+// the "physical synthesis using low-Vth cells / initial netlist &
+// placement" stage shared by all three techniques. It also fixes the
+// clock period on cfg when not set explicitly.
+func PrepareBase(mod *gen.Module, cfg *Config) (*netlist.Design, error) {
+	d, err := synth.Map(mod, cfg.Lib, synth.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := place.Place(d, cfg.PlaceOpts); err != nil {
+		return nil, err
+	}
+	if cfg.ClockPeriodNs <= 0 {
+		slack := cfg.ClockSlack
+		if slack <= 0 {
+			slack = 1.1
+		}
+		probe := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
+		probe.ClockPeriodNs = 1000
+		pmin, err := sta.MinPeriod(d, probe)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ClockPeriodNs = pmin * slack
+	}
+	return d, nil
+}
+
+// RunDualVth executes the baseline technique on a clone of base.
+func RunDualVth(base *netlist.Design, cfg *Config) (*TechniqueResult, error) {
+	d := base.Clone()
+	res := &TechniqueResult{Technique: "Dual-Vth", Design: d, ClockPeriodNs: cfg.ClockPeriodNs}
+	pre := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
+	if _, err := dualvth.Assign(d, pre, cfg.assignOpts()); err != nil {
+		return nil, err
+	}
+	res.stage(d, "dual-vth assignment", nil, cfg)
+	if err := finishFlow(d, cfg, res, nil, nil); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunConventionalSMT executes the conventional Selective-MT technique:
+// MT-cells with embedded switches and holders on critical paths, HVT
+// elsewhere, MTE wired to every MT-cell.
+func RunConventionalSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, error) {
+	d := base.Clone()
+	res := &TechniqueResult{Technique: "Conventional-SMT", Design: d, ClockPeriodNs: cfg.ClockPeriodNs}
+	pre := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
+	if _, err := dualvth.AssignMixed(d, pre, cfg.assignOpts(), liberty.FlavorMTConv); err != nil {
+		return nil, err
+	}
+	res.gatedFn, res.holderFn = IsGatedMT, HolderOn
+	res.stage(d, "HVT+MT(embedded) assignment", nil, cfg)
+	if _, err := BuildMTE(d, cfg.MTEMaxFanout, cfg.PlaceOpts); err != nil {
+		return nil, err
+	}
+	res.stage(d, "MTE network", nil, cfg)
+	if err := finishFlow(d, cfg, res, IsGatedMT, HolderOn); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunImprovedSMT executes the paper's improved technique end to end
+// (Fig. 4): MT assignment with VGND-less cells, conversion to VGND cells,
+// holder insertion, switch-structure construction, MTE buffering, CTS,
+// post-route re-optimization and hold ECO.
+func RunImprovedSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, error) {
+	d := base.Clone()
+	res := &TechniqueResult{Technique: "Improved-SMT", Design: d, ClockPeriodNs: cfg.ClockPeriodNs}
+	pre := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
+
+	// Stage 2: replace low-Vth cells by high-Vth + MT(without VGND).
+	if _, err := dualvth.AssignMixed(d, pre, cfg.assignOpts(), liberty.FlavorMTNoVGND); err != nil {
+		return nil, err
+	}
+	res.gatedFn, res.holderFn = IsGatedMT, HolderOn
+	res.stage(d, "HVT+MT(no VGND) assignment", nil, cfg)
+
+	// Stage 3: convert to VGND-port cells; insert holders.
+	if _, err := ConvertToVGND(d); err != nil {
+		return nil, err
+	}
+	holders, err := InsertHolders(d, cfg.PlaceOpts)
+	if err != nil {
+		return nil, err
+	}
+	_ = holders
+	res.stage(d, "VGND conversion + holders", nil, cfg)
+
+	// Collect the MT population and its currents.
+	var mtCells []*netlist.Instance
+	for _, inst := range d.Instances() {
+		if inst.Cell.Flavor == liberty.FlavorMTVGND {
+			mtCells = append(mtCells, inst)
+		}
+	}
+	act, err := sim.EstimateActivity(d, cfg.ActivityCycles, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := power.Currents(d, act, cfg.Proc, cfg.ClockPeriodNs,
+		&parasitics.EstimateExtractor{Proc: cfg.Proc})
+	if err != nil {
+		return nil, err
+	}
+	cur := currents{avg: cc.AvgMA, peak: cc.PeakMA}
+
+	// The naive initial structure: one switch for every MT-cell. Record
+	// its bounce with the largest available switch as motivation for the
+	// clustering step.
+	if len(mtCells) > 0 {
+		mega := &vgnd.Cluster{Cells: mtCells}
+		sws := cfg.Lib.SwitchCells()
+		if br, err := vgnd.SolveBounce(mega, mega.Center(), sws[len(sws)-1], cur, cfg.Proc, cfg.Rules); err == nil {
+			res.InitialSingleSwitchBounceV = br.WorstBounceV
+		}
+	}
+
+	// Stage 4: switch-structure construction (the CoolPower analog).
+	clusters, err := BuildClusters(d, mtCells, cur, cfg.Proc, cfg.Rules)
+	if err != nil {
+		return nil, err
+	}
+	if err := InsertSwitches(d, clusters, cfg.PlaceOpts); err != nil {
+		return nil, err
+	}
+	res.Clusters = clusters
+	res.stage(d, "switch-structure construction", clusters, cfg)
+
+	// Stage 5: MTE buffering.
+	if _, err := BuildMTE(d, cfg.MTEMaxFanout, cfg.PlaceOpts); err != nil {
+		return nil, err
+	}
+	res.stage(d, "MTE network", clusters, cfg)
+
+	// Stages 6-7 (CTS, post-route reopt, ECO, sign-off) are shared.
+	if err := finishFlow(d, cfg, res, IsGatedMT, HolderOn); err != nil {
+		return nil, err
+	}
+	// Post-route re-optimization of the switch structure.
+	resized, err := PostRouteReoptimize(d, clusters, cur, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.ReoptResized = resized
+	res.stage(d, "post-route switch re-optimization", clusters, cfg)
+	// Re-measure after reopt.
+	if err := measure(d, cfg, res); err != nil {
+		return nil, err
+	}
+	for _, cl := range clusters {
+		if w := vgnd.Wakeup(cl, cfg.Proc); w.TimeNs > res.WakeupNs {
+			res.WakeupNs = w.TimeNs
+		}
+	}
+	return res, nil
+}
+
+// finishFlow runs the shared back end: CTS, hold ECO, final measurement.
+func finishFlow(d *netlist.Design, cfg *Config, res *TechniqueResult,
+	gated func(*netlist.Instance) bool, holderOn func(*netlist.Net) bool) error {
+	res.gatedFn = gated
+	res.holderFn = holderOn
+	ctsRes, err := cts.Synthesize(d, cfg.ClockPort, cfg.CTSOpts)
+	if err != nil {
+		return err
+	}
+	res.CTS = ctsRes
+	res.stage(d, "CTS", res.Clusters, cfg)
+
+	post := cfg.staConfig(&parasitics.SteinerExtractor{Proc: cfg.Proc,
+		TrunkNets: func(n *netlist.Net) bool { return n.IsVGND }}, ctsRes.Arrival)
+	ecoRes, err := eco.FixHold(d, post, cfg.ECOOpts)
+	if err != nil {
+		return err
+	}
+	res.Counts.HoldBuffers = ecoRes.BuffersInserted
+	res.stage(d, "hold ECO", res.Clusters, cfg)
+	return measure(d, cfg, res)
+}
+
+// measure computes the final area/leakage/timing numbers.
+func measure(d *netlist.Design, cfg *Config, res *TechniqueResult) error {
+	ctsArr := func(*netlist.Instance) float64 { return 0 }
+	if res.CTS != nil {
+		ctsArr = res.CTS.Arrival
+	}
+	post := cfg.staConfig(&parasitics.SteinerExtractor{Proc: cfg.Proc,
+		TrunkNets: func(n *netlist.Net) bool { return n.IsVGND }}, ctsArr)
+	timing, err := sta.Analyze(d, post)
+	if err != nil {
+		return err
+	}
+	res.WNSNs = timing.WNS
+	res.WorstHoldNs = timing.WorstHold
+	res.AreaUm2 = d.TotalArea()
+
+	rep, err := power.Standby(d, power.StandbyOptions{
+		Inputs:   cfg.StandbyInputs,
+		Gated:    res.gatedFn,
+		HolderOn: res.holderFn,
+	})
+	if err != nil {
+		return err
+	}
+	res.StandbyLeakMW = rep.StandbyLeakMW
+	res.Breakdown = rep.Breakdown
+
+	act, err := sim.EstimateActivity(d, cfg.ActivityCycles, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	dyn, err := power.Dynamic(d, act, cfg.Proc, cfg.ClockPeriodNs, post.Extractor)
+	if err != nil {
+		return err
+	}
+	res.DynamicMW = dyn
+	res.Counts = countPopulation(d, res.Counts)
+	return nil
+}
+
+func countPopulation(d *netlist.Design, prev Counts) Counts {
+	c := Counts{HoldBuffers: prev.HoldBuffers}
+	for _, inst := range d.Instances() {
+		switch inst.Cell.Kind {
+		case liberty.KindFF:
+			c.Flops++
+		case liberty.KindSwitch:
+			c.Switches++
+		case liberty.KindHolder:
+			c.Holders++
+		case liberty.KindClockBuf:
+			c.ClockBuffers++
+		default:
+			switch inst.Cell.Flavor {
+			case liberty.FlavorLVT:
+				c.LVT++
+			case liberty.FlavorHVT:
+				if inst.OutputNet() != nil && inst.OutputNet().IsMTE {
+					c.MTEBuffers++
+				} else {
+					c.HVT++
+				}
+			default:
+				c.MT++
+			}
+		}
+	}
+	return c
+}
+
+// stage appends a stage report with current vitals (best-effort WNS using
+// the cheap extractor; leakage with the technique's gating once known).
+func (r *TechniqueResult) stage(d *netlist.Design, name string, clusters []*vgnd.Cluster, cfg *Config) {
+	sr := StageReport{Name: name, AreaUm2: d.TotalArea()}
+	pre := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
+	if t, err := sta.Analyze(d, pre); err == nil {
+		sr.WNSNs = t.WNS
+	}
+	if rep, err := power.Standby(d, power.StandbyOptions{
+		Inputs: cfg.StandbyInputs, Gated: r.gatedFn, HolderOn: r.holderFn,
+	}); err == nil {
+		sr.LeakMW = rep.StandbyLeakMW
+	}
+	r.Stages = append(r.Stages, sr)
+}
+
+// Validate runs the structural check appropriate to the technique's stage.
+func (r *TechniqueResult) Validate() error {
+	if r.Design == nil {
+		return fmt.Errorf("core: no design")
+	}
+	return r.Design.Validate(netlist.StrictValidate())
+}

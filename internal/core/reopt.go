@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/parasitics"
+	"selectivemt/internal/vgnd"
+)
+
+// PostRouteReoptimize re-sizes every cluster's switch from post-route
+// information — the paper's "optimizing the switch transistor structure
+// based on post-route information (SPEF)". The pre-route sizing assumed
+// the switch at the cluster centroid; after insertion the switch was
+// legalized to a row/site, so the VGND tree resistances differ. The pass
+// re-solves each cluster at the *actual* switch position and picks the
+// smallest switch that still meets the bounce limit: switches grow where
+// the estimate was optimistic and shrink where it was pessimistic (an
+// area win). It returns the number of switches whose size changed.
+func PostRouteReoptimize(d *netlist.Design, clusters []*vgnd.Cluster,
+	cur vgnd.Currents, cfg *Config) (int, error) {
+	resized := 0
+	for i, cl := range clusters {
+		if cl.Switch == nil {
+			return resized, fmt.Errorf("core: cluster %d has no inserted switch", i)
+		}
+		sw, _, err := vgnd.SizeSwitch(cl, cl.Switch.Pos, cfg.Lib, cur, cfg.Proc, cfg.Rules)
+		if err != nil {
+			return resized, fmt.Errorf("core: post-route sizing cluster %d: %w", i, err)
+		}
+		if sw != cl.SwitchCell {
+			if err := d.ReplaceCell(cl.Switch, sw); err != nil {
+				return resized, err
+			}
+			cl.SwitchCell = sw
+			resized++
+		}
+		// Verify the final structure against every rule at the real spot.
+		if err := vgnd.Check(cl, cl.Switch.Pos, cur, cfg.Proc, cfg.Rules); err != nil {
+			return resized, fmt.Errorf("core: cluster %d fails post-route check: %w", i, err)
+		}
+	}
+	return resized, nil
+}
+
+// ExtractVGND produces the SPEF parasitics of all VGND nets — what a real
+// flow would hand to the external optimizer. It is exported so the
+// examples and cmd/smtflow can write an actual .spef artifact.
+func ExtractVGND(d *netlist.Design, cfg *Config) []*parasitics.RCTree {
+	ex := &parasitics.SteinerExtractor{Proc: cfg.Proc,
+		TrunkNets: func(n *netlist.Net) bool { return n.IsVGND }}
+	var out []*parasitics.RCTree
+	for _, n := range d.Nets() {
+		if n.IsVGND {
+			out = append(out, ex.Extract(n))
+		}
+	}
+	return out
+}

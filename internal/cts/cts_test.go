@@ -1,0 +1,158 @@
+package cts
+
+import (
+	"testing"
+
+	"selectivemt/internal/geom"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/place"
+	"selectivemt/internal/tech"
+)
+
+var (
+	sharedLib  *liberty.Library
+	sharedProc *tech.Process
+)
+
+func lib(t *testing.T) *liberty.Library {
+	t.Helper()
+	if sharedLib == nil {
+		sharedProc = tech.Default130()
+		l, err := liberty.Generate(sharedProc, liberty.DefaultBuildOptions(sharedProc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLib = l
+	}
+	return sharedLib
+}
+
+// buildFFArray creates n flops scattered over a core, all clocked by clk.
+func buildFFArray(t *testing.T, n int) *netlist.Design {
+	t.Helper()
+	l := lib(t)
+	d := netlist.New("ffarr", l)
+	d.AddPort("clk", netlist.DirInput)
+	d.AddPort("din", netlist.DirInput)
+	clk := d.NetByName("clk")
+	din := d.NetByName("din")
+	for i := 0; i < n; i++ {
+		ff, _ := d.NewInstanceAuto("ff", l.Cell("DFF_X1_L"))
+		d.Connect(ff, "CK", clk)
+		d.Connect(ff, "D", din)
+		q := d.NewNetAuto("q")
+		d.Connect(ff, "Q", q)
+	}
+	if _, err := place.Place(d, place.DefaultOptions(sharedProc.RowHeightUm, sharedProc.SitePitchUm)); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSynthesizeSmall(t *testing.T) {
+	// Fewer sinks than max fanout: no buffers needed.
+	d := buildFFArray(t, 8)
+	opts := DefaultOptions(sharedProc)
+	res, err := Synthesize(d, "clk", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Buffers) != 0 || res.Levels != 0 {
+		t.Errorf("8 sinks under fanout 16 should need no buffers, got %d", len(res.Buffers))
+	}
+	if res.Sinks != 8 {
+		t.Errorf("sinks = %d", res.Sinks)
+	}
+}
+
+func TestSynthesizeLarge(t *testing.T) {
+	d := buildFFArray(t, 150)
+	opts := DefaultOptions(sharedProc)
+	res, err := Synthesize(d, "clk", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Buffers) == 0 {
+		t.Fatal("150 sinks need buffers")
+	}
+	if res.Levels < 1 {
+		t.Errorf("levels = %d", res.Levels)
+	}
+	// Structure: netlist still valid, every flop CK driven.
+	if err := d.Validate(netlist.StrictValidate()); err != nil {
+		t.Fatal(err)
+	}
+	// Fanout cap respected on every clock net.
+	for _, n := range d.Nets() {
+		if !n.IsClock {
+			continue
+		}
+		if len(n.Sinks) > opts.MaxFanout {
+			t.Errorf("clock net %s has %d sinks > cap %d", n.Name, len(n.Sinks), opts.MaxFanout)
+		}
+	}
+	// Every flop got an insertion delay.
+	for _, inst := range d.Instances() {
+		if inst.Cell.IsSequential() {
+			if _, ok := res.Insertion[inst]; !ok {
+				t.Fatalf("flop %s missing insertion delay", inst.Name)
+			}
+		}
+	}
+	if res.MaxSkewNs < 0 {
+		t.Errorf("negative skew %v", res.MaxSkewNs)
+	}
+	if res.MaxInsNs <= 0 {
+		t.Errorf("max insertion %v should be positive with buffers", res.MaxInsNs)
+	}
+	// Skew should be a small fraction of insertion delay for a balanced
+	// geometric tree.
+	if res.MaxSkewNs > res.MaxInsNs {
+		t.Errorf("skew %v exceeds insertion %v", res.MaxSkewNs, res.MaxInsNs)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	d := buildFFArray(t, 4)
+	opts := DefaultOptions(sharedProc)
+	if _, err := Synthesize(d, "nope", opts); err == nil {
+		t.Error("missing clock port accepted")
+	}
+	bad := opts
+	bad.MaxFanout = 1
+	if _, err := Synthesize(d, "clk", bad); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	bad2 := opts
+	bad2.BufName = "NOPE"
+	if _, err := Synthesize(d, "clk", bad2); err == nil {
+		t.Error("unknown buffer cell accepted")
+	}
+}
+
+func TestClusterProperties(t *testing.T) {
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i%10)*5, float64(i/10)*5)
+	}
+	groups := cluster(len(pts), 8, func(i int) geom.Point { return pts[i] })
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		if len(g) > 8 {
+			t.Fatalf("group size %d exceeds cap", len(g))
+		}
+		if len(g) == 0 {
+			t.Fatal("empty group")
+		}
+		for _, id := range g {
+			if seen[id] {
+				t.Fatalf("index %d in two groups", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("%d of 100 indices covered", len(seen))
+	}
+}

@@ -1,0 +1,256 @@
+// Package def reads and writes a DEF (Design Exchange Format) subset: the
+// die area, placed components and pins of a design. Together with the
+// Verilog (netlist), SDC (constraints), Liberty (library) and SPEF
+// (parasitics) support this completes the file set a physical design flow
+// exchanges; cmd/smtflow can emit the final placement for inspection.
+//
+// The subset: DESIGN/UNITS/DIEAREA, COMPONENTS with placement status and
+// orientation N, PINS with direction and location, END DESIGN. Distances
+// are written in DEF database units (1000 per µm).
+package def
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"selectivemt/internal/geom"
+	"selectivemt/internal/netlist"
+)
+
+// dbuPerUm is the database-unit scale written to UNITS.
+const dbuPerUm = 1000
+
+// Write renders the design's placement as DEF.
+func Write(w io.Writer, d *netlist.Design) error {
+	bw := bufio.NewWriter(w)
+	p := func(format string, args ...any) { fmt.Fprintf(bw, format, args...) }
+	p("VERSION 5.8 ;\n")
+	p("DESIGN %s ;\n", d.Name)
+	p("UNITS DISTANCE MICRONS %d ;\n", dbuPerUm)
+	core := d.Core
+	p("DIEAREA ( %d %d ) ( %d %d ) ;\n",
+		dbu(core.Lo.X), dbu(core.Lo.Y), dbu(core.Hi.X), dbu(core.Hi.Y))
+
+	insts := d.Instances()
+	p("COMPONENTS %d ;\n", len(insts))
+	for _, inst := range insts {
+		status := "UNPLACED"
+		loc := ""
+		if inst.Placed {
+			status = "PLACED"
+			if inst.Fixed {
+				status = "FIXED"
+			}
+			loc = fmt.Sprintf(" ( %d %d ) N", dbu(inst.Pos.X), dbu(inst.Pos.Y))
+		}
+		p("- %s %s + %s%s ;\n", escape(inst.Name), inst.Cell.Name, status, loc)
+	}
+	p("END COMPONENTS\n")
+
+	ports := d.Ports()
+	p("PINS %d ;\n", len(ports))
+	for _, pt := range ports {
+		dir := "INPUT"
+		if pt.Dir == netlist.DirOutput {
+			dir = "OUTPUT"
+		}
+		p("- %s + NET %s + DIRECTION %s", escape(pt.Name), escape(pt.Net.Name), dir)
+		if pt.Placed {
+			p(" + PLACED ( %d %d ) N", dbu(pt.Pos.X), dbu(pt.Pos.Y))
+		}
+		p(" ;\n")
+	}
+	p("END PINS\n")
+	p("END DESIGN\n")
+	return bw.Flush()
+}
+
+func dbu(um float64) int { return int(um*dbuPerUm + 0.5) }
+
+func escape(s string) string {
+	if strings.ContainsAny(s, " []") {
+		return strings.NewReplacer("[", "\\[", "]", "\\]").Replace(s)
+	}
+	return s
+}
+
+func unescape(s string) string {
+	return strings.NewReplacer("\\[", "[", "\\]", "]").Replace(s)
+}
+
+// Placement is the parsed content of a DEF file.
+type Placement struct {
+	Design  string
+	Core    geom.Rect
+	Cells   map[string]PlacedCell // instance name → placement
+	PinPos  map[string]geom.Point // port name → location
+	DBPerUm int
+}
+
+// PlacedCell is one component record.
+type PlacedCell struct {
+	Cell   string
+	Pos    geom.Point
+	Placed bool
+	Fixed  bool
+}
+
+// Parse reads a DEF subset written by Write.
+func Parse(r io.Reader) (*Placement, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	out := &Placement{
+		Cells:   make(map[string]PlacedCell),
+		PinPos:  make(map[string]geom.Point),
+		DBPerUm: dbuPerUm,
+	}
+	section := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, "VERSION"):
+		case strings.HasPrefix(line, "DESIGN "):
+			out.Design = f[1]
+		case strings.HasPrefix(line, "UNITS"):
+			for i, tok := range f {
+				if tok == "MICRONS" && i+1 < len(f) {
+					v, err := strconv.Atoi(strings.TrimSuffix(f[i+1], ";"))
+					if err != nil {
+						return nil, fmt.Errorf("def: line %d: bad UNITS", lineNo)
+					}
+					out.DBPerUm = v
+				}
+			}
+		case strings.HasPrefix(line, "DIEAREA"):
+			nums := numbers(f)
+			if len(nums) != 4 {
+				return nil, fmt.Errorf("def: line %d: DIEAREA needs 4 coordinates", lineNo)
+			}
+			s := float64(out.DBPerUm)
+			out.Core = geom.RectOf(nums[0]/s, nums[1]/s, nums[2]/s, nums[3]/s)
+		case strings.HasPrefix(line, "COMPONENTS"):
+			section = "COMPONENTS"
+		case strings.HasPrefix(line, "PINS"):
+			section = "PINS"
+		case strings.HasPrefix(line, "END COMPONENTS"), strings.HasPrefix(line, "END PINS"):
+			section = ""
+		case strings.HasPrefix(line, "END DESIGN"):
+			return out, nil
+		case strings.HasPrefix(line, "-"):
+			switch section {
+			case "COMPONENTS":
+				if err := out.parseComponent(f, lineNo); err != nil {
+					return nil, err
+				}
+			case "PINS":
+				if err := out.parsePin(f, lineNo); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("def: line %d: record outside a section", lineNo)
+			}
+		default:
+			return nil, fmt.Errorf("def: line %d: unsupported statement %q", lineNo, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("def: missing END DESIGN")
+}
+
+func (pl *Placement) parseComponent(f []string, lineNo int) error {
+	if len(f) < 3 {
+		return fmt.Errorf("def: line %d: malformed component", lineNo)
+	}
+	name := unescape(f[1])
+	pc := PlacedCell{Cell: f[2]}
+	for i, tok := range f {
+		switch tok {
+		case "PLACED", "FIXED":
+			pc.Placed = true
+			pc.Fixed = tok == "FIXED"
+			nums := numbers(f[i:])
+			if len(nums) < 2 {
+				return fmt.Errorf("def: line %d: placement without coordinates", lineNo)
+			}
+			s := float64(pl.DBPerUm)
+			pc.Pos = geom.Pt(nums[0]/s, nums[1]/s)
+		}
+	}
+	pl.Cells[name] = pc
+	return nil
+}
+
+func (pl *Placement) parsePin(f []string, lineNo int) error {
+	if len(f) < 2 {
+		return fmt.Errorf("def: line %d: malformed pin", lineNo)
+	}
+	name := unescape(f[1])
+	for i, tok := range f {
+		if tok == "PLACED" {
+			nums := numbers(f[i:])
+			if len(nums) < 2 {
+				return fmt.Errorf("def: line %d: pin placement without coordinates", lineNo)
+			}
+			s := float64(pl.DBPerUm)
+			pl.PinPos[name] = geom.Pt(nums[0]/s, nums[1]/s)
+		}
+	}
+	if _, ok := pl.PinPos[name]; !ok {
+		pl.PinPos[name] = geom.Point{}
+	}
+	return nil
+}
+
+// numbers extracts the numeric tokens from a field list (skipping
+// punctuation like parens and semicolons).
+func numbers(f []string) []float64 {
+	var out []float64
+	for _, tok := range f {
+		if v, err := strconv.ParseFloat(tok, 64); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Apply transfers parsed placement onto a design: matching instances get
+// positions; unknown names are reported.
+func (pl *Placement) Apply(d *netlist.Design) error {
+	if pl.Design != "" && pl.Design != d.Name {
+		return fmt.Errorf("def: placement is for design %q, not %q", pl.Design, d.Name)
+	}
+	if !pl.Core.Empty() {
+		d.Core = pl.Core
+	}
+	for name, pc := range pl.Cells {
+		inst := d.Instance(name)
+		if inst == nil {
+			return fmt.Errorf("def: component %q not in the netlist", name)
+		}
+		if inst.Cell.Name != pc.Cell {
+			return fmt.Errorf("def: component %q is %s in DEF but %s in the netlist",
+				name, pc.Cell, inst.Cell.Name)
+		}
+		inst.Pos = pc.Pos
+		inst.Placed = pc.Placed
+		inst.Fixed = pc.Fixed
+	}
+	for name, pos := range pl.PinPos {
+		if p := d.PortByName(name); p != nil {
+			p.Pos = pos
+			p.Placed = true
+		}
+	}
+	return nil
+}

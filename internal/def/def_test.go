@@ -1,0 +1,167 @@
+package def
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"selectivemt/internal/geom"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/tech"
+)
+
+var sharedLib *liberty.Library
+
+func lib(t *testing.T) *liberty.Library {
+	t.Helper()
+	if sharedLib == nil {
+		proc := tech.Default130()
+		l, err := liberty.Generate(proc, liberty.DefaultBuildOptions(proc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLib = l
+	}
+	return sharedLib
+}
+
+func placedDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	l := lib(t)
+	d := netlist.New("pd", l)
+	d.AddPort("in[0]", netlist.DirInput)
+	d.AddPort("out", netlist.DirOutput)
+	inv, _ := d.AddInstance("u1", l.Cell("INV_X1_L"))
+	buf, _ := d.AddInstance("u2", l.Cell("BUF_X2_L"))
+	mid, _ := d.AddNet("mid")
+	d.Connect(inv, "A", d.NetByName("in[0]"))
+	d.Connect(inv, "ZN", mid)
+	d.Connect(buf, "A", mid)
+	d.Connect(buf, "Z", d.NetByName("out"))
+	d.Core = geom.RectOf(0, 0, 50, 30)
+	inv.Pos, inv.Placed = geom.Pt(10.25, 5.5), true
+	buf.Pos, buf.Placed, buf.Fixed = geom.Pt(20.75, 9.2), true, true
+	p := d.PortByName("in[0]")
+	p.Pos, p.Placed = geom.Pt(0, 15), true
+	return d
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	d := placedDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	if pl.Design != "pd" {
+		t.Errorf("design = %q", pl.Design)
+	}
+	if pl.Core != d.Core {
+		t.Errorf("core = %+v, want %+v", pl.Core, d.Core)
+	}
+	u1, ok := pl.Cells["u1"]
+	if !ok {
+		t.Fatal("u1 missing")
+	}
+	if math.Abs(u1.Pos.X-10.25) > 1e-3 || math.Abs(u1.Pos.Y-5.5) > 1e-3 {
+		t.Errorf("u1 at %v", u1.Pos)
+	}
+	if u1.Fixed {
+		t.Error("u1 should not be fixed")
+	}
+	u2 := pl.Cells["u2"]
+	if !u2.Fixed {
+		t.Error("u2 should be FIXED")
+	}
+	if _, ok := pl.PinPos["in[0]"]; !ok {
+		t.Error("escaped pin name lost")
+	}
+}
+
+func TestApply(t *testing.T) {
+	d := placedDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh unplaced copy of the same netlist.
+	d2 := placedDesign(t)
+	for _, inst := range d2.Instances() {
+		inst.Placed = false
+		inst.Pos = geom.Point{}
+		inst.Fixed = false
+	}
+	pl, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Apply(d2); err != nil {
+		t.Fatal(err)
+	}
+	u2 := d2.Instance("u2")
+	if !u2.Placed || !u2.Fixed || math.Abs(u2.Pos.X-20.75) > 1e-3 {
+		t.Errorf("apply failed: %+v", u2)
+	}
+}
+
+func TestApplyMismatches(t *testing.T) {
+	d := placedDesign(t)
+	var buf bytes.Buffer
+	Write(&buf, d)
+	pl, _ := Parse(bytes.NewReader(buf.Bytes()))
+
+	other := netlist.New("other", lib(t))
+	if err := pl.Apply(other); err == nil {
+		t.Error("wrong design name accepted")
+	}
+	// Same name, missing component.
+	empty := netlist.New("pd", lib(t))
+	if err := pl.Apply(empty); err == nil {
+		t.Error("missing component accepted")
+	}
+	// Cell mismatch.
+	d3 := placedDesign(t)
+	d3.ReplaceCell(d3.Instance("u1"), lib(t).Cell("INV_X1_H"))
+	if err := pl.Apply(d3); err == nil {
+		t.Error("cell mismatch accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no end", "VERSION 5.8 ;\nDESIGN x ;\n"},
+		{"record outside section", "DESIGN x ;\n- u1 INV + PLACED ( 0 0 ) N ;\nEND DESIGN\n"},
+		{"bad units", "UNITS DISTANCE MICRONS zz ;\nEND DESIGN\n"},
+		{"bad diearea", "DIEAREA ( 0 0 ) ;\nEND DESIGN\n"},
+		{"unknown statement", "FROBNICATE 3 ;\nEND DESIGN\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestUnplacedComponent(t *testing.T) {
+	d := placedDesign(t)
+	d.Instance("u1").Placed = false
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "UNPLACED") {
+		t.Error("unplaced status not written")
+	}
+	pl, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Cells["u1"].Placed {
+		t.Error("unplaced component parsed as placed")
+	}
+}

@@ -1,0 +1,284 @@
+// Package dualvth implements the baseline the paper compares against: the
+// Dual-Vth assignment of Wei et al. (CICC 2000) — start all low-Vth, then
+// greedily move cells with positive slack to high-Vth, most-slack first,
+// re-timing between passes and reverting any swap batch that breaks the
+// clock. The same engine, pointed at MT variants instead of HVT ones,
+// performs stage 2 of the paper's Fig. 4 flow (see internal/core).
+package dualvth
+
+import (
+	"fmt"
+	"sort"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/sta"
+)
+
+// Options tunes the assignment loop.
+type Options struct {
+	// SlackMarginNs is the slack every swap must preserve.
+	SlackMarginNs float64
+	// MaxPasses bounds the re-time/swap iterations.
+	MaxPasses int
+	// SwapFlops allows DFF Vth swaps too (the usual practice).
+	SwapFlops bool
+	// SafetyFactor scales the locally estimated delay increase before
+	// comparing against slack (covers path reconvergence).
+	SafetyFactor float64
+}
+
+// DefaultOptions returns the options used in the experiments.
+func DefaultOptions() Options {
+	return Options{SlackMarginNs: 0.0, MaxPasses: 12, SwapFlops: true, SafetyFactor: 1.5}
+}
+
+// Result reports the assignment outcome.
+type Result struct {
+	Swapped int // cells ending at high Vth
+	Kept    int // cells kept low Vth
+	Passes  int
+	Timing  *sta.Result
+}
+
+// Assign converts as many cells as possible to the target flavor without
+// violating timing. The target is FlavorHVT for the Dual-Vth baseline; the
+// SMT flow passes the same engine different targets per criticality class.
+func Assign(d *netlist.Design, cfg sta.Config, opts Options) (*Result, error) {
+	return assignFlavor(d, cfg, opts, liberty.FlavorHVT, liberty.FlavorLVT)
+}
+
+// assignFlavor greedily moves cells to target; when over-committed it
+// reverts critical cells to revertTo (LVT for the baseline; the MT flavor
+// in the SMT flows, so criticals stay gateable rather than leaky).
+func assignFlavor(d *netlist.Design, cfg sta.Config, opts Options,
+	target, revertTo liberty.Flavor) (*Result, error) {
+	if opts.MaxPasses <= 0 {
+		opts.MaxPasses = 12
+	}
+	if opts.SafetyFactor <= 0 {
+		opts.SafetyFactor = 1.5
+	}
+	res := &Result{}
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		res.Passes = pass + 1
+		timing, err := sta.Analyze(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Timing = timing
+		if timing.WNS < opts.SlackMarginNs {
+			// Over-committed: revert the most critical swapped cells.
+			reverted, err := revertCritical(d, timing, opts, revertTo)
+			if err != nil {
+				return nil, err
+			}
+			if reverted == 0 {
+				break // cannot improve further
+			}
+			continue
+		}
+		swapped, err := swapPass(d, timing, opts, target)
+		if err != nil {
+			return nil, err
+		}
+		if swapped == 0 {
+			break
+		}
+	}
+	// Final verification pass.
+	timing, err := sta.Analyze(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing = timing
+	if timing.WNS < opts.SlackMarginNs {
+		if _, err := revertCritical(d, timing, opts, revertTo); err != nil {
+			return nil, err
+		}
+		timing, err = sta.Analyze(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Timing = timing
+	}
+	for _, inst := range d.Instances() {
+		if !swappable(inst, opts) {
+			continue
+		}
+		if inst.Cell.Flavor == target {
+			res.Swapped++
+		} else {
+			res.Kept++
+		}
+	}
+	return res, nil
+}
+
+func swappable(inst *netlist.Instance, opts Options) bool {
+	switch inst.Cell.Kind {
+	case liberty.KindComb:
+		return true
+	case liberty.KindFF:
+		return opts.SwapFlops
+	}
+	return false
+}
+
+// swapPass tentatively swaps positive-slack cells to the target flavor.
+func swapPass(d *netlist.Design, timing *sta.Result, opts Options, target liberty.Flavor) (int, error) {
+	type cand struct {
+		inst  *netlist.Instance
+		slack float64
+	}
+	var cands []cand
+	for _, inst := range d.Instances() {
+		if !swappable(inst, opts) || inst.Cell.Flavor == target {
+			continue
+		}
+		cands = append(cands, cand{inst, timing.InstSlack(inst)})
+	}
+	// Most slack first: the cheapest swaps commit earliest.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].slack > cands[j].slack })
+	budget := make(map[*netlist.Net]float64) // consumed slack per output net cone
+	swapped := 0
+	for _, c := range cands {
+		v := variantFor(d.Lib, c.inst.Cell, target)
+		if v == nil {
+			continue
+		}
+		delta := delayDelta(c.inst, v, timing)
+		out := c.inst.OutputNet()
+		used := 0.0
+		if out != nil {
+			used = budget[out]
+		}
+		if c.slack-used-opts.SafetyFactor*delta <= opts.SlackMarginNs {
+			continue
+		}
+		if err := d.ReplaceCell(c.inst, v); err != nil {
+			return swapped, err
+		}
+		if out != nil {
+			budget[out] = used + opts.SafetyFactor*delta
+		}
+		swapped++
+	}
+	return swapped, nil
+}
+
+// variantFor returns the target-flavor variant of a cell. Flops have no MT
+// variants: when the target is an MT flavor they keep their Vth (the flow
+// handles flop criticality by leaving critical flops LVT).
+func variantFor(lib *liberty.Library, c *liberty.Cell, target liberty.Flavor) *liberty.Cell {
+	if c.Kind == liberty.KindFF &&
+		(target == liberty.FlavorMTConv || target == liberty.FlavorMTNoVGND || target == liberty.FlavorMTVGND) {
+		return nil
+	}
+	return lib.Variant(c, target)
+}
+
+// delayDelta estimates the worst-arc delay increase of swapping inst to v.
+func delayDelta(inst *netlist.Instance, v *liberty.Cell, timing *sta.Result) float64 {
+	out := inst.OutputNet()
+	if out == nil {
+		return 0
+	}
+	rc := timing.RC[out]
+	load := 0.0
+	if rc != nil {
+		load = rc.TotalCap()
+	}
+	var worstOld, worstNew float64
+	for _, arc := range inst.Cell.Arcs {
+		inNet := inst.Conns[arc.From]
+		if inNet == nil {
+			continue
+		}
+		slew := timing.SlewMax[inNet]
+		if dOld := arc.WorstDelay(slew, load); dOld > worstOld {
+			worstOld = dOld
+		}
+		if na := v.Arc(arc.From, arc.To); na != nil {
+			if dNew := na.WorstDelay(slew, load); dNew > worstNew {
+				worstNew = dNew
+			}
+		}
+	}
+	if v.Kind == liberty.KindFF {
+		// Flop swaps also pay the setup difference at their own D input.
+		return worstNew - worstOld + (v.SetupNs - inst.Cell.SetupNs)
+	}
+	return worstNew - worstOld
+}
+
+// revertCritical moves swapped cells on violating paths back to revertTo
+// (flops, which have no MT variants, revert to LVT).
+func revertCritical(d *netlist.Design, timing *sta.Result, opts Options,
+	revertTo liberty.Flavor) (int, error) {
+	reverted := 0
+	for _, inst := range timing.CriticalInstances(opts.SlackMarginNs) {
+		if !swappable(inst, opts) {
+			continue
+		}
+		to := revertTo
+		if variantFor(d.Lib, inst.Cell, to) == nil {
+			to = liberty.FlavorLVT // flops have no MT variants
+		}
+		if inst.Cell.Flavor == to {
+			continue
+		}
+		v := d.Lib.Variant(inst.Cell, to)
+		if v == nil {
+			return reverted, fmt.Errorf("dualvth: no %s variant of %s", to, inst.Cell.Name)
+		}
+		if err := d.ReplaceCell(inst, v); err != nil {
+			return reverted, err
+		}
+		reverted++
+	}
+	return reverted, nil
+}
+
+// AssignMixed performs the SMT stage-2 assignment of Fig. 4: every
+// combinational cell starts as an MT-cell (so timing already carries the
+// VGND-bounce derate), then cells with slack move to HVT — "replacing
+// low-Vth cells by high-Vth cells and MT-cells with the timing
+// specification satisfied". Cells that cannot meet timing even as MT-cells
+// fall back to plain LVT (they stay un-gated), which real flows also do.
+func AssignMixed(d *netlist.Design, cfg sta.Config, opts Options, mtFlavor liberty.Flavor) (*Result, error) {
+	for _, inst := range d.Instances() {
+		if inst.Cell.Kind != liberty.KindComb || inst.Cell.Flavor != liberty.FlavorLVT {
+			continue
+		}
+		v := d.Lib.Variant(inst.Cell, mtFlavor)
+		if v == nil {
+			continue
+		}
+		if err := d.ReplaceCell(inst, v); err != nil {
+			return nil, err
+		}
+	}
+	res, err := assignFlavor(d, cfg, opts, liberty.FlavorHVT, mtFlavor)
+	if err != nil {
+		return nil, err
+	}
+	// Last resort: if the MT derate alone breaks the clock, let the most
+	// critical cells drop back to plain LVT.
+	timing := res.Timing
+	for pass := 0; timing.WNS < opts.SlackMarginNs && pass < opts.MaxPasses; pass++ {
+		n, err := revertCritical(d, timing, opts, liberty.FlavorLVT)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		timing, err = sta.Analyze(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Timing = timing
+	}
+	return res, nil
+}

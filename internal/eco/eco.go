@@ -1,0 +1,118 @@
+// Package eco performs the final engineering-change-order pass of the
+// Fig. 4 flow: fixing hold violations introduced by clock-tree skew by
+// padding short paths with delay buffers in front of violating flop D
+// pins, then re-verifying.
+package eco
+
+import (
+	"fmt"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/place"
+	"selectivemt/internal/sta"
+)
+
+// Options controls hold fixing.
+type Options struct {
+	BufName   string // delay buffer cell
+	MaxPasses int
+	PlaceOpts place.Options
+}
+
+// DefaultOptions returns the ECO options the flow uses.
+func DefaultOptions(placeOpts place.Options) Options {
+	return Options{BufName: "BUF_X1_H", MaxPasses: 8, PlaceOpts: placeOpts}
+}
+
+// Result reports the ECO outcome.
+type Result struct {
+	BuffersInserted int
+	Passes          int
+	Timing          *sta.Result
+}
+
+// FixHold inserts delay buffers at violating flop D inputs until hold is
+// clean or MaxPasses is exhausted. Buffers are placed next to the flop so
+// the added wire does not disturb setup estimates elsewhere.
+func FixHold(d *netlist.Design, cfg sta.Config, opts Options) (*Result, error) {
+	if opts.MaxPasses <= 0 {
+		opts.MaxPasses = 8
+	}
+	buf := d.Lib.Cell(opts.BufName)
+	if buf == nil {
+		return nil, fmt.Errorf("eco: library lacks %q", opts.BufName)
+	}
+	res := &Result{}
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		res.Passes = pass + 1
+		timing, err := sta.Analyze(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Timing = timing
+		if len(timing.HoldViolations) == 0 {
+			return res, nil
+		}
+		for _, ff := range timing.HoldViolations {
+			dNet := ff.Conns["D"]
+			if dNet == nil {
+				continue
+			}
+			// Size the padding chain from the deficit: each buffer adds
+			// roughly its nominal delay at the flop's input load.
+			deficit := -holdSlackAt(timing, ff)
+			per := bufferDelay(buf, ff)
+			n := 1
+			if per > 0 && deficit > 0 {
+				n = int(deficit/per) + 1
+			}
+			if n > 24 {
+				n = 24
+			}
+			for i := 0; i < n; i++ {
+				b, err := d.InsertBuffer(ff.Conns["D"], buf, []netlist.PinRef{{Inst: ff, Pin: "D"}})
+				if err != nil {
+					return nil, fmt.Errorf("eco: buffering %s.D: %w", ff.Name, err)
+				}
+				place.PlaceNear(d, b, ff.Pos, opts.PlaceOpts)
+				b.Fixed = true
+				res.BuffersInserted++
+			}
+		}
+	}
+	timing, err := sta.Analyze(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing = timing
+	return res, nil
+}
+
+// holdSlackAt recomputes one flop's hold slack from the analysis.
+func holdSlackAt(timing *sta.Result, ff *netlist.Instance) float64 {
+	dNet := ff.Conns["D"]
+	if dNet == nil {
+		return 0
+	}
+	am, ok := timing.ArrivalMin[dNet]
+	if !ok {
+		return 0
+	}
+	lat := 0.0
+	if timing.Config.ClockArrival != nil {
+		lat = timing.Config.ClockArrival(ff)
+	}
+	return am - lat - ff.Cell.HoldNs
+}
+
+// bufferDelay estimates one padding buffer's contribution at the flop's
+// input load.
+func bufferDelay(buf *liberty.Cell, ff *netlist.Instance) float64 {
+	arc := buf.Arcs[0]
+	load := 0.002
+	if p := ff.Cell.Pin("D"); p != nil {
+		load = p.CapPF + buf.InputCapPF
+	}
+	return arc.WorstDelay(0.05, load)
+}

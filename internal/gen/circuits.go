@@ -1,0 +1,103 @@
+package gen
+
+// CircuitSpec pairs a generated module with the flow parameters the
+// experiments use for it.
+type CircuitSpec struct {
+	Module *Module
+	// ClockSlack multiplies the post-synthesis minimum period to get the
+	// target clock: 1.05 = tight (most of the logic stays critical), 1.3 =
+	// relaxed.
+	ClockSlack float64
+}
+
+// CircuitA is the datapath-heavy evaluation circuit: two pipelined 8×8
+// array multipliers feeding a 16-bit accumulator, run at a tight clock.
+// Long ripple/array carry chains keep a large fraction of cells critical,
+// which is what drives the big conventional-SMT area overhead the paper
+// reports for its circuit A (164.84%).
+func CircuitA() CircuitSpec {
+	m := NewModule("circuit_a")
+	a0 := m.InputBus("a0", 8)
+	b0 := m.InputBus("b0", 8)
+	a1 := m.InputBus("a1", 8)
+	b1 := m.InputBus("b1", 8)
+
+	// Stage 1: register the operands.
+	ra0 := m.DFFBus(a0)
+	rb0 := m.DFFBus(b0)
+	ra1 := m.DFFBus(a1)
+	rb1 := m.DFFBus(b1)
+
+	// Stage 2: multiply, register products.
+	p0 := m.DFFBus(m.ArrayMultiplier(ra0, rb0))
+	p1 := m.DFFBus(m.ArrayMultiplier(ra1, rb1))
+
+	// Stage 3: accumulate.
+	sum, carry := m.RippleAdder(p0, p1)
+	acc := m.DFFBus(append(sum, carry))
+	m.OutputBus("acc", acc)
+	// The clock must clear the MT-cell bounce derate (~8%) or critical
+	// cells cannot be gated at all; 1.12 is "as tight as SMT allows".
+	return CircuitSpec{Module: m, ClockSlack: 1.18}
+}
+
+// CircuitB is the control-heavy evaluation circuit: a 16-bit ALU, a CRC-16
+// engine, two counters and a random control cloud, run at a relaxed clock.
+// The flop-rich structure raises the always-on leakage floor, reproducing
+// the higher SMT leakage percentages of the paper's circuit B.
+func CircuitB() CircuitSpec {
+	m := NewModule("circuit_b")
+	a := m.InputBus("a", 16)
+	b := m.InputBus("b", 16)
+	op := m.InputBus("op", 2)
+	data := m.InputBus("data", 8)
+	en := m.Input("en")
+
+	ra := m.DFFBus(a)
+	rb := m.DFFBus(b)
+	rop := m.DFFBus(op)
+	rdata := m.DFFBus(data)
+	ren := m.DFF(en)
+
+	alu := m.DFFBus(m.ALU(ra, rb, rop))
+	m.OutputBus("alu", alu)
+
+	// CRC-16-CCITT-ish taps (x^16 + x^12 + x^5 + 1): state registers loop
+	// through the parallel update network.
+	crcRegs := make([]int, 16)
+	crcNodes := make([]*Node, 16)
+	for i := range crcRegs {
+		id := m.DFF(0) // patched below
+		crcRegs[i] = id
+		crcNodes[i] = m.Nodes[id]
+	}
+	next := m.CRCStep(crcRegs, rdata, []int{5, 12})
+	for i, n := range crcNodes {
+		n.Ins = []int{next[i]}
+	}
+	m.OutputBus("crc", crcRegs)
+
+	cnt0 := m.Counter(16, ren)
+	cnt1 := m.Counter(12, m.Not(ren))
+	m.OutputBus("cnt0", cnt0)
+	m.OutputBus("cnt1", cnt1)
+
+	// Control cloud: shallow random logic over status bits, registered.
+	seeds := []int{alu[0], alu[15], crcRegs[0], crcRegs[15], cnt0[7], cnt1[3], ren}
+	cloud := m.RandomLogic(seeds, 260, 20050307)
+	m.OutputBus("status", m.DFFBus(cloud))
+	return CircuitSpec{Module: m, ClockSlack: 1.15}
+}
+
+// SmallTest is a compact design for unit and integration tests: one 4×4
+// multiplier pipeline (~120 gates).
+func SmallTest() CircuitSpec {
+	m := NewModule("small_test")
+	a := m.InputBus("a", 4)
+	b := m.InputBus("b", 4)
+	ra := m.DFFBus(a)
+	rb := m.DFFBus(b)
+	p := m.DFFBus(m.ArrayMultiplier(ra, rb))
+	m.OutputBus("p", p)
+	return CircuitSpec{Module: m, ClockSlack: 1.1}
+}

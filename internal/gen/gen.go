@@ -1,0 +1,339 @@
+// Package gen produces benchmark circuits as technology-independent
+// generic-gate modules: datapath blocks (array multipliers, adders, ALUs),
+// control blocks (CRC, LFSR, counters) and random logic clouds. The synth
+// package maps these onto the cell library ("physical synthesis using
+// low-Vth cells", the first stage of the paper's Fig. 4 flow).
+//
+// CircuitA and CircuitB are the stand-ins for the paper's two proprietary
+// evaluation circuits: A is datapath-heavy and meant to run at a tight
+// clock (many critical paths ⇒ many MT-cells), B is control/flop-heavy at
+// a relaxed clock (fewer MT-cells, higher always-on leakage floor).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op is a generic-gate operation.
+type Op int
+
+// Generic operations. OpAnd/OpOr/OpXor accept ≥2 inputs; synth decomposes
+// wide gates into trees of 2-input cells.
+const (
+	OpInput Op = iota
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpMux // Ins: [sel, a, b] → sel ? b : a
+	OpDFF // Ins: [d]
+)
+
+// Node is one generic gate. ID is its index in Module.Nodes.
+type Node struct {
+	ID   int
+	Op   Op
+	Ins  []int
+	Name string // ports only
+}
+
+// Module is a generic netlist.
+type Module struct {
+	Name    string
+	Nodes   []*Node
+	Inputs  []int          // node IDs of primary inputs
+	Outputs map[string]int // output port name → node ID
+	outOrd  []string
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, Outputs: make(map[string]int)}
+}
+
+// OutputNames returns output port names in declaration order.
+func (m *Module) OutputNames() []string {
+	out := make([]string, len(m.outOrd))
+	copy(out, m.outOrd)
+	return out
+}
+
+func (m *Module) add(op Op, name string, ins ...int) int {
+	for _, in := range ins {
+		if in < 0 || in >= len(m.Nodes) {
+			panic(fmt.Sprintf("gen: node input %d out of range", in))
+		}
+	}
+	n := &Node{ID: len(m.Nodes), Op: op, Ins: ins, Name: name}
+	m.Nodes = append(m.Nodes, n)
+	return n.ID
+}
+
+// Input declares a primary input.
+func (m *Module) Input(name string) int {
+	id := m.add(OpInput, name)
+	m.Inputs = append(m.Inputs, id)
+	return id
+}
+
+// InputBus declares width inputs named base[i].
+func (m *Module) InputBus(base string, width int) []int {
+	ids := make([]int, width)
+	for i := range ids {
+		ids[i] = m.Input(fmt.Sprintf("%s[%d]", base, i))
+	}
+	return ids
+}
+
+// Output marks a node as a primary output.
+func (m *Module) Output(name string, id int) {
+	if _, dup := m.Outputs[name]; dup {
+		panic(fmt.Sprintf("gen: duplicate output %q", name))
+	}
+	m.Outputs[name] = id
+	m.outOrd = append(m.outOrd, name)
+}
+
+// OutputBus marks width nodes as outputs named base[i].
+func (m *Module) OutputBus(base string, ids []int) {
+	for i, id := range ids {
+		m.Output(fmt.Sprintf("%s[%d]", base, i), id)
+	}
+}
+
+// And returns a conjunction node.
+func (m *Module) And(ins ...int) int { return m.add(OpAnd, "", ins...) }
+
+// Or returns a disjunction node.
+func (m *Module) Or(ins ...int) int { return m.add(OpOr, "", ins...) }
+
+// Xor returns an exclusive-or node.
+func (m *Module) Xor(ins ...int) int { return m.add(OpXor, "", ins...) }
+
+// Not returns a negation node.
+func (m *Module) Not(a int) int { return m.add(OpNot, "", a) }
+
+// Mux returns sel ? b : a.
+func (m *Module) Mux(sel, a, b int) int { return m.add(OpMux, "", sel, a, b) }
+
+// DFF returns a registered copy of d.
+func (m *Module) DFF(d int) int { return m.add(OpDFF, "", d) }
+
+// DFFBus registers a bus.
+func (m *Module) DFFBus(d []int) []int {
+	out := make([]int, len(d))
+	for i, id := range d {
+		out[i] = m.DFF(id)
+	}
+	return out
+}
+
+// Stats summarizes a module.
+type Stats struct {
+	Gates, Flops, Inputs, Outputs int
+}
+
+// Stats returns gate/flop counts.
+func (m *Module) Stats() Stats {
+	s := Stats{Inputs: len(m.Inputs), Outputs: len(m.Outputs)}
+	for _, n := range m.Nodes {
+		switch n.Op {
+		case OpDFF:
+			s.Flops++
+		case OpInput:
+		default:
+			s.Gates++
+		}
+	}
+	return s
+}
+
+// --- arithmetic building blocks ---
+
+// fullAdder returns (sum, carry).
+func (m *Module) fullAdder(a, b, cin int) (int, int) {
+	axb := m.Xor(a, b)
+	sum := m.Xor(axb, cin)
+	carry := m.Or(m.And(a, b), m.And(cin, axb))
+	return sum, carry
+}
+
+// RippleAdder adds two equal-width buses and returns (sum bus, carry out).
+func (m *Module) RippleAdder(a, b []int) ([]int, int) {
+	if len(a) != len(b) {
+		panic("gen: adder width mismatch")
+	}
+	sum := make([]int, len(a))
+	carry := -1
+	for i := range a {
+		if carry < 0 {
+			s := m.Xor(a[i], b[i])
+			c := m.And(a[i], b[i])
+			sum[i], carry = s, c
+			continue
+		}
+		sum[i], carry = m.fullAdder(a[i], b[i], carry)
+	}
+	return sum, carry
+}
+
+// ArrayMultiplier multiplies two equal-width buses, returning the full
+// 2w-bit product. Classic AND partial products + ripple rows: long carry
+// chains, which is exactly the many-critical-paths structure Circuit A
+// needs.
+func (m *Module) ArrayMultiplier(a, b []int) []int {
+	w := len(a)
+	if len(b) != w {
+		panic("gen: multiplier width mismatch")
+	}
+	// Row 0: partial products of b[0].
+	acc := make([]int, w)
+	for i := range acc {
+		acc[i] = m.And(a[i], b[0])
+	}
+	product := []int{acc[0]}
+	acc = acc[1:]
+	for j := 1; j < w; j++ {
+		pp := make([]int, w)
+		for i := range pp {
+			pp[i] = m.And(a[i], b[j])
+		}
+		// acc (w-1 bits) + pp (w bits): align, ripple-add.
+		sum := make([]int, w)
+		carry := -1
+		for i := 0; i < w; i++ {
+			var ai int
+			hasAcc := i < len(acc)
+			if hasAcc {
+				ai = acc[i]
+			}
+			switch {
+			case hasAcc && carry >= 0:
+				sum[i], carry = m.fullAdder(ai, pp[i], carry)
+			case hasAcc:
+				sum[i] = m.Xor(ai, pp[i])
+				carry = m.And(ai, pp[i])
+			case carry >= 0:
+				sum[i] = m.Xor(pp[i], carry)
+				carry = m.And(pp[i], carry)
+			default:
+				sum[i] = pp[i]
+			}
+		}
+		product = append(product, sum[0])
+		acc = sum[1:]
+		if carry >= 0 {
+			acc = append(acc, carry)
+		}
+	}
+	product = append(product, acc...)
+	return product
+}
+
+// ALU builds a small ALU: op selects among add, and, or, xor.
+func (m *Module) ALU(a, b []int, op []int) []int {
+	if len(op) != 2 {
+		panic("gen: ALU needs a 2-bit op")
+	}
+	sum, _ := m.RippleAdder(a, b)
+	out := make([]int, len(a))
+	for i := range a {
+		andv := m.And(a[i], b[i])
+		orv := m.Or(a[i], b[i])
+		xorv := m.Xor(a[i], b[i])
+		lo := m.Mux(op[0], sum[i], andv)
+		hi := m.Mux(op[0], orv, xorv)
+		out[i] = m.Mux(op[1], lo, hi)
+	}
+	return out
+}
+
+// CRCStep builds one parallel CRC update: state' = F(state, data) for the
+// polynomial taps (bit positions receiving feedback XOR).
+func (m *Module) CRCStep(state, data []int, taps []int) []int {
+	w := len(state)
+	cur := append([]int(nil), state...)
+	for _, d := range data {
+		fb := m.Xor(cur[w-1], d)
+		next := make([]int, w)
+		for i := 0; i < w; i++ {
+			var src int
+			if i == 0 {
+				src = fb
+			} else {
+				src = cur[i-1]
+			}
+			if i != 0 && hasTap(taps, i) {
+				src = m.Xor(src, fb)
+			}
+			next[i] = src
+		}
+		cur = next
+	}
+	return cur
+}
+
+func hasTap(taps []int, i int) bool {
+	for _, t := range taps {
+		if t == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Counter builds a width-bit synchronous counter with enable; returns the
+// registered count bus.
+func (m *Module) Counter(width int, enable int) []int {
+	// state registers feed back through half-adders.
+	regs := make([]int, width)
+	// Create placeholder DFFs after computing next-state: we need the
+	// feedback, so allocate DFF nodes lazily via two passes using Mux on
+	// enable. Build q as DFF whose input is patched afterwards.
+	dffs := make([]*Node, width)
+	for i := range regs {
+		id := m.add(OpDFF, "", 0) // input patched below
+		dffs[i] = m.Nodes[id]
+		regs[i] = id
+	}
+	carry := enable
+	for i := 0; i < width; i++ {
+		next := m.Xor(regs[i], carry)
+		carry = m.And(regs[i], carry)
+		dffs[i].Ins = []int{next}
+	}
+	return regs
+}
+
+// RandomLogic appends a random DAG of nGates gates over the given seed
+// nodes and returns the last few outputs. Deterministic per seed.
+func (m *Module) RandomLogic(seedNodes []int, nGates int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	live := append([]int(nil), seedNodes...)
+	for i := 0; i < nGates; i++ {
+		a := live[rng.Intn(len(live))]
+		b := live[rng.Intn(len(live))]
+		var id int
+		switch rng.Intn(4) {
+		case 0:
+			id = m.And(a, b)
+		case 1:
+			id = m.Or(a, b)
+		case 2:
+			id = m.Xor(a, b)
+		default:
+			id = m.Not(a)
+		}
+		live = append(live, id)
+		// Keep the live window bounded so depth grows.
+		if len(live) > 48 {
+			live = live[len(live)-48:]
+		}
+	}
+	tail := 8
+	if len(live) < tail {
+		tail = len(live)
+	}
+	return live[len(live)-tail:]
+}

@@ -1,0 +1,128 @@
+package gen
+
+import "testing"
+
+func TestModuleBasics(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a")
+	b := m.Input("b")
+	y := m.And(a, b)
+	m.Output("y", y)
+	s := m.Stats()
+	if s.Inputs != 2 || s.Outputs != 1 || s.Gates != 1 || s.Flops != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := m.OutputNames(); len(got) != 1 || got[0] != "y" {
+		t.Errorf("outputs = %v", got)
+	}
+}
+
+func TestInputOutputBus(t *testing.T) {
+	m := NewModule("t")
+	bus := m.InputBus("d", 4)
+	if len(bus) != 4 {
+		t.Fatal("bus width")
+	}
+	regs := m.DFFBus(bus)
+	m.OutputBus("q", regs)
+	if m.Stats().Flops != 4 {
+		t.Error("flop count")
+	}
+	if m.Nodes[bus[2]].Name != "d[2]" {
+		t.Errorf("bit name = %q", m.Nodes[bus[2]].Name)
+	}
+}
+
+func TestDuplicateOutputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate output should panic")
+		}
+	}()
+	m := NewModule("t")
+	a := m.Input("a")
+	m.Output("y", a)
+	m.Output("y", a)
+}
+
+func TestBadInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range input should panic")
+		}
+	}()
+	m := NewModule("t")
+	m.And(5, 6)
+}
+
+func TestRippleAdderStructure(t *testing.T) {
+	m := NewModule("t")
+	a := m.InputBus("a", 4)
+	b := m.InputBus("b", 4)
+	sum, carry := m.RippleAdder(a, b)
+	if len(sum) != 4 || carry < 0 {
+		t.Fatal("adder shape")
+	}
+	if m.Stats().Gates == 0 {
+		t.Error("no gates generated")
+	}
+}
+
+func TestArrayMultiplierWidth(t *testing.T) {
+	m := NewModule("t")
+	a := m.InputBus("a", 4)
+	b := m.InputBus("b", 4)
+	p := m.ArrayMultiplier(a, b)
+	if len(p) != 8 {
+		t.Fatalf("4x4 product width = %d, want 8", len(p))
+	}
+}
+
+func TestCounterPatchesFeedback(t *testing.T) {
+	m := NewModule("t")
+	en := m.Input("en")
+	cnt := m.Counter(4, en)
+	if len(cnt) != 4 {
+		t.Fatal("counter width")
+	}
+	for _, id := range cnt {
+		n := m.Nodes[id]
+		if n.Op != OpDFF || len(n.Ins) != 1 {
+			t.Fatalf("counter bit %d not a patched DFF", id)
+		}
+	}
+}
+
+func TestCircuitShapes(t *testing.T) {
+	a := CircuitA()
+	b := CircuitB()
+	sa, sb := a.Module.Stats(), b.Module.Stats()
+	if sa.Gates < 500 {
+		t.Errorf("circuit A too small: %+v", sa)
+	}
+	if sb.Gates < 300 {
+		t.Errorf("circuit B too small: %+v", sb)
+	}
+	// A is datapath heavy: gates per flop much higher than B.
+	ra := float64(sa.Gates) / float64(sa.Flops)
+	rb := float64(sb.Gates) / float64(sb.Flops)
+	if ra <= rb {
+		t.Errorf("A gates/flop %v should exceed B %v", ra, rb)
+	}
+	if a.ClockSlack < 1.05 || b.ClockSlack < 1.05 {
+		t.Error("clock slack must clear the MT bounce derate")
+	}
+}
+
+func TestRandomLogicDeterministic(t *testing.T) {
+	build := func() Stats {
+		m := NewModule("t")
+		seeds := m.InputBus("s", 4)
+		outs := m.RandomLogic(seeds, 100, 42)
+		m.OutputBus("o", outs)
+		return m.Stats()
+	}
+	if build() != build() {
+		t.Error("RandomLogic not deterministic")
+	}
+}

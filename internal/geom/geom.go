@@ -1,0 +1,174 @@
+// Package geom provides the small amount of plane geometry the placement,
+// routing and clustering engines share: points, rectangles, Manhattan
+// distances and a uniform grid for neighborhood queries.
+//
+// All coordinates are in micrometers unless a caller says otherwise; the
+// package itself is unit-agnostic.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the placement plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Manhattan returns the L1 distance between p and q, the metric of
+// rectilinear wiring.
+func (p Point) Manhattan(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Euclidean returns the L2 distance between p and q.
+func (p Point) Euclidean(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.3f,%.3f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle with Lo at the lower-left corner and Hi
+// at the upper-right corner. A Rect with Hi component smaller than the
+// corresponding Lo component is empty.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// RectOf returns the rectangle spanning (x0,y0)-(x1,y1) regardless of corner
+// ordering.
+func RectOf(x0, y0, x1, y1 float64) Rect {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Lo: Point{x0, y0}, Hi: Point{x1, y1}}
+}
+
+// W returns the rectangle's width (0 when empty).
+func (r Rect) W() float64 {
+	if r.Hi.X < r.Lo.X {
+		return 0
+	}
+	return r.Hi.X - r.Lo.X
+}
+
+// H returns the rectangle's height (0 when empty).
+func (r Rect) H() float64 {
+	if r.Hi.Y < r.Lo.Y {
+		return 0
+	}
+	return r.Hi.Y - r.Lo.Y
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// HalfPerimeter returns W+H, the HPWL contribution of a net whose bounding
+// box is r.
+func (r Rect) HalfPerimeter() float64 { return r.W() + r.H() }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{(r.Lo.X + r.Hi.X) / 2, (r.Lo.Y + r.Hi.Y) / 2}
+}
+
+// Contains reports whether p lies inside r (inclusive of boundaries).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lo.X && p.X <= r.Hi.X && p.Y >= r.Lo.Y && p.Y <= r.Hi.Y
+}
+
+// Expand returns r grown by d on every side.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{Lo: Point{r.Lo.X - d, r.Lo.Y - d}, Hi: Point{r.Hi.X + d, r.Hi.Y + d}}
+}
+
+// Union returns the smallest rectangle containing both r and s. An empty
+// rectangle acts as the identity.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Lo: Point{math.Min(r.Lo.X, s.Lo.X), math.Min(r.Lo.Y, s.Lo.Y)},
+		Hi: Point{math.Max(r.Hi.X, s.Hi.X), math.Max(r.Hi.Y, s.Hi.Y)},
+	}
+}
+
+// Empty reports whether the rectangle encloses no area and no points.
+func (r Rect) Empty() bool { return r.Hi.X < r.Lo.X || r.Hi.Y < r.Lo.Y }
+
+// EmptyRect returns a rectangle that is the identity for Union.
+func EmptyRect() Rect {
+	inf := math.Inf(1)
+	return Rect{Lo: Point{inf, inf}, Hi: Point{-inf, -inf}}
+}
+
+// BoundingBox returns the smallest rectangle containing all points. It
+// returns EmptyRect() for an empty slice.
+func BoundingBox(pts []Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		if p.X < r.Lo.X {
+			r.Lo.X = p.X
+		}
+		if p.Y < r.Lo.Y {
+			r.Lo.Y = p.Y
+		}
+		if p.X > r.Hi.X {
+			r.Hi.X = p.X
+		}
+		if p.Y > r.Hi.Y {
+			r.Hi.Y = p.Y
+		}
+	}
+	return r
+}
+
+// Clamp returns the point inside r closest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{clamp(p.X, r.Lo.X, r.Hi.X), clamp(p.Y, r.Lo.Y, r.Hi.Y)}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Centroid returns the arithmetic mean of the points; the zero Point for an
+// empty slice.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	return c.Scale(1 / float64(len(pts)))
+}

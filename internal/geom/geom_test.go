@@ -1,0 +1,244 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2)
+	q := Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(0, 0), 0},
+		{Pt(0, 0), Pt(3, 4), 7},
+		{Pt(-1, -1), Pt(1, 1), 4},
+		{Pt(2, 5), Pt(2, 5), 0},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Manhattan(tc.q); got != tc.want {
+			t.Errorf("Manhattan(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+		if got := tc.q.Manhattan(tc.p); got != tc.want {
+			t.Errorf("Manhattan not symmetric for %v,%v", tc.p, tc.q)
+		}
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Bound the domain: at ~1e308 the distance sums overflow and the
+		// inequality loses meaning numerically.
+		for _, v := range []float64{ax, ay, bx, by, cx, cy} {
+			if math.IsNaN(v) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		lhs := a.Manhattan(c)
+		rhs := a.Manhattan(b) + b.Manhattan(c)
+		return lhs <= rhs*(1+1e-12)+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if got := Pt(0, 0).Euclidean(Pt(3, 4)); got != 5 {
+		t.Errorf("Euclidean = %v, want 5", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectOf(4, 5, 1, 2) // reversed corners
+	if r.Lo != Pt(1, 2) || r.Hi != Pt(4, 5) {
+		t.Fatalf("RectOf did not normalize: %+v", r)
+	}
+	if r.W() != 3 || r.H() != 3 {
+		t.Errorf("W,H = %v,%v", r.W(), r.H())
+	}
+	if r.Area() != 9 {
+		t.Errorf("Area = %v", r.Area())
+	}
+	if r.HalfPerimeter() != 6 {
+		t.Errorf("HalfPerimeter = %v", r.HalfPerimeter())
+	}
+	if r.Center() != Pt(2.5, 3.5) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if !r.Contains(Pt(1, 2)) || !r.Contains(Pt(4, 5)) || r.Contains(Pt(0, 0)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestRectUnionAndEmpty(t *testing.T) {
+	e := EmptyRect()
+	if !e.Empty() {
+		t.Fatal("EmptyRect not empty")
+	}
+	r := RectOf(0, 0, 1, 1)
+	if got := e.Union(r); got != r {
+		t.Errorf("empty ∪ r = %+v", got)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("r ∪ empty = %+v", got)
+	}
+	s := RectOf(2, -1, 3, 0.5)
+	u := r.Union(s)
+	if u != RectOf(0, -1, 3, 1) {
+		t.Errorf("Union = %+v", u)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Point{Pt(1, 1), Pt(-2, 3), Pt(0, -5)}
+	bb := BoundingBox(pts)
+	if bb != RectOf(-2, -5, 1, 3) {
+		t.Errorf("BoundingBox = %+v", bb)
+	}
+	if !BoundingBox(nil).Empty() {
+		t.Error("BoundingBox(nil) should be empty")
+	}
+}
+
+func TestRectClampExpand(t *testing.T) {
+	r := RectOf(0, 0, 10, 10)
+	if got := r.Clamp(Pt(-5, 20)); got != Pt(0, 10) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := r.Clamp(Pt(5, 5)); got != Pt(5, 5) {
+		t.Errorf("Clamp interior = %v", got)
+	}
+	ex := r.Expand(2)
+	if ex != RectOf(-2, -2, 12, 12) {
+		t.Errorf("Expand = %+v", ex)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); got != Pt(0, 0) {
+		t.Errorf("Centroid(nil) = %v", got)
+	}
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if got := Centroid(pts); got != Pt(1, 1) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestGridInsertRemove(t *testing.T) {
+	g := NewGrid(RectOf(0, 0, 100, 100), 10)
+	g.Insert(1, Pt(5, 5))
+	g.Insert(2, Pt(50, 50))
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	p, ok := g.Position(1)
+	if !ok || p != Pt(5, 5) {
+		t.Fatalf("Position(1) = %v,%v", p, ok)
+	}
+	// Move id 1 by re-inserting.
+	g.Insert(1, Pt(95, 95))
+	if g.Len() != 2 {
+		t.Fatalf("Len after move = %d", g.Len())
+	}
+	var found []int32
+	g.Near(Pt(96, 96), 5, func(id int32, q Point) bool {
+		found = append(found, id)
+		return true
+	})
+	if len(found) != 1 || found[0] != 1 {
+		t.Errorf("Near after move found %v", found)
+	}
+	g.Remove(1)
+	g.Remove(1) // double remove is a no-op
+	if g.Len() != 1 {
+		t.Fatalf("Len after remove = %d", g.Len())
+	}
+}
+
+func TestGridNear(t *testing.T) {
+	g := NewGrid(RectOf(0, 0, 100, 100), 7)
+	g.Insert(1, Pt(10, 10))
+	g.Insert(2, Pt(12, 10))
+	g.Insert(3, Pt(40, 40))
+	var ids []int32
+	g.Near(Pt(10, 10), 3, func(id int32, q Point) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 2 {
+		t.Errorf("Near found %v, want ids 1 and 2", ids)
+	}
+	// Early-termination path.
+	n := 0
+	g.Near(Pt(10, 10), 100, func(id int32, q Point) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("Near with early stop visited %d", n)
+	}
+}
+
+func TestGridNearest(t *testing.T) {
+	g := NewGrid(RectOf(0, 0, 100, 100), 5)
+	if _, _, ok := g.Nearest(Pt(0, 0), nil); ok {
+		t.Fatal("Nearest on empty grid should report !ok")
+	}
+	g.Insert(1, Pt(90, 90))
+	g.Insert(2, Pt(20, 20))
+	id, p, ok := g.Nearest(Pt(0, 0), nil)
+	if !ok || id != 2 || p != Pt(20, 20) {
+		t.Fatalf("Nearest = %d,%v,%v", id, p, ok)
+	}
+	// Skip function excludes the nearest.
+	id, _, ok = g.Nearest(Pt(0, 0), func(id int32) bool { return id == 2 })
+	if !ok || id != 1 {
+		t.Fatalf("Nearest with skip = %d,%v", id, ok)
+	}
+}
+
+func TestGridNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGrid(RectOf(0, 0, 50, 50), 4)
+	pts := make(map[int32]Point)
+	for i := int32(0); i < 60; i++ {
+		p := Pt(rng.Float64()*50, rng.Float64()*50)
+		g.Insert(i, p)
+		pts[i] = p
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := Pt(rng.Float64()*50, rng.Float64()*50)
+		_, got, ok := g.Nearest(q, nil)
+		if !ok {
+			t.Fatal("Nearest failed")
+		}
+		bestD := math.Inf(1)
+		for _, p := range pts {
+			if d := q.Manhattan(p); d < bestD {
+				bestD = d
+			}
+		}
+		if d := q.Manhattan(got); math.Abs(d-bestD) > 1e-9 {
+			t.Fatalf("Nearest distance %v, brute force %v", d, bestD)
+		}
+	}
+}

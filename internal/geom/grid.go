@@ -1,0 +1,161 @@
+package geom
+
+import "math"
+
+// Grid buckets integer item IDs by position so the clustering and placement
+// engines can ask "which items are near here" without scanning everything.
+// It is a plain uniform grid: good enough for standard-cell densities.
+type Grid struct {
+	bounds Rect
+	pitch  float64
+	nx, ny int
+	cells  [][]int32
+	pos    map[int32]Point
+}
+
+// NewGrid creates a grid over bounds with approximately the given bucket
+// pitch. Pitch is clamped so the grid has at least one bucket per axis.
+func NewGrid(bounds Rect, pitch float64) *Grid {
+	if pitch <= 0 {
+		pitch = 1
+	}
+	nx := int(math.Ceil(bounds.W()/pitch)) + 1
+	ny := int(math.Ceil(bounds.H()/pitch)) + 1
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return &Grid{
+		bounds: bounds,
+		pitch:  pitch,
+		nx:     nx,
+		ny:     ny,
+		cells:  make([][]int32, nx*ny),
+		pos:    make(map[int32]Point),
+	}
+}
+
+func (g *Grid) bucket(p Point) int {
+	ix := int((p.X - g.bounds.Lo.X) / g.pitch)
+	iy := int((p.Y - g.bounds.Lo.Y) / g.pitch)
+	if ix < 0 {
+		ix = 0
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if ix >= g.nx {
+		ix = g.nx - 1
+	}
+	if iy >= g.ny {
+		iy = g.ny - 1
+	}
+	return iy*g.nx + ix
+}
+
+// Insert adds id at position p. Inserting an existing id moves it.
+func (g *Grid) Insert(id int32, p Point) {
+	if old, ok := g.pos[id]; ok {
+		g.removeFromBucket(id, g.bucket(old))
+	}
+	b := g.bucket(p)
+	g.cells[b] = append(g.cells[b], id)
+	g.pos[id] = p
+}
+
+// Remove deletes id from the grid. Removing an absent id is a no-op.
+func (g *Grid) Remove(id int32) {
+	p, ok := g.pos[id]
+	if !ok {
+		return
+	}
+	g.removeFromBucket(id, g.bucket(p))
+	delete(g.pos, id)
+}
+
+func (g *Grid) removeFromBucket(id int32, b int) {
+	s := g.cells[b]
+	for i, v := range s {
+		if v == id {
+			s[i] = s[len(s)-1]
+			g.cells[b] = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// Len returns the number of items currently in the grid.
+func (g *Grid) Len() int { return len(g.pos) }
+
+// Position returns the stored position of id.
+func (g *Grid) Position(id int32) (Point, bool) {
+	p, ok := g.pos[id]
+	return p, ok
+}
+
+// Near calls fn for every item within Manhattan distance d of p (a superset
+// is scanned; the distance test is exact). Iteration stops if fn returns
+// false.
+func (g *Grid) Near(p Point, d float64, fn func(id int32, q Point) bool) {
+	ix0 := int((p.X - d - g.bounds.Lo.X) / g.pitch)
+	ix1 := int((p.X + d - g.bounds.Lo.X) / g.pitch)
+	iy0 := int((p.Y - d - g.bounds.Lo.Y) / g.pitch)
+	iy1 := int((p.Y + d - g.bounds.Lo.Y) / g.pitch)
+	if ix0 < 0 {
+		ix0 = 0
+	}
+	if iy0 < 0 {
+		iy0 = 0
+	}
+	if ix1 >= g.nx {
+		ix1 = g.nx - 1
+	}
+	if iy1 >= g.ny {
+		iy1 = g.ny - 1
+	}
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			for _, id := range g.cells[iy*g.nx+ix] {
+				q := g.pos[id]
+				if p.Manhattan(q) <= d {
+					if !fn(id, q) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Nearest returns the item closest to p in Manhattan distance, searching
+// outward ring by ring. ok is false when the grid is empty.
+func (g *Grid) Nearest(p Point, skip func(id int32) bool) (best int32, bestPos Point, ok bool) {
+	if len(g.pos) == 0 {
+		return 0, Point{}, false
+	}
+	bestD := math.Inf(1)
+	maxR := g.nx + g.ny // Manhattan distance can span both axes
+
+	for ring := 1; ; ring++ {
+		d := float64(ring) * g.pitch
+		g.Near(p, d, func(id int32, q Point) bool {
+			if skip != nil && skip(id) {
+				return true
+			}
+			if dd := p.Manhattan(q); dd < bestD {
+				bestD, best, bestPos, ok = dd, id, q, true
+			}
+			return true
+		})
+		// Items one ring out could still be closer than a corner hit in
+		// this ring, so confirm with one extra ring after the first find.
+		if ok && bestD <= d {
+			return best, bestPos, true
+		}
+		if ring > maxR+1 {
+			return best, bestPos, ok
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package liberty
+
+import (
+	"fmt"
+	"math"
+
+	"selectivemt/internal/logic"
+	"selectivemt/internal/tech"
+)
+
+// BuildOptions parameterizes library generation.
+type BuildOptions struct {
+	// Drives lists the drive strengths generated for every logic cell.
+	Drives []int
+	// BounceLimitV is the VGND bounce the MT timing is derated for.
+	// Defaults to 5% of Vdd.
+	BounceLimitV float64
+	// SwitchWidths lists the shared sleep-switch device widths in µm.
+	SwitchWidths []float64
+	// MinSwitchWidthUm floors the embedded per-cell switch of conventional
+	// MT-cells (layout minimum).
+	MinSwitchWidthUm float64
+	// UnitNMOSWidthUm is the X1 NMOS device width.
+	UnitNMOSWidthUm float64
+	// EmbeddedBounceFraction is the share of the bounce budget a
+	// conventional MT-cell's embedded switch may consume. A per-cell
+	// switch has no current averaging across neighbors and must keep the
+	// cell at speed under its own worst case every cycle, so it is sized
+	// against a much tighter local budget than a shared switch — this is
+	// precisely why conventional MT-cells are so large.
+	EmbeddedBounceFraction float64
+}
+
+// DefaultBuildOptions returns the options used throughout the experiments.
+func DefaultBuildOptions(proc *tech.Process) BuildOptions {
+	return BuildOptions{
+		Drives:                 []int{1, 2, 4},
+		BounceLimitV:           0.05 * proc.Vdd,
+		SwitchWidths:           []float64{2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64},
+		MinSwitchWidthUm:       2.0,
+		UnitNMOSWidthUm:        0.4,
+		EmbeddedBounceFraction: 0.32,
+	}
+}
+
+// baseDef declares one combinational base function.
+type baseDef struct {
+	name   string
+	out    string
+	inputs []string
+	fn     string  // Liberty function of the output
+	stages float64 // leakage multiplier for multi-stage cells
+}
+
+var combBases = []baseDef{
+	{"INV", "ZN", []string{"A"}, "!A", 1},
+	{"BUF", "Z", []string{"A"}, "A", 1.6},
+	{"NAND2", "ZN", []string{"A", "B"}, "!(A*B)", 1},
+	{"NAND3", "ZN", []string{"A", "B", "C"}, "!(A*B*C)", 1},
+	{"NOR2", "ZN", []string{"A", "B"}, "!(A+B)", 1},
+	{"NOR3", "ZN", []string{"A", "B", "C"}, "!(A+B+C)", 1},
+	{"AND2", "Z", []string{"A", "B"}, "A*B", 1.6},
+	{"OR2", "Z", []string{"A", "B"}, "A+B", 1.6},
+	{"NAND4", "ZN", []string{"A", "B", "C", "D"}, "!(A*B*C*D)", 1},
+	{"NOR4", "ZN", []string{"A", "B", "C", "D"}, "!(A+B+C+D)", 1},
+	{"AOI21", "ZN", []string{"A1", "A2", "B"}, "!(A1*A2+B)", 1},
+	{"OAI21", "ZN", []string{"A1", "A2", "B"}, "!((A1+A2)*B)", 1},
+	{"AOI22", "ZN", []string{"A1", "A2", "B1", "B2"}, "!(A1*A2+B1*B2)", 1},
+	{"OAI22", "ZN", []string{"A1", "A2", "B1", "B2"}, "!((A1+A2)*(B1+B2))", 1},
+	{"XOR2", "Z", []string{"A", "B"}, "A^B", 2.2},
+	{"XNOR2", "ZN", []string{"A", "B"}, "!(A^B)", 2.2},
+	{"MUX2", "Z", []string{"A", "B", "S"}, "A*!S+B*S", 2.0},
+}
+
+// Generate characterizes a complete library for the process.
+func Generate(proc *tech.Process, opts BuildOptions) (*Library, error) {
+	if err := proc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Drives) == 0 {
+		opts = DefaultBuildOptions(proc)
+	}
+	if opts.BounceLimitV <= 0 {
+		opts.BounceLimitV = 0.05 * proc.Vdd
+	}
+	if opts.UnitNMOSWidthUm <= 0 {
+		opts.UnitNMOSWidthUm = 0.4
+	}
+	if opts.MinSwitchWidthUm <= 0 {
+		opts.MinSwitchWidthUm = 2.0
+	}
+	if len(opts.SwitchWidths) == 0 {
+		opts.SwitchWidths = []float64{2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+	}
+	if opts.EmbeddedBounceFraction <= 0 || opts.EmbeddedBounceFraction > 1 {
+		opts.EmbeddedBounceFraction = 0.32
+	}
+
+	lib := NewLibrary(proc.Name+"_smt", proc)
+	lib.BounceLimitV = opts.BounceLimitV
+	b := &builder{proc: proc, opts: opts, lib: lib}
+
+	for _, base := range combBases {
+		for _, drive := range opts.Drives {
+			if err := b.combFamily(base, drive); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, drive := range opts.Drives {
+		if err := b.flop(drive); err != nil {
+			return nil, err
+		}
+	}
+	for _, drive := range []int{2, 4, 8} {
+		if err := b.clockBuf(drive); err != nil {
+			return nil, err
+		}
+	}
+	for i, w := range opts.SwitchWidths {
+		if err := b.sleepSwitch(i+1, w); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.holder(); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+type builder struct {
+	proc *tech.Process
+	opts BuildOptions
+	lib  *Library
+}
+
+// pullResistance returns the worst-case pull network resistance of a drive-
+// strength `drive` cell in kΩ: devices are up-sized by series depth so the
+// result is depth-independent.
+func (b *builder) pullResistance(drive int, vth tech.VthClass) float64 {
+	return b.proc.DriveResistance(b.opts.UnitNMOSWidthUm*float64(drive), vth)
+}
+
+// axes returns the NLDM table axes for a cell of the given drive.
+func (b *builder) axes(drive int) (slew, load []float64) {
+	slew = []float64{0.002, 0.02, 0.08, 0.2, 0.5}
+	base := []float64{0.0005, 0.002, 0.008, 0.03, 0.1}
+	load = make([]float64, len(base))
+	for i, v := range base {
+		load[i] = v * float64(drive)
+	}
+	return slew, load
+}
+
+// tables fills delay/slew tables from the analytic RC model:
+//
+//	delay = 0.69·R·(Cpar + Cload) + 0.2·slew + intrinsic
+//	oslew = 2.2·R·(Cpar + Cload)
+//
+// asym skews rise vs fall (±5%); derate multiplies everything (MT bounce).
+func (b *builder) tables(rPull, cParPF, intrinsicNs, derate float64, drive int) (dr, df, sr, sf *Table) {
+	slewAx, loadAx := b.axes(drive)
+	mk := func(asym float64, slewTable bool) *Table {
+		t := &Table{Slew: slewAx, Load: loadAx, Val: make([][]float64, len(slewAx))}
+		for i, s := range slewAx {
+			t.Val[i] = make([]float64, len(loadAx))
+			for j, l := range loadAx {
+				rc := rPull * (cParPF + l)
+				var v float64
+				if slewTable {
+					v = 2.2 * rc * asym
+					if v < s*0.1 {
+						v = s * 0.1 // output slew never collapses entirely
+					}
+				} else {
+					v = (0.69*rc + intrinsicNs + 0.2*s) * asym
+				}
+				t.Val[i][j] = v * derate
+			}
+		}
+		return t
+	}
+	return mk(1.05, false), mk(0.95, false), mk(1.05, true), mk(0.95, true)
+}
+
+// stateLeakage enumerates the state-dependent leakage of a static CMOS cell.
+func (b *builder) stateLeakage(fn *logic.Expr, inputs []string, nmosW, pmosW, stages float64,
+	vth tech.VthClass) (states []LeakageState, avg float64) {
+	pd, err := buildPulldown(pushNot(fn))
+	if err != nil || len(inputs) > 6 {
+		return nil, 0
+	}
+	env := make(map[string]logic.Value, len(inputs))
+	n := 1 << len(inputs)
+	for row := 0; row < n; row++ {
+		var when *logic.Expr
+		for i, in := range inputs {
+			bit := row&(1<<i) != 0
+			env[in] = logic.FromBool(bit)
+			lit := logic.Var(in)
+			if !bit {
+				lit = logic.Not(lit)
+			}
+			if when == nil {
+				when = lit
+			} else {
+				when = logic.And(when, lit)
+			}
+		}
+		p := cmosLeakage(fn, pd, env, nmosW, pmosW, b.proc, vth) * stages
+		states = append(states, LeakageState{When: when, PowerMW: p})
+		avg += p
+	}
+	return states, avg / float64(n)
+}
+
+func (b *builder) combFamily(base baseDef, drive int) error {
+	fn, err := logic.Parse(base.fn)
+	if err != nil {
+		return fmt.Errorf("liberty: base %s: %w", base.name, err)
+	}
+	pd, err := buildPulldown(pushNot(fn))
+	if err != nil {
+		return fmt.Errorf("liberty: base %s: %w", base.name, err)
+	}
+	depth := pd.maxSeriesDepth()
+	devices := pd.deviceCount() * 2 // NMOS + PMOS
+	w0 := b.opts.UnitNMOSWidthUm
+	nmosW := w0 * float64(drive) * float64(depth) // upsized to normalize R
+	pmosW := 2 * w0 * float64(drive)
+	inCap := b.proc.GateCap(nmosW + pmosW)
+	cPar := b.proc.DrainCap(nmosW + pmosW)
+	baseArea := 1.2 * float64(devices) * (1 + 0.45*(float64(drive)-1)) * base.stages
+
+	mkPins := func(flavor Flavor) []*Pin {
+		pins := make([]*Pin, 0, len(base.inputs)+2)
+		for _, in := range base.inputs {
+			pins = append(pins, &Pin{Name: in, Dir: DirInput, CapPF: inCap})
+		}
+		pins = append(pins, &Pin{Name: base.out, Dir: DirOutput, Function: fn})
+		switch flavor {
+		case FlavorMTConv:
+			pins = append(pins, &Pin{Name: "MTE", Dir: DirInput, IsEnable: true,
+				CapPF: b.proc.GateCap(1.0)})
+		case FlavorMTVGND:
+			// The cell's pull-down drain junctions hang on the VGND node.
+			pins = append(pins, &Pin{Name: "VGND", Dir: DirInput, IsVGND: true,
+				CapPF: b.proc.DrainCap(nmosW)})
+		}
+		return pins
+	}
+	mkArcs := func(rPull, derate float64) []*Arc {
+		arcs := make([]*Arc, 0, len(base.inputs))
+		intrinsic := 0.004 * float64(depth)
+		dr, df, sr, sf := b.tables(rPull, cPar, intrinsic, derate, drive)
+		for _, in := range base.inputs {
+			arcs = append(arcs, &Arc{From: in, To: base.out,
+				DelayRise: dr, DelayFall: df, SlewRise: sr, SlewFall: sf})
+		}
+		return arcs
+	}
+
+	rLVT := b.pullResistance(drive, tech.VthLow)
+	rHVT := b.pullResistance(drive, tech.VthHigh)
+	peakI := 0.5 * b.proc.Vdd / rLVT
+	mtDerate := b.proc.BounceDelayFactor(b.opts.BounceLimitV)
+
+	lvtStates, lvtAvg := b.stateLeakage(fn, base.inputs, nmosW, pmosW, base.stages, tech.VthLow)
+	hvtStates, hvtAvg := b.stateLeakage(fn, base.inputs, nmosW, pmosW, base.stages, tech.VthHigh)
+
+	// Conventional MT-cell: embedded switch sized for this cell's own peak
+	// current with no sharing and no diversity averaging, against a small
+	// fraction of the bounce budget (see EmbeddedBounceFraction), plus an
+	// embedded holder. In standby the virtual-ground node floats toward
+	// Vdd−Vth, so the off switch sees a large drain bias with no stack
+	// relief — its subthreshold current is taken unsuppressed.
+	swW := math.Max(b.opts.MinSwitchWidthUm,
+		b.proc.SwitchWidthForCurrent(peakI, b.opts.BounceLimitV*b.opts.EmbeddedBounceFraction))
+	holderLeak := b.holderLeakMW()
+	embSwitchLeak := b.proc.SubthresholdCurrent(swW, tech.VthHigh) * b.proc.Vdd
+	embArea := b.switchArea(swW) + b.holderArea()
+
+	variants := []struct {
+		flavor  Flavor
+		vth     tech.VthClass
+		r       float64
+		derate  float64
+		area    float64
+		states  []LeakageState
+		avg     float64
+		standby float64
+	}{
+		{FlavorLVT, tech.VthLow, rLVT, 1, baseArea, lvtStates, lvtAvg, lvtAvg},
+		{FlavorHVT, tech.VthHigh, rHVT, 1, baseArea, hvtStates, hvtAvg, hvtAvg},
+		{FlavorMTConv, tech.VthLow, rLVT, mtDerate, baseArea + embArea,
+			lvtStates, lvtAvg, embSwitchLeak + holderLeak},
+		{FlavorMTNoVGND, tech.VthLow, rLVT, mtDerate, baseArea * 1.1, lvtStates, lvtAvg, 0},
+		{FlavorMTVGND, tech.VthLow, rLVT, mtDerate, baseArea * 1.1, lvtStates, lvtAvg, 0},
+	}
+	for _, v := range variants {
+		c := &Cell{
+			Name:          fmt.Sprintf("%s_X%d_%s", base.name, drive, v.flavor),
+			Base:          base.name,
+			Drive:         drive,
+			Flavor:        v.flavor,
+			Kind:          KindComb,
+			Vth:           v.vth,
+			AreaUm2:       v.area,
+			Pins:          mkPins(v.flavor),
+			Arcs:          mkArcs(v.r, v.derate),
+			LeakageMW:     v.avg,
+			LeakageStates: v.states,
+			StandbyLeakMW: v.standby,
+			InputCapPF:    inCap * float64(len(base.inputs)),
+			PeakCurrentMA: peakI,
+		}
+		if v.flavor == FlavorMTConv {
+			c.SwitchWidthUm = swW
+		}
+		if err := b.lib.Add(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) flop(drive int) error {
+	w0 := b.opts.UnitNMOSWidthUm
+	inCap := b.proc.GateCap(3 * w0 * float64(drive))
+	clkCap := b.proc.GateCap(2 * w0 * float64(drive))
+	cPar := b.proc.DrainCap(4 * w0 * float64(drive))
+	// ~22 devices; stacked feedback structures leave roughly 4.5
+	// unit-widths leaking on average.
+	effLeakW := 4.5 * w0 * float64(drive)
+	area := 1.2 * 22 * (1 + 0.45*(float64(drive)-1))
+
+	for _, v := range []struct {
+		flavor Flavor
+		vth    tech.VthClass
+	}{{FlavorLVT, tech.VthLow}, {FlavorHVT, tech.VthHigh}} {
+		r := b.pullResistance(drive, v.vth) * 1.8 // two internal stages to Q
+		dr, df, sr, sf := b.tables(r, cPar, 0.02, 1, drive)
+		leak := b.proc.SubthresholdCurrent(effLeakW, v.vth) * b.proc.Vdd
+		setup, hold := 0.08, 0.015
+		if v.vth == tech.VthHigh {
+			setup, hold = 0.11, 0.025
+		}
+		c := &Cell{
+			Name:    fmt.Sprintf("DFF_X%d_%s", drive, v.flavor),
+			Base:    "DFF",
+			Drive:   drive,
+			Flavor:  v.flavor,
+			Kind:    KindFF,
+			Vth:     v.vth,
+			AreaUm2: area,
+			Pins: []*Pin{
+				{Name: "D", Dir: DirInput, CapPF: inCap},
+				{Name: "CK", Dir: DirInput, CapPF: clkCap, IsClock: true},
+				{Name: "Q", Dir: DirOutput},
+			},
+			Arcs:          []*Arc{{From: "CK", To: "Q", DelayRise: dr, DelayFall: df, SlewRise: sr, SlewFall: sf}},
+			LeakageMW:     leak,
+			StandbyLeakMW: leak, // flops are never gated: state retention
+			SetupNs:       setup,
+			HoldNs:        hold,
+			ClkToQNs:      dr.Val[1][1],
+			InputCapPF:    inCap,
+			PeakCurrentMA: 0.3 * b.proc.Vdd / b.pullResistance(drive, v.vth),
+		}
+		if err := b.lib.Add(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) clockBuf(drive int) error {
+	w0 := b.opts.UnitNMOSWidthUm
+	nmosW := w0 * float64(drive)
+	pmosW := 2 * w0 * float64(drive)
+	inCap := b.proc.GateCap(nmosW + pmosW)
+	cPar := b.proc.DrainCap(nmosW + pmosW)
+	r := b.pullResistance(drive, tech.VthHigh)
+	dr, df, sr, sf := b.tables(r, cPar, 0.006, 1, drive)
+	leak := b.proc.SubthresholdCurrent(nmosW, tech.VthHigh) * 1.6 * b.proc.Vdd
+	fn := logic.MustParse("A")
+	c := &Cell{
+		Name:    fmt.Sprintf("CKBUF_X%d_%s", drive, FlavorHVT),
+		Base:    "CKBUF",
+		Drive:   drive,
+		Flavor:  FlavorHVT,
+		Kind:    KindClockBuf,
+		Vth:     tech.VthHigh,
+		AreaUm2: 1.2 * 4 * (1 + 0.45*(float64(drive)-1)),
+		Pins: []*Pin{
+			{Name: "A", Dir: DirInput, CapPF: inCap, IsClock: true},
+			{Name: "Z", Dir: DirOutput, Function: fn},
+		},
+		Arcs:          []*Arc{{From: "A", To: "Z", DelayRise: dr, DelayFall: df, SlewRise: sr, SlewFall: sf}},
+		LeakageMW:     leak,
+		StandbyLeakMW: leak,
+		InputCapPF:    inCap,
+		PeakCurrentMA: 0.5 * b.proc.Vdd / r,
+	}
+	return b.lib.Add(c)
+}
+
+func (b *builder) sleepSwitch(index int, widthUm float64) error {
+	// Off-state leakage with the VGND rail floated high: full drain bias,
+	// no stack suppression (same model as the embedded switch).
+	leak := b.proc.SubthresholdCurrent(widthUm, tech.VthHigh) * b.proc.Vdd
+	c := &Cell{
+		Name:    fmt.Sprintf("SLEEPSW_X%d_%s", index, FlavorSpecial),
+		Base:    "SLEEPSW",
+		Drive:   index,
+		Flavor:  FlavorSpecial,
+		Kind:    KindSwitch,
+		Vth:     tech.VthHigh,
+		AreaUm2: b.switchArea(widthUm),
+		Pins: []*Pin{
+			{Name: "MTE", Dir: DirInput, IsEnable: true, CapPF: b.proc.GateCap(widthUm)},
+			{Name: "VGND", Dir: DirOutput, IsVGND: true},
+		},
+		LeakageMW:     0, // conducting switch: no subthreshold question
+		StandbyLeakMW: leak,
+		SwitchWidthUm: widthUm,
+	}
+	return b.lib.Add(c)
+}
+
+func (b *builder) holder() error {
+	c := &Cell{
+		Name:    fmt.Sprintf("HOLDER_X1_%s", FlavorSpecial),
+		Base:    "HOLDER",
+		Drive:   1,
+		Flavor:  FlavorSpecial,
+		Kind:    KindHolder,
+		Vth:     tech.VthHigh,
+		AreaUm2: b.holderArea(),
+		Pins: []*Pin{
+			// The holder senses and (in standby) drives the held net; for
+			// timing it is a capacitive sink.
+			{Name: "A", Dir: DirInput, CapPF: b.proc.GateCap(0.8)},
+			{Name: "MTE", Dir: DirInput, IsEnable: true, CapPF: b.proc.GateCap(0.8)},
+		},
+		LeakageMW:     b.holderLeakMW(),
+		StandbyLeakMW: b.holderLeakMW(),
+	}
+	return b.lib.Add(c)
+}
+
+// switchArea returns the layout area of a sleep switch of the given width:
+// a fixed well/tap overhead plus area proportional to device width.
+func (b *builder) switchArea(widthUm float64) float64 { return 1.5 + 0.9*widthUm }
+
+func (b *builder) holderArea() float64 { return 1.2 * 6 }
+
+func (b *builder) holderLeakMW() float64 {
+	return b.proc.SubthresholdCurrent(0.8, tech.VthHigh) * b.proc.Vdd
+}

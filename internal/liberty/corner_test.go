@@ -1,0 +1,69 @@
+package liberty
+
+import (
+	"testing"
+
+	"selectivemt/internal/tech"
+)
+
+// TestSlowCornerLibrarySlower characterizes the library at the slow corner
+// and checks every timing arc degrades versus typical — the cross-corner
+// consistency a sign-off flow depends on.
+func TestSlowCornerLibrarySlower(t *testing.T) {
+	typProc := tech.Default130()
+	typLib, err := Generate(typProc, DefaultBuildOptions(typProc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowProc := typProc.AtCorner(tech.CornerSlow)
+	slowLib, err := Generate(slowProc, DefaultBuildOptions(slowProc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, name := range typLib.CellNames() {
+		typCell := typLib.Cells[name]
+		slowCell := slowLib.Cells[name]
+		if slowCell == nil {
+			t.Fatalf("cell %s missing at the slow corner", name)
+		}
+		for i, arc := range typCell.Arcs {
+			dTyp := arc.WorstDelay(0.05, 0.01)
+			dSlow := slowCell.Arcs[i].WorstDelay(0.05, 0.01)
+			if dSlow <= dTyp {
+				t.Fatalf("%s arc %s->%s: slow %v not above typ %v",
+					name, arc.From, arc.To, dSlow, dTyp)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no arcs compared")
+	}
+}
+
+// TestFastHotLibraryLeakier checks the leakage-sign-off corner.
+func TestFastHotLibraryLeakier(t *testing.T) {
+	typProc := tech.Default130()
+	typLib, err := Generate(typProc, DefaultBuildOptions(typProc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotProc := typProc.AtCorner(tech.CornerFastHot)
+	hotLib, err := Generate(hotProc, DefaultBuildOptions(hotProc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"NAND2_X1_L", "NAND2_X1_H", "DFF_X1_L", "SLEEPSW_X3_S"} {
+		typCell := typLib.Cells[name]
+		hotCell := hotLib.Cells[name]
+		if typCell == nil || hotCell == nil {
+			t.Fatalf("cell %s missing", name)
+		}
+		typLeak := typCell.LeakageMW + typCell.StandbyLeakMW
+		hotLeak := hotCell.LeakageMW + hotCell.StandbyLeakMW
+		if hotLeak <= typLeak {
+			t.Errorf("%s: fast-hot leakage %v not above typ %v", name, hotLeak, typLeak)
+		}
+	}
+}

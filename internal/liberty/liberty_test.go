@@ -1,0 +1,392 @@
+package liberty
+
+import (
+	"math"
+	"testing"
+
+	"selectivemt/internal/logic"
+	"selectivemt/internal/tech"
+)
+
+func testLib(t *testing.T) *Library {
+	t.Helper()
+	proc := tech.Default130()
+	lib, err := Generate(proc, DefaultBuildOptions(proc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestTableLookupExactAndInterp(t *testing.T) {
+	tbl := &Table{
+		Slew: []float64{0, 1},
+		Load: []float64{0, 2},
+		Val:  [][]float64{{0, 2}, {10, 12}},
+	}
+	cases := []struct {
+		slew, load, want float64
+	}{
+		{0, 0, 0},
+		{1, 0, 10},
+		{0, 2, 2},
+		{1, 2, 12},
+		{0.5, 0, 5},      // slew interpolation
+		{0, 1, 1},        // load interpolation
+		{0.5, 1, 6},      // bilinear
+		{-1, -1, 0},      // clamp below
+		{5, 5, 12},       // clamp above
+		{0.25, 0.5, 3.0}, // 0.75*0.75*0 + 0.25*0.75*10 + 0.75*0.25*2 + 0.25*0.25*12
+	}
+	for _, c := range cases {
+		if got := tbl.Lookup(c.slew, c.load); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Lookup(%v,%v) = %v, want %v", c.slew, c.load, got, c.want)
+		}
+	}
+}
+
+func TestTableSinglePointAxis(t *testing.T) {
+	tbl := &Table{Slew: []float64{0.1}, Load: []float64{0.2}, Val: [][]float64{{7}}}
+	if got := tbl.Lookup(5, 5); got != 7 {
+		t.Errorf("degenerate table lookup = %v", got)
+	}
+}
+
+func TestGenerateHasAllVariants(t *testing.T) {
+	lib := testLib(t)
+	for _, base := range []string{"INV", "NAND2", "NOR2", "AOI21", "XOR2", "MUX2"} {
+		for _, fl := range []Flavor{FlavorLVT, FlavorHVT, FlavorMTConv, FlavorMTNoVGND, FlavorMTVGND} {
+			name := base + "_X1_" + string(fl)
+			if lib.Cell(name) == nil {
+				t.Errorf("missing cell %s", name)
+			}
+		}
+	}
+	if lib.Cell("DFF_X1_L") == nil || lib.Cell("DFF_X1_H") == nil {
+		t.Error("missing flop variants")
+	}
+	if lib.Cell("DFF_X1_M") != nil {
+		t.Error("flops must not have MT variants (state retention)")
+	}
+	if len(lib.SwitchCells()) == 0 {
+		t.Error("no sleep switches")
+	}
+	if lib.Holder() == nil {
+		t.Error("no holder cell")
+	}
+}
+
+func TestHVTSlowerLVT(t *testing.T) {
+	lib := testLib(t)
+	for _, base := range []string{"INV", "NAND2", "NOR3", "AOI21"} {
+		l := lib.Cell(base + "_X1_L")
+		h := lib.Cell(base + "_X1_H")
+		arcL := l.Arcs[0]
+		arcH := h.Arcs[0]
+		dl := arcL.WorstDelay(0.05, 0.01)
+		dh := arcH.WorstDelay(0.05, 0.01)
+		if dh <= dl {
+			t.Errorf("%s: HVT delay %v not slower than LVT %v", base, dh, dl)
+		}
+		ratio := dh / dl
+		if ratio < 1.1 || ratio > 1.8 {
+			t.Errorf("%s: HVT/LVT delay ratio %v outside [1.1,1.8]", base, ratio)
+		}
+	}
+}
+
+func TestMTFasterThanHVTLeakierOrdering(t *testing.T) {
+	// The Fig.1 claim: MT-cell faster than high-Vth cell, less (standby)
+	// leaky than low-Vth cell.
+	lib := testLib(t)
+	l := lib.Cell("NAND2_X1_L")
+	h := lib.Cell("NAND2_X1_H")
+	m := lib.Cell("NAND2_X1_M")
+	dm := m.Arcs[0].WorstDelay(0.05, 0.01)
+	dh := h.Arcs[0].WorstDelay(0.05, 0.01)
+	dl := l.Arcs[0].WorstDelay(0.05, 0.01)
+	if !(dl < dm && dm < dh) {
+		t.Errorf("delay ordering wrong: LVT %v, MT %v, HVT %v", dl, dm, dh)
+	}
+	if !(m.StandbyLeakMW < l.StandbyLeakMW) {
+		t.Errorf("MT standby leak %v not below LVT %v", m.StandbyLeakMW, l.StandbyLeakMW)
+	}
+	// Powered, the MT cell leaks like an LVT cell.
+	if math.Abs(m.LeakageMW-l.LeakageMW) > 1e-15 {
+		t.Errorf("MT active leakage %v != LVT %v", m.LeakageMW, l.LeakageMW)
+	}
+}
+
+func TestConventionalMTBiggerThanImproved(t *testing.T) {
+	lib := testLib(t)
+	for _, base := range []string{"INV", "NAND2", "XOR2"} {
+		l := lib.Cell(base + "_X1_L")
+		m := lib.Cell(base + "_X1_M")
+		mv := lib.Cell(base + "_X1_MV")
+		if !(m.AreaUm2 > mv.AreaUm2 && mv.AreaUm2 > l.AreaUm2) {
+			t.Errorf("%s area ordering wrong: L=%v MV=%v M=%v",
+				base, l.AreaUm2, mv.AreaUm2, m.AreaUm2)
+		}
+		// Conventional embeds a switch; overhead should be substantial
+		// (this is the whole point of the paper).
+		if m.AreaUm2 < 1.3*l.AreaUm2 {
+			t.Errorf("%s: conventional MT overhead suspiciously small: %v vs %v",
+				base, m.AreaUm2, l.AreaUm2)
+		}
+		if mv.AreaUm2 > 1.15*l.AreaUm2 {
+			t.Errorf("%s: improved MT overhead too large: %v vs %v",
+				base, mv.AreaUm2, l.AreaUm2)
+		}
+	}
+}
+
+func TestLeakageStateDependence(t *testing.T) {
+	lib := testLib(t)
+	c := lib.Cell("NAND2_X1_L")
+	if len(c.LeakageStates) != 4 {
+		t.Fatalf("NAND2 should have 4 leakage states, got %d", len(c.LeakageStates))
+	}
+	// Both inputs low: both NMOS off in series → strongest suppression.
+	// Both inputs high: output 0, PMOS leak, no stack → leakiest state.
+	leak00 := c.LeakageAt(map[string]logic.Value{"A": logic.V0, "B": logic.V0})
+	leak11 := c.LeakageAt(map[string]logic.Value{"A": logic.V1, "B": logic.V1})
+	leak10 := c.LeakageAt(map[string]logic.Value{"A": logic.V1, "B": logic.V0})
+	if !(leak00 < leak10) {
+		t.Errorf("stack effect missing: leak(00)=%v !< leak(10)=%v", leak00, leak10)
+	}
+	if !(leak00 < leak11) {
+		t.Errorf("leak(00)=%v should be below leak(11)=%v", leak00, leak11)
+	}
+	for _, ls := range c.LeakageStates {
+		if ls.PowerMW <= 0 {
+			t.Errorf("state %v has non-positive leakage %v", ls.When, ls.PowerMW)
+		}
+	}
+}
+
+func TestLeakageLVTvsHVTRatio(t *testing.T) {
+	lib := testLib(t)
+	l := lib.Cell("NAND2_X1_L")
+	h := lib.Cell("NAND2_X1_H")
+	ratio := l.LeakageMW / h.LeakageMW
+	want := lib.Proc.LeakageRatio()
+	if math.Abs(ratio-want)/want > 0.01 {
+		t.Errorf("leakage ratio %v, want %v", ratio, want)
+	}
+}
+
+func TestVariantLookup(t *testing.T) {
+	lib := testLib(t)
+	l := lib.Cell("NAND2_X2_L")
+	h := lib.Variant(l, FlavorHVT)
+	if h == nil || h.Name != "NAND2_X2_H" {
+		t.Fatalf("Variant = %v", h)
+	}
+	if lib.Variant(l, FlavorLVT) != l {
+		t.Error("Variant to same flavor should return the cell")
+	}
+	dff := lib.Cell("DFF_X1_L")
+	if lib.Variant(dff, FlavorMTConv) != nil {
+		t.Error("flop MT variant should not exist")
+	}
+}
+
+func TestDrives(t *testing.T) {
+	lib := testLib(t)
+	ds := lib.Drives("NAND2", FlavorLVT)
+	if len(ds) != 3 || ds[0] != 1 || ds[1] != 2 || ds[2] != 4 {
+		t.Errorf("Drives = %v", ds)
+	}
+	// Higher drive → lower delay at same load.
+	x1 := lib.Cell("NAND2_X1_L").Arcs[0].WorstDelay(0.05, 0.02)
+	x4 := lib.Cell("NAND2_X4_L").Arcs[0].WorstDelay(0.05, 0.02)
+	if x4 >= x1 {
+		t.Errorf("X4 delay %v not below X1 %v", x4, x1)
+	}
+}
+
+func TestSwitchCells(t *testing.T) {
+	lib := testLib(t)
+	sws := lib.SwitchCells()
+	for i := 1; i < len(sws); i++ {
+		if sws[i].SwitchWidthUm <= sws[i-1].SwitchWidthUm {
+			t.Fatal("switch cells not sorted by width")
+		}
+		if sws[i].StandbyLeakMW <= sws[i-1].StandbyLeakMW {
+			t.Error("wider switch should leak more in standby")
+		}
+		if sws[i].AreaUm2 <= sws[i-1].AreaUm2 {
+			t.Error("wider switch should be bigger")
+		}
+	}
+	got := lib.SmallestSwitchFor(5)
+	if got == nil || got.SwitchWidthUm < 5 {
+		t.Errorf("SmallestSwitchFor(5) = %v", got)
+	}
+	huge := lib.SmallestSwitchFor(1e9)
+	if huge != sws[len(sws)-1] {
+		t.Error("oversize request should return the largest switch")
+	}
+	// MTE input cap grows with width (it is a real gate).
+	if sws[1].Pin("MTE").CapPF <= sws[0].Pin("MTE").CapPF {
+		t.Error("switch MTE cap should grow with width")
+	}
+}
+
+func TestPinQueries(t *testing.T) {
+	lib := testLib(t)
+	c := lib.Cell("NAND2_X1_M")
+	if c.Pin("MTE") == nil || !c.Pin("MTE").IsEnable {
+		t.Error("conventional MT-cell must expose MTE")
+	}
+	mv := lib.Cell("NAND2_X1_MV")
+	if mv.Pin("VGND") == nil || !mv.Pin("VGND").IsVGND {
+		t.Error("MV cell must expose VGND")
+	}
+	mn := lib.Cell("NAND2_X1_MN")
+	if mn.Pin("VGND") != nil || mn.Pin("MTE") != nil {
+		t.Error("MN cell must expose neither VGND nor MTE")
+	}
+	if got := len(mn.Inputs()); got != 2 {
+		t.Errorf("NAND2 data inputs = %d", got)
+	}
+	if c.Output() == nil || c.Output().Name != "ZN" {
+		t.Error("Output() wrong")
+	}
+	if c.Pin("nope") != nil {
+		t.Error("missing pin should be nil")
+	}
+}
+
+func TestMNAndMVSameTimingAndArea(t *testing.T) {
+	lib := testLib(t)
+	mn := lib.Cell("NAND2_X1_MN")
+	mv := lib.Cell("NAND2_X1_MV")
+	if mn.AreaUm2 != mv.AreaUm2 {
+		t.Error("paper: MN and MV differ only in the VGND port definition")
+	}
+	dmn := mn.Arcs[0].WorstDelay(0.05, 0.01)
+	dmv := mv.Arcs[0].WorstDelay(0.05, 0.01)
+	if dmn != dmv {
+		t.Error("MN and MV timing must be identical")
+	}
+}
+
+func TestFlopAttributes(t *testing.T) {
+	lib := testLib(t)
+	l := lib.Cell("DFF_X1_L")
+	h := lib.Cell("DFF_X1_H")
+	if !l.IsSequential() || l.Kind != KindFF {
+		t.Error("DFF kind wrong")
+	}
+	if l.SetupNs <= 0 || l.HoldNs <= 0 {
+		t.Error("flop constraints missing")
+	}
+	if h.SetupNs <= l.SetupNs {
+		t.Error("HVT flop should have larger setup")
+	}
+	if h.LeakageMW >= l.LeakageMW {
+		t.Error("HVT flop should leak less")
+	}
+	ck := l.Pin("CK")
+	if ck == nil || !ck.IsClock {
+		t.Error("CK pin must be a clock")
+	}
+	if l.Arc("CK", "Q") == nil {
+		t.Error("missing CK->Q arc")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{KindComb: "comb", KindFF: "ff", KindSwitch: "switch",
+		KindHolder: "holder", KindClockBuf: "ckbuf", KindTie: "tie"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	lib := NewLibrary("x", nil)
+	c := &Cell{Name: "A"}
+	if err := lib.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(c); err == nil {
+		t.Error("duplicate Add should fail")
+	}
+}
+
+func TestDelayTablesMonotone(t *testing.T) {
+	// Delay must not decrease with load or input slew anywhere on the grid.
+	lib := testLib(t)
+	for _, name := range lib.CellNames() {
+		c := lib.Cells[name]
+		for _, a := range c.Arcs {
+			for _, tbl := range []*Table{a.DelayRise, a.DelayFall} {
+				for i := range tbl.Val {
+					for j := 1; j < len(tbl.Val[i]); j++ {
+						if tbl.Val[i][j] < tbl.Val[i][j-1] {
+							t.Fatalf("%s arc %s->%s: delay decreases with load", name, a.From, a.To)
+						}
+					}
+				}
+				for j := 0; j < len(tbl.Load); j++ {
+					for i := 1; i < len(tbl.Val); i++ {
+						if tbl.Val[i][j] < tbl.Val[i-1][j] {
+							t.Fatalf("%s arc %s->%s: delay decreases with slew", name, a.From, a.To)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNetworkLeakageModel(t *testing.T) {
+	proc := tech.Default130()
+	fn := logic.MustParse("!(A*B)") // NAND2
+	pd, err := buildPulldown(pushNot(fn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.maxSeriesDepth() != 2 {
+		t.Errorf("NAND2 series depth = %d", pd.maxSeriesDepth())
+	}
+	if pd.deviceCount() != 2 {
+		t.Errorf("NAND2 pulldown devices = %d", pd.deviceCount())
+	}
+	// output=1 states leak via NMOS with stack suppression when both off.
+	env00 := map[string]logic.Value{"A": logic.V0, "B": logic.V0}
+	env01 := map[string]logic.Value{"A": logic.V0, "B": logic.V1}
+	l00 := pd.leakage(env00, 1, proc, tech.VthLow)
+	l01 := pd.leakage(env01, 1, proc, tech.VthLow)
+	if !(l00 < l01) {
+		t.Errorf("two-off stack should leak less: %v vs %v", l00, l01)
+	}
+	// Conducting network leaks nothing.
+	env11 := map[string]logic.Value{"A": logic.V1, "B": logic.V1}
+	if pd.leakage(env11, 1, proc, tech.VthLow) != 0 {
+		t.Error("conducting pulldown should not leak")
+	}
+	// Dual of a series pair is a parallel pair.
+	d := pd.dual()
+	if d.series {
+		t.Error("dual of series should be parallel")
+	}
+}
+
+func TestAOI21NetworkShape(t *testing.T) {
+	fn := logic.MustParse("!(A1*A2+B)")
+	pd, err := buildPulldown(pushNot(fn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.deviceCount() != 3 {
+		t.Errorf("AOI21 pulldown devices = %d, want 3", pd.deviceCount())
+	}
+	if pd.maxSeriesDepth() != 2 {
+		t.Errorf("AOI21 series depth = %d, want 2", pd.maxSeriesDepth())
+	}
+}

@@ -1,0 +1,220 @@
+package liberty
+
+import (
+	"fmt"
+
+	"selectivemt/internal/logic"
+	"selectivemt/internal/tech"
+)
+
+// netNode models a series/parallel transistor network. For static CMOS the
+// NMOS pull-down network implements the complement of the cell function
+// (output = !pulldown), with AND mapping to series devices and OR to
+// parallel branches; the PMOS pull-up network is the structural dual with
+// complemented gate inputs.
+type netNode struct {
+	series   bool // true: children in series; false: parallel
+	children []*netNode
+	input    string // leaf: gate input name
+	inverted bool   // leaf: device conducts when input is 0 (PMOS view)
+}
+
+// buildPulldown converts a pull-down condition expression into a
+// series/parallel network. XOR is expanded into sum-of-products first.
+func buildPulldown(e *logic.Expr) (*netNode, error) {
+	switch e.Op {
+	case logic.OpVar:
+		return &netNode{input: e.Name}, nil
+	case logic.OpNot:
+		c := e.Children[0]
+		if c.Op == logic.OpVar {
+			return &netNode{input: c.Name, inverted: true}, nil
+		}
+		// Push negation down (De Morgan) and recurse.
+		return buildPulldown(pushNot(c))
+	case logic.OpAnd, logic.OpOr:
+		n := &netNode{series: e.Op == logic.OpAnd}
+		for _, c := range e.Children {
+			cn, err := buildPulldown(c)
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, cn)
+		}
+		return n, nil
+	case logic.OpXor:
+		a, b := e.Children[0], e.Children[1]
+		sop := logic.Or(logic.And(a, logic.Not(b)), logic.And(logic.Not(a), b))
+		return buildPulldown(sop)
+	case logic.OpConst:
+		return nil, fmt.Errorf("liberty: constant in transistor network")
+	}
+	return nil, fmt.Errorf("liberty: unsupported op %v", e.Op)
+}
+
+// pushNot returns an expression equivalent to !e with the negation pushed
+// one level down.
+func pushNot(e *logic.Expr) *logic.Expr {
+	switch e.Op {
+	case logic.OpVar:
+		return logic.Not(e)
+	case logic.OpNot:
+		return e.Children[0]
+	case logic.OpAnd:
+		inv := make([]*logic.Expr, len(e.Children))
+		for i, c := range e.Children {
+			inv[i] = logic.Not(c)
+		}
+		return logic.Or(inv...)
+	case logic.OpOr:
+		inv := make([]*logic.Expr, len(e.Children))
+		for i, c := range e.Children {
+			inv[i] = logic.Not(c)
+		}
+		return logic.And(inv...)
+	case logic.OpXor:
+		a, b := e.Children[0], e.Children[1]
+		return logic.Or(logic.And(a, b), logic.And(logic.Not(a), logic.Not(b)))
+	}
+	return logic.Not(e)
+}
+
+// dual returns the structural dual (series↔parallel) with leaf polarity
+// flipped — the PMOS pull-up network of the same cell.
+func (n *netNode) dual() *netNode {
+	if n.input != "" || len(n.children) == 0 {
+		return &netNode{input: n.input, inverted: !n.inverted}
+	}
+	d := &netNode{series: !n.series}
+	for _, c := range n.children {
+		d.children = append(d.children, c.dual())
+	}
+	return d
+}
+
+// deviceCount returns the number of transistors in the network.
+func (n *netNode) deviceCount() int {
+	if n.input != "" {
+		return 1
+	}
+	total := 0
+	for _, c := range n.children {
+		total += c.deviceCount()
+	}
+	return total
+}
+
+// maxSeriesDepth returns the longest series chain, which sets the worst
+// pull-down resistance (devices are up-sized by this factor so every cell
+// has roughly the same drive per unit of drive strength).
+func (n *netNode) maxSeriesDepth() int {
+	if n.input != "" {
+		return 1
+	}
+	if n.series {
+		d := 0
+		for _, c := range n.children {
+			d += c.maxSeriesDepth()
+		}
+		return d
+	}
+	d := 0
+	for _, c := range n.children {
+		if cd := c.maxSeriesDepth(); cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// leakState describes a network's state under an input assignment.
+type leakState struct {
+	conducting bool    // a fully-on path exists (no leakage question)
+	offInPath  int     // series-off device count on the leakiest path
+	widthUm    float64 // effective leaking width
+}
+
+// leakage evaluates the subthreshold leakage of the network in the given
+// input state. deviceW is the width of each device in µm; conducting
+// networks leak nothing (the other network of the cell is the off one).
+func (n *netNode) leakage(env map[string]logic.Value, deviceW float64, proc *tech.Process, vth tech.VthClass) float64 {
+	st := n.state(env, deviceW)
+	if st.conducting || st.offInPath == 0 {
+		return 0
+	}
+	return proc.SubthresholdCurrent(st.widthUm, vth) * proc.StackSuppression(st.offInPath)
+}
+
+func (n *netNode) state(env map[string]logic.Value, deviceW float64) leakState {
+	if n.input != "" {
+		v := env[n.input]
+		on := v == logic.V1
+		if n.inverted {
+			on = v == logic.V0
+		}
+		if on {
+			return leakState{conducting: true, widthUm: deviceW}
+		}
+		return leakState{offInPath: 1, widthUm: deviceW}
+	}
+	if n.series {
+		// Current through a series chain is limited by its off devices.
+		offCount := 0
+		minW := 0.0
+		for _, c := range n.children {
+			cs := c.state(env, deviceW)
+			if !cs.conducting {
+				offCount += cs.offInPath
+				if minW == 0 || cs.widthUm < minW {
+					minW = cs.widthUm
+				}
+			}
+		}
+		if offCount == 0 {
+			return leakState{conducting: true, widthUm: deviceW}
+		}
+		return leakState{offInPath: offCount, widthUm: minW}
+	}
+	// Parallel: branches add. If any branch conducts the whole network
+	// conducts; otherwise sum widths, keep the *shallowest* off depth
+	// (most leakage wins the stack factor).
+	total := 0.0
+	minOff := 0
+	for _, c := range n.children {
+		cs := c.state(env, deviceW)
+		if cs.conducting {
+			return leakState{conducting: true, widthUm: deviceW}
+		}
+		total += cs.widthUm
+		if minOff == 0 || cs.offInPath < minOff {
+			minOff = cs.offInPath
+		}
+	}
+	return leakState{offInPath: minOff, widthUm: total}
+}
+
+// cmosLeakage computes the total subthreshold leakage power (mW) of a
+// static CMOS cell in a given input state: whichever network is off leaks.
+// nmosW and pmosW are per-device widths.
+func cmosLeakage(fn *logic.Expr, pd *netNode, env map[string]logic.Value,
+	nmosW, pmosW float64, proc *tech.Process, vth tech.VthClass) float64 {
+	out := fn.Eval(env)
+	pu := pd.dual()
+	var amps float64
+	switch out {
+	case logic.V1:
+		amps = pd.leakage(env, nmosW, proc, vth) // pull-down off
+	case logic.V0:
+		amps = pu.leakage(env, pmosW, proc, vth) // pull-up off
+	default:
+		// Unknown output: take the worse of the two.
+		a := pd.leakage(env, nmosW, proc, vth)
+		b := pu.leakage(env, pmosW, proc, vth)
+		if a > b {
+			amps = a
+		} else {
+			amps = b
+		}
+	}
+	return amps * proc.Vdd
+}

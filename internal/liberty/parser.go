@@ -1,0 +1,508 @@
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"selectivemt/internal/logic"
+	"selectivemt/internal/tech"
+)
+
+// ParseLiberty reads a library written by WriteLiberty (a Liberty subset).
+// proc supplies the process context for downstream physics; it may be nil,
+// in which case only what the file records is available.
+func ParseLiberty(r io.Reader, proc *tech.Process) (*Library, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	g, err := parseGroups(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if g.name != "library" {
+		return nil, fmt.Errorf("liberty: top-level group is %q, want library", g.name)
+	}
+	lib := NewLibrary(firstArg(g), proc)
+	if v, ok := g.attr("smt_bounce_limit"); ok {
+		lib.BounceLimitV, _ = strconv.ParseFloat(v, 64)
+	}
+	for _, sub := range g.groups {
+		if sub.name != "cell" {
+			continue
+		}
+		c, err := parseCell(sub)
+		if err != nil {
+			return nil, err
+		}
+		if err := lib.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	return lib, nil
+}
+
+func parseCell(g *group) (*Cell, error) {
+	c := &Cell{Name: firstArg(g)}
+	if c.Name == "" {
+		return nil, fmt.Errorf("liberty: cell with no name")
+	}
+	var err error
+	getF := func(key string) float64 {
+		if v, ok := g.attr(key); ok {
+			f, e := strconv.ParseFloat(v, 64)
+			if e != nil && err == nil {
+				err = fmt.Errorf("liberty: cell %s: %s: %v", c.Name, key, e)
+			}
+			return f
+		}
+		return 0
+	}
+	c.AreaUm2 = getF("area")
+	c.LeakageMW = getF("cell_leakage_power")
+	c.StandbyLeakMW = getF("smt_standby_leakage")
+	c.SwitchWidthUm = getF("smt_switch_width")
+	c.InputCapPF = getF("smt_input_cap")
+	c.PeakCurrentMA = getF("smt_peak_current")
+	c.SetupNs = getF("smt_setup")
+	c.HoldNs = getF("smt_hold")
+	c.ClkToQNs = getF("smt_clk_to_q")
+	c.Drive = int(getF("smt_drive"))
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := g.attr("smt_base"); ok {
+		c.Base = unquote(v)
+	}
+	if v, ok := g.attr("smt_flavor"); ok {
+		c.Flavor = Flavor(unquote(v))
+	}
+	if v, ok := g.attr("threshold_voltage_group"); ok {
+		c.Vth = flavorVth(unquote(v))
+	}
+	if v, ok := g.attr("smt_kind"); ok {
+		switch unquote(v) {
+		case "comb":
+			c.Kind = KindComb
+		case "ff":
+			c.Kind = KindFF
+		case "switch":
+			c.Kind = KindSwitch
+		case "holder":
+			c.Kind = KindHolder
+		case "ckbuf":
+			c.Kind = KindClockBuf
+		case "tie":
+			c.Kind = KindTie
+		default:
+			return nil, fmt.Errorf("liberty: cell %s: unknown kind %q", c.Name, v)
+		}
+	}
+	for _, sub := range g.groups {
+		switch sub.name {
+		case "leakage_power":
+			when, ok := sub.attr("when")
+			if !ok {
+				return nil, fmt.Errorf("liberty: cell %s: leakage_power without when", c.Name)
+			}
+			e, perr := logic.Parse(unquote(when))
+			if perr != nil {
+				return nil, fmt.Errorf("liberty: cell %s: %v", c.Name, perr)
+			}
+			vs, _ := sub.attr("value")
+			val, perr := strconv.ParseFloat(vs, 64)
+			if perr != nil {
+				return nil, fmt.Errorf("liberty: cell %s: leakage value: %v", c.Name, perr)
+			}
+			c.LeakageStates = append(c.LeakageStates, LeakageState{When: e, PowerMW: val})
+		case "pin":
+			pin, arcs, perr := parsePin(sub, c.Name)
+			if perr != nil {
+				return nil, perr
+			}
+			c.Pins = append(c.Pins, pin)
+			c.Arcs = append(c.Arcs, arcs...)
+		}
+	}
+	return c, nil
+}
+
+func parsePin(g *group, cellName string) (*Pin, []*Arc, error) {
+	pin := &Pin{Name: firstArg(g)}
+	if dir, ok := g.attr("direction"); ok && dir == "output" {
+		pin.Dir = DirOutput
+	}
+	if v, ok := g.attr("capacitance"); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("liberty: %s/%s capacitance: %v", cellName, pin.Name, err)
+		}
+		pin.CapPF = f
+	}
+	if v, ok := g.attr("clock"); ok && v == "true" {
+		pin.IsClock = true
+	}
+	if v, ok := g.attr("smt_enable"); ok && v == "true" {
+		pin.IsEnable = true
+	}
+	if v, ok := g.attr("smt_vgnd"); ok && v == "true" {
+		pin.IsVGND = true
+	}
+	if v, ok := g.attr("function"); ok {
+		e, err := logic.Parse(unquote(v))
+		if err != nil {
+			return nil, nil, fmt.Errorf("liberty: %s/%s function: %v", cellName, pin.Name, err)
+		}
+		pin.Function = e
+	}
+	var arcs []*Arc
+	for _, sub := range g.groups {
+		if sub.name != "timing" {
+			continue
+		}
+		rel, ok := sub.attr("related_pin")
+		if !ok {
+			return nil, nil, fmt.Errorf("liberty: %s/%s: timing without related_pin", cellName, pin.Name)
+		}
+		arc := &Arc{From: unquote(rel), To: pin.Name}
+		for _, tg := range sub.groups {
+			t, err := parseTable(tg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("liberty: %s/%s: %v", cellName, pin.Name, err)
+			}
+			switch tg.name {
+			case "cell_rise":
+				arc.DelayRise = t
+			case "cell_fall":
+				arc.DelayFall = t
+			case "rise_transition":
+				arc.SlewRise = t
+			case "fall_transition":
+				arc.SlewFall = t
+			}
+		}
+		if arc.DelayRise == nil || arc.DelayFall == nil || arc.SlewRise == nil || arc.SlewFall == nil {
+			return nil, nil, fmt.Errorf("liberty: %s/%s: arc from %s missing tables", cellName, pin.Name, arc.From)
+		}
+		arcs = append(arcs, arc)
+	}
+	return pin, arcs, nil
+}
+
+func parseTable(g *group) (*Table, error) {
+	t := &Table{}
+	var err error
+	parseAxis := func(key string) []float64 {
+		v, ok := g.attr(key)
+		if !ok {
+			err = fmt.Errorf("table %s missing %s", g.name, key)
+			return nil
+		}
+		xs, e := parseFloatList(unquote(v))
+		if e != nil {
+			err = e
+		}
+		return xs
+	}
+	t.Slew = parseAxis("index_1")
+	t.Load = parseAxis("index_2")
+	if err != nil {
+		return nil, err
+	}
+	v, ok := g.attr("values")
+	if !ok {
+		return nil, fmt.Errorf("table %s missing values", g.name)
+	}
+	for _, rowStr := range splitQuoted(v) {
+		row, e := parseFloatList(rowStr)
+		if e != nil {
+			return nil, e
+		}
+		t.Val = append(t.Val, row)
+	}
+	if len(t.Val) != len(t.Slew) {
+		return nil, fmt.Errorf("table %s: %d rows, want %d", g.name, len(t.Val), len(t.Slew))
+	}
+	for _, row := range t.Val {
+		if len(row) != len(t.Load) {
+			return nil, fmt.Errorf("table %s: row width %d, want %d", g.name, len(row), len(t.Load))
+		}
+	}
+	return t, nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// splitQuoted extracts the quoted strings out of a complex attribute value
+// like `"a, b", "c, d"`.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		j := strings.IndexByte(s[i+1:], '"')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[i+1:i+1+j])
+		s = s[i+j+2:]
+	}
+}
+
+// --- generic Liberty group syntax ---
+
+type group struct {
+	name   string
+	args   []string
+	attrs  map[string]string
+	groups []*group
+}
+
+func (g *group) attr(key string) (string, bool) {
+	v, ok := g.attrs[key]
+	return v, ok
+}
+
+func firstArg(g *group) string {
+	if len(g.args) == 0 {
+		return ""
+	}
+	return g.args[0]
+}
+
+func unquote(s string) string { return strings.Trim(s, "\"") }
+
+// parseGroups tokenizes and parses the outermost group of a Liberty file.
+func parseGroups(src string) (*group, error) {
+	lx := &libLexer{src: src}
+	toks, err := lx.run()
+	if err != nil {
+		return nil, err
+	}
+	p := &libParser{toks: toks}
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+type libTok struct {
+	kind byte // 'i' ident/number/string, '{', '}', '(', ')', ':', ';', ','
+	text string
+	line int
+}
+
+type libLexer struct {
+	src  string
+	off  int
+	line int
+}
+
+func (lx *libLexer) run() ([]libTok, error) {
+	lx.line = 1
+	var toks []libTok
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.off++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.off++
+		case c == '\\' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '\n':
+			lx.line++
+			lx.off += 2 // line continuation
+		case c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '*':
+			end := strings.Index(lx.src[lx.off+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("liberty: unterminated comment at line %d", lx.line)
+			}
+			lx.line += strings.Count(lx.src[lx.off:lx.off+end+4], "\n")
+			lx.off += end + 4
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == ':' || c == ';' || c == ',':
+			toks = append(toks, libTok{kind: c, line: lx.line})
+			lx.off++
+		case c == '"':
+			end := lx.off + 1
+			for end < len(lx.src) && lx.src[end] != '"' {
+				if lx.src[end] == '\n' {
+					lx.line++
+				}
+				end++
+			}
+			if end >= len(lx.src) {
+				return nil, fmt.Errorf("liberty: unterminated string at line %d", lx.line)
+			}
+			toks = append(toks, libTok{kind: 'i', text: lx.src[lx.off : end+1], line: lx.line})
+			lx.off = end + 1
+		default:
+			end := lx.off
+			for end < len(lx.src) && !strings.ContainsRune(" \t\r\n{}():;,\"", rune(lx.src[end])) {
+				end++
+			}
+			if end == lx.off {
+				return nil, fmt.Errorf("liberty: stray %q at line %d", c, lx.line)
+			}
+			toks = append(toks, libTok{kind: 'i', text: lx.src[lx.off:end], line: lx.line})
+			lx.off = end
+		}
+	}
+	return toks, nil
+}
+
+type libParser struct {
+	toks []libTok
+	pos  int
+}
+
+func (p *libParser) peek() libTok {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return libTok{kind: 0}
+}
+
+func (p *libParser) take() libTok {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *libParser) expect(kind byte) (libTok, error) {
+	t := p.take()
+	if t.kind != kind {
+		return t, fmt.Errorf("liberty: line %d: expected %q, got %q%s", t.line, string(kind), string(t.kind), t.text)
+	}
+	return t, nil
+}
+
+// parseGroup parses: NAME ( args ) { statements }.
+func (p *libParser) parseGroup() (*group, error) {
+	nameTok, err := p.expect('i')
+	if err != nil {
+		return nil, err
+	}
+	g := &group{name: nameTok.text, attrs: make(map[string]string)}
+	if _, err := p.expect('('); err != nil {
+		return nil, err
+	}
+	for p.peek().kind != ')' {
+		t := p.take()
+		if t.kind == 'i' {
+			g.args = append(g.args, unquote(t.text))
+		} else if t.kind != ',' {
+			return nil, fmt.Errorf("liberty: line %d: bad group arg", t.line)
+		}
+	}
+	p.take() // ')'
+	if _, err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	if err := p.parseBody(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseBody consumes statements up to and including the group's '}'.
+func (p *libParser) parseBody(g *group) error {
+	for {
+		t := p.peek()
+		switch t.kind {
+		case '}':
+			p.take()
+			if p.peek().kind == ';' {
+				p.take()
+			}
+			return nil
+		case 'i':
+			if err := p.parseStatement(g); err != nil {
+				return err
+			}
+		case 0:
+			return fmt.Errorf("liberty: unexpected end of file inside group %s", g.name)
+		default:
+			return fmt.Errorf("liberty: line %d: unexpected %q in group %s", t.line, string(t.kind), g.name)
+		}
+	}
+}
+
+// parseStatement handles one of:
+//
+//	key : value ;
+//	key ( args ) ;              -- complex attribute
+//	key ( args ) { ... }        -- nested group
+func (p *libParser) parseStatement(g *group) error {
+	key := p.take() // 'i'
+	switch p.peek().kind {
+	case ':':
+		p.take()
+		var parts []string
+		for p.peek().kind == 'i' {
+			parts = append(parts, p.take().text)
+		}
+		if _, err := p.expect(';'); err != nil {
+			return err
+		}
+		g.attrs[key.text] = strings.Join(parts, " ")
+		return nil
+	case '(':
+		p.take() // '('
+		var args []string
+		var raw []string
+		for p.peek().kind != ')' && p.peek().kind != 0 {
+			t := p.take()
+			if t.kind == 'i' {
+				args = append(args, unquote(t.text))
+				raw = append(raw, t.text)
+			} else if t.kind == ',' {
+				raw = append(raw, ",")
+			} else {
+				return fmt.Errorf("liberty: line %d: bad argument list for %s", t.line, key.text)
+			}
+		}
+		if p.peek().kind == 0 {
+			return fmt.Errorf("liberty: unterminated argument list for %s", key.text)
+		}
+		p.take() // ')'
+		switch p.peek().kind {
+		case ';':
+			p.take()
+			g.attrs[key.text] = strings.Join(raw, " ")
+			return nil
+		case '{':
+			p.take() // '{'
+			sub := &group{name: key.text, args: args, attrs: make(map[string]string)}
+			if err := p.parseBody(sub); err != nil {
+				return err
+			}
+			g.groups = append(g.groups, sub)
+			return nil
+		default:
+			t := p.peek()
+			return fmt.Errorf("liberty: line %d: expected ';' or '{' after %s(...)", t.line, key.text)
+		}
+	}
+	t := p.peek()
+	return fmt.Errorf("liberty: line %d: expected ':' or '(' after %q", t.line, key.text)
+}

@@ -1,0 +1,116 @@
+package liberty
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomTable generates a well-formed monotone NLDM table for quick.
+type randomTable struct {
+	t *Table
+}
+
+// Generate implements quick.Generator.
+func (randomTable) Generate(r *rand.Rand, size int) reflect.Value {
+	ns := 2 + r.Intn(4)
+	nl := 2 + r.Intn(4)
+	t := &Table{Slew: make([]float64, ns), Load: make([]float64, nl)}
+	x := r.Float64() * 0.01
+	for i := range t.Slew {
+		x += 0.001 + r.Float64()*0.1
+		t.Slew[i] = x
+	}
+	x = r.Float64() * 0.001
+	for j := range t.Load {
+		x += 0.0001 + r.Float64()*0.01
+		t.Load[j] = x
+	}
+	t.Val = make([][]float64, ns)
+	base := r.Float64() * 0.05
+	for i := range t.Val {
+		t.Val[i] = make([]float64, nl)
+		for j := range t.Val[i] {
+			// Monotone in both axes by construction.
+			t.Val[i][j] = base + 0.01*float64(i) + 0.02*float64(j) + r.Float64()*0.005
+		}
+	}
+	// Enforce strict monotonicity.
+	for i := range t.Val {
+		for j := 1; j < nl; j++ {
+			if t.Val[i][j] < t.Val[i][j-1] {
+				t.Val[i][j] = t.Val[i][j-1]
+			}
+		}
+	}
+	for j := 0; j < nl; j++ {
+		for i := 1; i < ns; i++ {
+			if t.Val[i][j] < t.Val[i-1][j] {
+				t.Val[i][j] = t.Val[i-1][j]
+			}
+		}
+	}
+	return reflect.ValueOf(randomTable{t})
+}
+
+// TestQuickLookupWithinHull: interpolation never leaves the value hull.
+func TestQuickLookupWithinHull(t *testing.T) {
+	f := func(rt randomTable, fs, fl float64) bool {
+		tbl := rt.t
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range tbl.Val {
+			for _, v := range row {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		// Query anywhere, including far outside the axes.
+		s := tbl.Slew[0] + math.Mod(math.Abs(fs), 2)*tbl.Slew[len(tbl.Slew)-1]
+		l := tbl.Load[0] + math.Mod(math.Abs(fl), 2)*tbl.Load[len(tbl.Load)-1]
+		got := tbl.Lookup(s, l)
+		return got >= lo-1e-12 && got <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLookupMonotone: for monotone tables, lookup is monotone in both
+// arguments.
+func TestQuickLookupMonotone(t *testing.T) {
+	f := func(rt randomTable, a, b float64) bool {
+		tbl := rt.t
+		smax := tbl.Slew[len(tbl.Slew)-1]
+		lmax := tbl.Load[len(tbl.Load)-1]
+		s1 := math.Mod(math.Abs(a), 1) * smax
+		s2 := s1 + math.Mod(math.Abs(b), 1)*(smax-s1)
+		l1 := math.Mod(math.Abs(b), 1) * lmax
+		l2 := l1 + math.Mod(math.Abs(a), 1)*(lmax-l1)
+		if tbl.Lookup(s2, l1) < tbl.Lookup(s1, l1)-1e-12 {
+			return false
+		}
+		if tbl.Lookup(s1, l2) < tbl.Lookup(s1, l1)-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLookupReproducesGrid: exact axis points return exact values.
+func TestQuickLookupReproducesGrid(t *testing.T) {
+	f := func(rt randomTable, ij uint8) bool {
+		tbl := rt.t
+		i := int(ij) % len(tbl.Slew)
+		j := int(ij>>4) % len(tbl.Load)
+		got := tbl.Lookup(tbl.Slew[i], tbl.Load[j])
+		return math.Abs(got-tbl.Val[i][j]) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package linsolve contains the small linear-algebra kernel the virtual
+// ground and parasitic analyses need: dense Gaussian elimination with
+// partial pivoting and a nodal-analysis builder for resistive networks with
+// current injections.
+//
+// Networks in this repository are small (a VGND cluster has tens of nodes),
+// so a dense O(n³) solve is simpler and fast enough; the tree-structured
+// fast path lives in package vgnd.
+package linsolve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when elimination encounters a pivot that is
+// effectively zero, i.e. the system has no unique solution.
+var ErrSingular = errors.New("linsolve: singular matrix")
+
+// SolveDense solves A·x = b in place (both A and b are clobbered) using
+// Gaussian elimination with partial pivoting. A must be square and len(b)
+// must equal the dimension.
+func SolveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linsolve: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linsolve: rhs has %d entries, want %d", len(b), n)
+	}
+
+	for col := 0; col < n; col++ {
+		// Partial pivoting: bring the largest remaining entry up.
+		piv := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			a[piv], a[col] = a[col], a[piv]
+			b[piv], b[col] = b[col], b[piv]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for c := i + 1; c < n; c++ {
+			s -= a[i][c] * x[c]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// ResistiveNetwork accumulates resistors and current injections between
+// integer-labelled nodes and solves for node voltages by modified nodal
+// analysis. Node 0 is ground by convention.
+type ResistiveNetwork struct {
+	n         int
+	resistors []resistor
+	inject    map[int]float64
+}
+
+type resistor struct {
+	a, b int
+	ohms float64
+}
+
+// NewResistiveNetwork creates a network with nodes 0..n-1, node 0 grounded.
+func NewResistiveNetwork(n int) *ResistiveNetwork {
+	return &ResistiveNetwork{n: n, inject: make(map[int]float64)}
+}
+
+// Nodes returns the node count.
+func (rn *ResistiveNetwork) Nodes() int { return rn.n }
+
+// AddResistor connects nodes a and b with the given resistance in ohms.
+// Non-positive resistances and out-of-range nodes are rejected.
+func (rn *ResistiveNetwork) AddResistor(a, b int, ohms float64) error {
+	if a < 0 || a >= rn.n || b < 0 || b >= rn.n {
+		return fmt.Errorf("linsolve: resistor nodes %d-%d out of range [0,%d)", a, b, rn.n)
+	}
+	if a == b {
+		return fmt.Errorf("linsolve: resistor with both ends at node %d", a)
+	}
+	if ohms <= 0 || math.IsNaN(ohms) || math.IsInf(ohms, 0) {
+		return fmt.Errorf("linsolve: resistance %v must be positive and finite", ohms)
+	}
+	rn.resistors = append(rn.resistors, resistor{a, b, ohms})
+	return nil
+}
+
+// InjectCurrent adds amps flowing *into* node (a sink cell pulling current
+// out of a VGND node injects a positive current into that node, raising its
+// voltage above ground).
+func (rn *ResistiveNetwork) InjectCurrent(node int, amps float64) error {
+	if node <= 0 || node >= rn.n {
+		return fmt.Errorf("linsolve: injection node %d out of range (0,%d)", node, rn.n)
+	}
+	rn.inject[node] += amps
+	return nil
+}
+
+// Solve returns voltages for nodes 0..n-1 (index 0 is always 0 V). It
+// returns ErrSingular if some node is not resistively connected to ground.
+func (rn *ResistiveNetwork) Solve() ([]float64, error) {
+	if rn.n == 0 {
+		return nil, nil
+	}
+	m := rn.n - 1 // unknowns: nodes 1..n-1
+	if m == 0 {
+		return []float64{0}, nil
+	}
+	g := make([][]float64, m)
+	for i := range g {
+		g[i] = make([]float64, m)
+	}
+	b := make([]float64, m)
+	for _, r := range rn.resistors {
+		cond := 1 / r.ohms
+		ai, bi := r.a-1, r.b-1
+		if ai >= 0 {
+			g[ai][ai] += cond
+		}
+		if bi >= 0 {
+			g[bi][bi] += cond
+		}
+		if ai >= 0 && bi >= 0 {
+			g[ai][bi] -= cond
+			g[bi][ai] -= cond
+		}
+	}
+	for node, amps := range rn.inject {
+		b[node-1] += amps
+	}
+	x, err := SolveDense(g, b)
+	if err != nil {
+		return nil, err
+	}
+	v := make([]float64, rn.n)
+	copy(v[1:], x)
+	return v, nil
+}
+
+// MaxAbs returns the entry of xs with the largest magnitude (0 for empty).
+func MaxAbs(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

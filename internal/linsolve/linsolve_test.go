@@ -1,0 +1,245 @@
+package linsolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveDenseIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := []float64{3, -4}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != -4 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveDenseKnown(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveDenseNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 7}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 2 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveDenseSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := SolveDense(a, b); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDenseShapeErrors(t *testing.T) {
+	if _, err := SolveDense([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := SolveDense([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("rhs length mismatch accepted")
+	}
+	if x, err := SolveDense(nil, nil); err != nil || x != nil {
+		t.Error("empty system should be trivially solvable")
+	}
+}
+
+func TestSolveDenseRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(12)
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				a[i][j] = rng.NormFloat64()
+				orig[i][j] = a[i][j]
+			}
+			a[i][i] += float64(n) // diagonal dominance keeps it well-conditioned
+			orig[i][i] = a[i][i]
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += orig[i][j] * xTrue[j]
+			}
+		}
+		x, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestResistiveNetworkVoltageDivider(t *testing.T) {
+	// ground -1Ω- node1 -1Ω- node2, 1A injected at node2:
+	// v1 = 1V, v2 = 2V.
+	rn := NewResistiveNetwork(3)
+	if err := rn.AddResistor(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rn.AddResistor(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rn.InjectCurrent(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := rn.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[1]-1) > 1e-12 || math.Abs(v[2]-2) > 1e-12 {
+		t.Errorf("v = %v", v)
+	}
+	if v[0] != 0 {
+		t.Errorf("ground moved: %v", v[0])
+	}
+}
+
+func TestResistiveNetworkParallel(t *testing.T) {
+	// Two 2Ω resistors in parallel from ground to node 1; 1A in → 1V.
+	rn := NewResistiveNetwork(2)
+	rn.AddResistor(0, 1, 2)
+	rn.AddResistor(0, 1, 2)
+	rn.InjectCurrent(1, 1)
+	v, err := rn.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[1]-1) > 1e-12 {
+		t.Errorf("v1 = %v, want 1", v[1])
+	}
+}
+
+func TestResistiveNetworkStar(t *testing.T) {
+	// Star: switch node s=1 connects ground via 0.5Ω; three branches of
+	// 1Ω to leaves 2,3,4, each injecting 0.1A.
+	rn := NewResistiveNetwork(5)
+	rn.AddResistor(0, 1, 0.5)
+	for leaf := 2; leaf <= 4; leaf++ {
+		rn.AddResistor(1, leaf, 1)
+		rn.InjectCurrent(leaf, 0.1)
+	}
+	v, err := rn.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 0.3A flows through the 0.5Ω: v1 = 0.15; each leaf adds 0.1*1.
+	if math.Abs(v[1]-0.15) > 1e-12 {
+		t.Errorf("v1 = %v", v[1])
+	}
+	for leaf := 2; leaf <= 4; leaf++ {
+		if math.Abs(v[leaf]-0.25) > 1e-12 {
+			t.Errorf("v%d = %v, want 0.25", leaf, v[leaf])
+		}
+	}
+}
+
+func TestResistiveNetworkDisconnected(t *testing.T) {
+	rn := NewResistiveNetwork(3)
+	rn.AddResistor(0, 1, 1)
+	rn.InjectCurrent(2, 1) // node 2 floats
+	if _, err := rn.Solve(); err == nil {
+		t.Error("floating node should be singular")
+	}
+}
+
+func TestResistiveNetworkValidation(t *testing.T) {
+	rn := NewResistiveNetwork(2)
+	if err := rn.AddResistor(0, 0, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := rn.AddResistor(0, 5, 1); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := rn.AddResistor(0, 1, -1); err == nil {
+		t.Error("negative resistance accepted")
+	}
+	if err := rn.AddResistor(0, 1, math.Inf(1)); err == nil {
+		t.Error("infinite resistance accepted")
+	}
+	if err := rn.InjectCurrent(0, 1); err == nil {
+		t.Error("injection into ground accepted")
+	}
+	if err := rn.InjectCurrent(9, 1); err == nil {
+		t.Error("injection out of range accepted")
+	}
+}
+
+func TestResistiveNetworkSuperposition(t *testing.T) {
+	build := func() *ResistiveNetwork {
+		rn := NewResistiveNetwork(4)
+		rn.AddResistor(0, 1, 0.7)
+		rn.AddResistor(1, 2, 1.3)
+		rn.AddResistor(1, 3, 2.1)
+		rn.AddResistor(2, 3, 0.9)
+		return rn
+	}
+	a := build()
+	a.InjectCurrent(2, 0.4)
+	va, _ := a.Solve()
+	b := build()
+	b.InjectCurrent(3, 0.25)
+	vb, _ := b.Solve()
+	both := build()
+	both.InjectCurrent(2, 0.4)
+	both.InjectCurrent(3, 0.25)
+	vboth, _ := both.Solve()
+	for i := range vboth {
+		if math.Abs(vboth[i]-(va[i]+vb[i])) > 1e-10 {
+			t.Fatalf("superposition violated at node %d: %v vs %v", i, vboth[i], va[i]+vb[i])
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if MaxAbs(nil) != 0 {
+		t.Error("MaxAbs(nil) != 0")
+	}
+	if MaxAbs([]float64{1, -5, 3}) != 5 {
+		t.Error("MaxAbs wrong")
+	}
+}
+
+func TestResistiveNetworkEmptyAndSingle(t *testing.T) {
+	rn := NewResistiveNetwork(0)
+	if v, err := rn.Solve(); err != nil || v != nil {
+		t.Error("empty network should solve to nil")
+	}
+	rn1 := NewResistiveNetwork(1)
+	v, err := rn1.Solve()
+	if err != nil || len(v) != 1 || v[0] != 0 {
+		t.Errorf("single-node network: v=%v err=%v", v, err)
+	}
+}

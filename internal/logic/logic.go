@@ -1,0 +1,282 @@
+// Package logic provides the boolean-expression machinery behind cell
+// function attributes: an AST, a parser for the Liberty function syntax
+// ("(A*B)'", "!A+B^C"), a three-valued evaluator and truth-table utilities.
+//
+// Three-valued evaluation (0, 1, X) lets the simulator reason about
+// uninitialized state and floating nets — the exact situation the paper's
+// output holders exist to prevent.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a three-valued logic level.
+type Value uint8
+
+const (
+	// V0 is logic low.
+	V0 Value = iota
+	// V1 is logic high.
+	V1
+	// VX is unknown/floating.
+	VX
+)
+
+// String returns "0", "1" or "x".
+func (v Value) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	default:
+		return "x"
+	}
+}
+
+// Not returns three-valued NOT.
+func (v Value) Not() Value {
+	switch v {
+	case V0:
+		return V1
+	case V1:
+		return V0
+	default:
+		return VX
+	}
+}
+
+// And returns three-valued AND.
+func (v Value) And(o Value) Value {
+	if v == V0 || o == V0 {
+		return V0
+	}
+	if v == V1 && o == V1 {
+		return V1
+	}
+	return VX
+}
+
+// Or returns three-valued OR.
+func (v Value) Or(o Value) Value {
+	if v == V1 || o == V1 {
+		return V1
+	}
+	if v == V0 && o == V0 {
+		return V0
+	}
+	return VX
+}
+
+// Xor returns three-valued XOR.
+func (v Value) Xor(o Value) Value {
+	if v == VX || o == VX {
+		return VX
+	}
+	if v == o {
+		return V0
+	}
+	return V1
+}
+
+// FromBool converts a bool to V0/V1.
+func FromBool(b bool) Value {
+	if b {
+		return V1
+	}
+	return V0
+}
+
+// Op identifies an expression node kind.
+type Op int
+
+const (
+	// OpVar is a variable reference.
+	OpVar Op = iota
+	// OpConst is a constant 0 or 1.
+	OpConst
+	// OpNot negates its single child.
+	OpNot
+	// OpAnd conjoins its children.
+	OpAnd
+	// OpOr disjoins its children.
+	OpOr
+	// OpXor is exclusive-or of its two children.
+	OpXor
+)
+
+// Expr is a boolean expression tree node. Expressions are immutable once
+// built.
+type Expr struct {
+	Op       Op
+	Name     string // OpVar: variable name
+	Const    Value  // OpConst: V0 or V1
+	Children []*Expr
+}
+
+// Var returns a variable reference node.
+func Var(name string) *Expr { return &Expr{Op: OpVar, Name: name} }
+
+// Const returns a constant node.
+func Const(v Value) *Expr { return &Expr{Op: OpConst, Const: v} }
+
+// Not returns the negation of e.
+func Not(e *Expr) *Expr { return &Expr{Op: OpNot, Children: []*Expr{e}} }
+
+// And conjoins the given expressions (must be ≥1).
+func And(es ...*Expr) *Expr { return nary(OpAnd, es) }
+
+// Or disjoins the given expressions (must be ≥1).
+func Or(es ...*Expr) *Expr { return nary(OpOr, es) }
+
+// Xor returns a ^ b.
+func Xor(a, b *Expr) *Expr { return &Expr{Op: OpXor, Children: []*Expr{a, b}} }
+
+func nary(op Op, es []*Expr) *Expr {
+	if len(es) == 1 {
+		return es[0]
+	}
+	return &Expr{Op: op, Children: es}
+}
+
+// Eval evaluates the expression under the given assignment. Unbound
+// variables evaluate to VX.
+func (e *Expr) Eval(env map[string]Value) Value {
+	switch e.Op {
+	case OpVar:
+		if v, ok := env[e.Name]; ok {
+			return v
+		}
+		return VX
+	case OpConst:
+		return e.Const
+	case OpNot:
+		return e.Children[0].Eval(env).Not()
+	case OpAnd:
+		out := V1
+		for _, c := range e.Children {
+			out = out.And(c.Eval(env))
+			if out == V0 {
+				return V0
+			}
+		}
+		return out
+	case OpOr:
+		out := V0
+		for _, c := range e.Children {
+			out = out.Or(c.Eval(env))
+			if out == V1 {
+				return V1
+			}
+		}
+		return out
+	case OpXor:
+		return e.Children[0].Eval(env).Xor(e.Children[1].Eval(env))
+	}
+	return VX
+}
+
+// Vars returns the sorted set of variable names appearing in e.
+func (e *Expr) Vars() []string {
+	set := make(map[string]bool)
+	e.collectVars(set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Expr) collectVars(set map[string]bool) {
+	if e.Op == OpVar {
+		set[e.Name] = true
+	}
+	for _, c := range e.Children {
+		c.collectVars(set)
+	}
+}
+
+// String renders the expression in Liberty syntax (parenthesized, with
+// * for AND, + for OR, ^ for XOR, ! for NOT).
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpVar:
+		return e.Name
+	case OpConst:
+		return e.Const.String()
+	case OpNot:
+		return "!" + parenthesize(e.Children[0])
+	case OpAnd:
+		return joinChildren(e.Children, "*")
+	case OpOr:
+		return joinChildren(e.Children, "+")
+	case OpXor:
+		return joinChildren(e.Children, "^")
+	}
+	return "?"
+}
+
+func parenthesize(e *Expr) string {
+	if e.Op == OpVar || e.Op == OpConst || e.Op == OpNot {
+		return e.String()
+	}
+	return "(" + e.String() + ")"
+}
+
+func joinChildren(cs []*Expr, op string) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = parenthesize(c)
+	}
+	return strings.Join(parts, op)
+}
+
+// TruthTable evaluates e for all 2^n assignments of its variables (in the
+// order returned by Vars) and returns the output column. Variables beyond
+// 16 are rejected to keep table sizes sane.
+func (e *Expr) TruthTable() ([]Value, []string, error) {
+	vars := e.Vars()
+	if len(vars) > 16 {
+		return nil, nil, fmt.Errorf("logic: %d variables is too many for a truth table", len(vars))
+	}
+	n := 1 << len(vars)
+	out := make([]Value, n)
+	env := make(map[string]Value, len(vars))
+	for row := 0; row < n; row++ {
+		for i, v := range vars {
+			env[v] = FromBool(row&(1<<i) != 0)
+		}
+		out[row] = e.Eval(env)
+	}
+	return out, vars, nil
+}
+
+// Equivalent reports whether a and b compute the same function over the
+// union of their variables (exhaustive; intended for cell-sized functions).
+func Equivalent(a, b *Expr) (bool, error) {
+	set := make(map[string]bool)
+	a.collectVars(set)
+	b.collectVars(set)
+	vars := make([]string, 0, len(set))
+	for n := range set {
+		vars = append(vars, n)
+	}
+	sort.Strings(vars)
+	if len(vars) > 16 {
+		return false, fmt.Errorf("logic: %d variables is too many for exhaustive equivalence", len(vars))
+	}
+	env := make(map[string]Value, len(vars))
+	for row := 0; row < 1<<len(vars); row++ {
+		for i, v := range vars {
+			env[v] = FromBool(row&(1<<i) != 0)
+		}
+		if a.Eval(env) != b.Eval(env) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,269 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestThreeValuedTables(t *testing.T) {
+	// AND
+	andCases := []struct{ a, b, want Value }{
+		{V0, V0, V0}, {V0, V1, V0}, {V1, V0, V0}, {V1, V1, V1},
+		{V0, VX, V0}, {VX, V0, V0}, {V1, VX, VX}, {VX, V1, VX}, {VX, VX, VX},
+	}
+	for _, c := range andCases {
+		if got := c.a.And(c.b); got != c.want {
+			t.Errorf("%v AND %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// OR
+	orCases := []struct{ a, b, want Value }{
+		{V0, V0, V0}, {V0, V1, V1}, {V1, V0, V1}, {V1, V1, V1},
+		{V1, VX, V1}, {VX, V1, V1}, {V0, VX, VX}, {VX, V0, VX}, {VX, VX, VX},
+	}
+	for _, c := range orCases {
+		if got := c.a.Or(c.b); got != c.want {
+			t.Errorf("%v OR %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// NOT
+	if V0.Not() != V1 || V1.Not() != V0 || VX.Not() != VX {
+		t.Error("NOT table wrong")
+	}
+	// XOR
+	xorCases := []struct{ a, b, want Value }{
+		{V0, V0, V0}, {V0, V1, V1}, {V1, V1, V0},
+		{VX, V1, VX}, {V0, VX, VX},
+	}
+	for _, c := range xorCases {
+		if got := c.a.Xor(c.b); got != c.want {
+			t.Errorf("%v XOR %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if V0.String() != "0" || V1.String() != "1" || VX.String() != "x" {
+		t.Error("Value.String wrong")
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != V1 || FromBool(false) != V0 {
+		t.Error("FromBool wrong")
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	tests := []struct {
+		in   string
+		env  map[string]Value
+		want Value
+	}{
+		{"A*B", map[string]Value{"A": V1, "B": V1}, V1},
+		{"A*B", map[string]Value{"A": V1, "B": V0}, V0},
+		{"A&B", map[string]Value{"A": V1, "B": V1}, V1},
+		{"A+B", map[string]Value{"A": V0, "B": V0}, V0},
+		{"A|B", map[string]Value{"A": V0, "B": V1}, V1},
+		{"!A", map[string]Value{"A": V0}, V1},
+		{"A'", map[string]Value{"A": V0}, V1},
+		{"(A*B)'", map[string]Value{"A": V1, "B": V1}, V0},
+		{"A^B", map[string]Value{"A": V1, "B": V0}, V1},
+		{"A^B", map[string]Value{"A": V1, "B": V1}, V0},
+		{"1", nil, V1},
+		{"0", nil, V0},
+		{"A*1", map[string]Value{"A": V1}, V1},
+		{"A+0", map[string]Value{"A": V0}, V0},
+		{"!(A+B)*C", map[string]Value{"A": V0, "B": V0, "C": V1}, V1},
+		{"A B", map[string]Value{"A": V1, "B": V1}, V1}, // implicit AND
+		{"A'*B'", map[string]Value{"A": V0, "B": V0}, V1},
+		{"A''", map[string]Value{"A": V1}, V1}, // double postfix negation
+		{"!!A", map[string]Value{"A": V0}, V0},
+	}
+	for _, tc := range tests {
+		e, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got := e.Eval(tc.env); got != tc.want {
+			t.Errorf("%q eval = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// Liberty: ' then ^, then * (or juxtaposition), then +.
+	e := MustParse("A+B*C")
+	env := map[string]Value{"A": V0, "B": V1, "C": V0}
+	if e.Eval(env) != V0 {
+		t.Error("precedence wrong: A+B*C with A=0,B=1,C=0 should be 0")
+	}
+	env["C"] = V1
+	if e.Eval(env) != V1 {
+		t.Error("A+B*C with B=C=1 should be 1")
+	}
+	// A*B' means A AND (NOT B), not NOT(A AND B).
+	e2 := MustParse("A*B'")
+	if e2.Eval(map[string]Value{"A": V1, "B": V0}) != V1 {
+		t.Error("postfix negation binding wrong")
+	}
+	// XOR binds tighter than AND per our grammar: A*B^C == A*(B^C).
+	e3 := MustParse("A*B^C")
+	if e3.Eval(map[string]Value{"A": V0, "B": V1, "C": V0}) != V0 {
+		t.Error("A*B^C with A=0 should be 0")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "A+", "(A", "A)", "*A", "A @ B", "()", "A+*B", "A'^'"}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	exprs := []string{
+		"A*B", "A+B", "!A", "(A+B)*C", "A^B", "A*B*C", "A+B+C",
+		"!(A*B)+C^D", "A'*!B", "1", "0", "A*(B+C)",
+	}
+	for _, s := range exprs {
+		e1, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", s, e1.String(), err)
+		}
+		eq, err := Equivalent(e1, e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("round trip of %q not equivalent (printed %q)", s, e1.String())
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := MustParse("B*A + C*A")
+	vars := e.Vars()
+	if len(vars) != 3 || vars[0] != "A" || vars[1] != "B" || vars[2] != "C" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if n := len(MustParse("1").Vars()); n != 0 {
+		t.Errorf("const expr has %d vars", n)
+	}
+}
+
+func TestUnboundVarIsX(t *testing.T) {
+	e := MustParse("A*B")
+	if got := e.Eval(map[string]Value{"A": V1}); got != VX {
+		t.Errorf("unbound B should yield X, got %v", got)
+	}
+	// Controlling value short-circuits X.
+	if got := e.Eval(map[string]Value{"A": V0}); got != V0 {
+		t.Errorf("A=0 should force 0, got %v", got)
+	}
+}
+
+func TestTruthTable(t *testing.T) {
+	e := MustParse("A*B")
+	tt, vars, err := e.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 2 || len(tt) != 4 {
+		t.Fatalf("table shape: %v %v", vars, tt)
+	}
+	// rows are indexed with vars[0]=A as bit 0: rows 00,10,01,11 → A,B
+	want := []Value{V0, V0, V0, V1}
+	for i := range want {
+		if tt[i] != want[i] {
+			t.Errorf("row %d = %v, want %v", i, tt[i], want[i])
+		}
+	}
+}
+
+func TestTruthTableTooWide(t *testing.T) {
+	wide := Var("v0")
+	for i := 1; i < 20; i++ {
+		wide = Or(wide, Var(string(rune('a'+i%26))+string(rune('0'+i%10))+"v"))
+	}
+	if _, _, err := wide.TruthTable(); err == nil {
+		t.Error("expected error for >16 variables")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"A*B", "B*A", true},
+		{"!(A*B)", "!A+!B", true},  // De Morgan
+		{"!(A+B)", "!A*!B", true},  // De Morgan
+		{"A^B", "A*!B+!A*B", true}, // XOR expansion
+		{"A", "B", false},
+		{"A*B", "A+B", false},
+		{"A+!A", "1", true},
+		{"A*!A", "0", true},
+	}
+	for _, c := range cases {
+		eq, err := Equivalent(MustParse(c.a), MustParse(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq != c.want {
+			t.Errorf("Equivalent(%q,%q) = %v, want %v", c.a, c.b, eq, c.want)
+		}
+	}
+}
+
+func TestRandomExprEvalDeterministic(t *testing.T) {
+	// Build random expressions and check printing+reparsing is equivalent.
+	rng := rand.New(rand.NewSource(3))
+	vars := []string{"A", "B", "C", "D"}
+	var build func(depth int) *Expr
+	build = func(depth int) *Expr {
+		if depth == 0 || rng.Intn(4) == 0 {
+			return Var(vars[rng.Intn(len(vars))])
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return Not(build(depth - 1))
+		case 1:
+			return And(build(depth-1), build(depth-1))
+		case 2:
+			return Or(build(depth-1), build(depth-1))
+		default:
+			return Xor(build(depth-1), build(depth-1))
+		}
+	}
+	for i := 0; i < 60; i++ {
+		e := build(4)
+		r, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", e.String(), err)
+		}
+		eq, err := Equivalent(e, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("print/reparse not equivalent: %q", e.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("((")
+}

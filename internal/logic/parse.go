@@ -1,0 +1,232 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a boolean expression in Liberty function syntax.
+//
+// Grammar (standard Liberty precedence, loosest to tightest):
+//
+//	expr   := term   (('+' | '|') term)*
+//	term   := factor (('*' | '&')? factor)*     -- juxtaposition is AND
+//	factor := xorArg ('^' xorArg)*
+//	xorArg := ('!' xorArg) | primary ('\'')*
+//	primary:= IDENT | '0' | '1' | '(' expr ')'
+//
+// Identifiers are letters, digits and underscores, starting with a letter
+// or underscore; a trailing apostrophe negates ("A'").
+func Parse(s string) (*Expr, error) {
+	p := &parser{src: s}
+	p.next()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("logic: unexpected %q at offset %d in %q", p.tok.text, p.tok.pos, s)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for package-internal literals.
+func MustParse(s string) *Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokConst
+	tokAnd    // * or &
+	tokOr     // + or |
+	tokXor    // ^
+	tokNot    // !
+	tokPost   // '
+	tokLParen // (
+	tokRParen // )
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	src string
+	off int
+	tok token
+}
+
+func (p *parser) next() {
+	for p.off < len(p.src) && (p.src[p.off] == ' ' || p.src[p.off] == '\t') {
+		p.off++
+	}
+	start := p.off
+	if p.off >= len(p.src) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.src[p.off]
+	switch c {
+	case '*', '&':
+		p.off++
+		p.tok = token{tokAnd, string(c), start}
+	case '+', '|':
+		p.off++
+		p.tok = token{tokOr, string(c), start}
+	case '^':
+		p.off++
+		p.tok = token{tokXor, "^", start}
+	case '!':
+		p.off++
+		p.tok = token{tokNot, "!", start}
+	case '\'':
+		p.off++
+		p.tok = token{tokPost, "'", start}
+	case '(':
+		p.off++
+		p.tok = token{tokLParen, "(", start}
+	case ')':
+		p.off++
+		p.tok = token{tokRParen, ")", start}
+	case '0', '1':
+		p.off++
+		p.tok = token{tokConst, string(c), start}
+	default:
+		if isIdentStart(c) {
+			end := p.off
+			for end < len(p.src) && isIdentPart(p.src[end]) {
+				end++
+			}
+			p.tok = token{tokIdent, p.src[p.off:end], start}
+			p.off = end
+			return
+		}
+		p.tok = token{kind: tokEOF, text: string(c), pos: start}
+		p.off = len(p.src) // force termination; caller sees leftover text error
+		p.tok.kind = tokKind(-1)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '[' || c == ']'
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Expr{left}
+	for p.tok.kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	return nary(OpOr, children), nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	left, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Expr{left}
+	for {
+		if p.tok.kind == tokAnd {
+			p.next()
+		} else if !(p.tok.kind == tokIdent || p.tok.kind == tokConst ||
+			p.tok.kind == tokNot || p.tok.kind == tokLParen) {
+			break // no implicit AND possible
+		}
+		right, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	return nary(OpAnd, children), nil
+}
+
+func (p *parser) parseXor() (*Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokXor {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = Xor(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	if p.tok.kind == tokNot {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(e), nil
+	}
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPost {
+		p.next()
+		e = Not(e)
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		name := p.tok.text
+		p.next()
+		return Var(name), nil
+	case tokConst:
+		v := V0
+		if p.tok.text == "1" {
+			v = V1
+		}
+		p.next()
+		return Const(v), nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("logic: missing ')' at offset %d in %q", p.tok.pos, p.src)
+		}
+		p.next()
+		return e, nil
+	case tokEOF:
+		return nil, fmt.Errorf("logic: unexpected end of expression in %q", p.src)
+	}
+	return nil, fmt.Errorf("logic: unexpected token %q at offset %d in %q",
+		strings.TrimSpace(p.tok.text), p.tok.pos, p.src)
+}

@@ -1,0 +1,128 @@
+package logic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomExpr wraps a generated expression for quick.
+type randomExpr struct {
+	e *Expr
+}
+
+var exprVars = []string{"A", "B", "C", "D", "E"}
+
+// Generate implements quick.Generator.
+func (randomExpr) Generate(r *rand.Rand, size int) reflect.Value {
+	var build func(depth int) *Expr
+	build = func(depth int) *Expr {
+		if depth <= 0 || r.Intn(5) == 0 {
+			if r.Intn(8) == 0 {
+				return Const(FromBool(r.Intn(2) == 1))
+			}
+			return Var(exprVars[r.Intn(len(exprVars))])
+		}
+		switch r.Intn(4) {
+		case 0:
+			return Not(build(depth - 1))
+		case 1:
+			return And(build(depth-1), build(depth-1))
+		case 2:
+			return Or(build(depth-1), build(depth-1))
+		default:
+			return Xor(build(depth-1), build(depth-1))
+		}
+	}
+	return reflect.ValueOf(randomExpr{build(4)})
+}
+
+func randomEnv(r *rand.Rand) map[string]Value {
+	env := make(map[string]Value, len(exprVars))
+	for _, v := range exprVars {
+		env[v] = FromBool(r.Intn(2) == 1)
+	}
+	return env
+}
+
+// TestQuickDoubleNegation: !!e ≡ e under any binary assignment.
+func TestQuickDoubleNegation(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	f := func(re randomExpr) bool {
+		env := randomEnv(r)
+		return Not(Not(re.e)).Eval(env) == re.e.Eval(env)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeMorgan: !(a*b) ≡ !a + !b under any assignment.
+func TestQuickDeMorgan(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	f := func(ra, rb randomExpr) bool {
+		env := randomEnv(r)
+		lhs := Not(And(ra.e, rb.e)).Eval(env)
+		rhs := Or(Not(ra.e), Not(rb.e)).Eval(env)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickXorAsSOP: a^b ≡ a!b + !ab.
+func TestQuickXorAsSOP(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	f := func(ra, rb randomExpr) bool {
+		env := randomEnv(r)
+		lhs := Xor(ra.e, rb.e).Eval(env)
+		rhs := Or(And(ra.e, Not(rb.e)), And(Not(ra.e), rb.e)).Eval(env)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPrintParseRoundTrip: String() output reparses to an expression
+// that agrees under any assignment.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	f := func(re randomExpr) bool {
+		back, err := Parse(re.e.String())
+		if err != nil {
+			return false
+		}
+		env := randomEnv(r)
+		return back.Eval(env) == re.e.Eval(env)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEvalMonotoneInX: replacing a bound variable with X can only
+// move the output to X, never flip 0↔1 (the soundness property the
+// standby-state analysis relies on).
+func TestQuickEvalMonotoneInX(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	f := func(re randomExpr, which uint8) bool {
+		env := randomEnv(r)
+		before := re.e.Eval(env)
+		v := exprVars[int(which)%len(exprVars)]
+		env[v] = VX
+		after := re.e.Eval(env)
+		if before == V0 && after == V1 {
+			return false
+		}
+		if before == V1 && after == V0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

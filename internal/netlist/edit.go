@@ -1,0 +1,232 @@
+package netlist
+
+import (
+	"fmt"
+
+	"selectivemt/internal/liberty"
+)
+
+// ReplaceCell swaps the instance's cell for another with compatible pins:
+// every currently connected pin must exist on the new cell with the same
+// direction. Pins the new cell adds (MTE, VGND) start unconnected; pins the
+// old cell had but the new lacks must be unconnected before the swap.
+func (d *Design) ReplaceCell(inst *Instance, newCell *liberty.Cell) error {
+	if newCell == nil {
+		return fmt.Errorf("netlist: ReplaceCell(%s): nil cell", inst.Name)
+	}
+	for pin := range inst.Conns {
+		op := inst.Cell.Pin(pin)
+		np := newCell.Pin(pin)
+		if np == nil {
+			return fmt.Errorf("netlist: ReplaceCell(%s): new cell %s lacks connected pin %q",
+				inst.Name, newCell.Name, pin)
+		}
+		if op != nil && op.Dir != np.Dir {
+			return fmt.Errorf("netlist: ReplaceCell(%s): pin %q direction differs", inst.Name, pin)
+		}
+	}
+	inst.Cell = newCell
+	return nil
+}
+
+// InsertBuffer splits a net: the original driver keeps driving net, a new
+// buffer instance is fed from net, and the listed sinks are moved onto the
+// buffer's output net. It returns the new buffer instance.
+//
+// bufCell must be a single-input single-output cell (BUF/CKBUF/INV-like);
+// with an inverting cell the caller is responsible for logic correctness.
+func (d *Design) InsertBuffer(net *Net, bufCell *liberty.Cell, sinks []PinRef) (*Instance, error) {
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("netlist: InsertBuffer on %s: no sinks to move", net.Name)
+	}
+	in := bufCell.Inputs()
+	out := bufCell.Output()
+	if len(in) != 1 || out == nil {
+		return nil, fmt.Errorf("netlist: %s is not a buffer-shaped cell", bufCell.Name)
+	}
+	// Verify the sinks belong to the net.
+	onNet := make(map[PinRef]bool, len(net.Sinks))
+	for _, s := range net.Sinks {
+		onNet[s] = true
+	}
+	for _, s := range sinks {
+		if !onNet[s] {
+			return nil, fmt.Errorf("netlist: sink %s is not on net %s", s, net.Name)
+		}
+	}
+
+	buf, err := d.NewInstanceAuto("buf", bufCell)
+	if err != nil {
+		return nil, err
+	}
+	newNet := d.NewNetAuto(net.Name + "_buf")
+	newNet.IsClock = net.IsClock
+	newNet.IsMTE = net.IsMTE
+	if err := d.Connect(buf, in[0].Name, net); err != nil {
+		return nil, err
+	}
+	if err := d.Connect(buf, out.Name, newNet); err != nil {
+		return nil, err
+	}
+	for _, s := range sinks {
+		if s.Inst != nil {
+			if err := d.Disconnect(s.Inst, s.Pin); err != nil {
+				return nil, err
+			}
+			if err := d.Connect(s.Inst, s.Pin, newNet); err != nil {
+				return nil, err
+			}
+		} else if s.Port != nil {
+			// Move an output port load.
+			for i, ns := range net.Sinks {
+				if ns.Port == s.Port {
+					net.Sinks = append(net.Sinks[:i], net.Sinks[i+1:]...)
+					break
+				}
+			}
+			s.Port.Net = newNet
+			newNet.Sinks = append(newNet.Sinks, PinRef{Port: s.Port})
+		}
+	}
+	return buf, nil
+}
+
+// Fanout returns the instances and ports fed by the instance's output net.
+func (d *Design) Fanout(inst *Instance) []PinRef {
+	n := inst.OutputNet()
+	if n == nil {
+		return nil
+	}
+	out := make([]PinRef, len(n.Sinks))
+	copy(out, n.Sinks)
+	return out
+}
+
+// Fanin returns the driving PinRef of each connected data-input pin.
+func (d *Design) Fanin(inst *Instance) []PinRef {
+	var out []PinRef
+	for _, p := range inst.Cell.Pins {
+		if p.Dir != liberty.DirInput {
+			continue
+		}
+		net := inst.Conns[p.Name]
+		if net != nil && net.HasDriver() {
+			out = append(out, net.Driver)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns instances in combinational topological order: an
+// instance appears after every combinational instance that feeds its data
+// inputs. Flop outputs and primary inputs are sources; flop D/CK pins are
+// sinks and impose no ordering. An error reports a combinational cycle.
+func (d *Design) TopoOrder() ([]*Instance, error) {
+	insts := d.Instances()
+	indeg := make(map[*Instance]int, len(insts))
+	dep := make(map[*Instance][]*Instance, len(insts)) // driver → dependents
+	for _, inst := range insts {
+		if inst.Cell.IsSequential() {
+			continue // flops are sources; their inputs don't order them
+		}
+		for _, p := range inst.Cell.Pins {
+			if p.Dir != liberty.DirInput || p.IsVGND || p.IsEnable {
+				continue
+			}
+			net := inst.Conns[p.Name]
+			if net == nil || net.Driver.Inst == nil {
+				continue
+			}
+			drv := net.Driver.Inst
+			if drv.Cell.IsSequential() {
+				continue
+			}
+			indeg[inst]++
+			dep[drv] = append(dep[drv], inst)
+		}
+	}
+	var queue []*Instance
+	for _, inst := range insts {
+		if indeg[inst] == 0 {
+			queue = append(queue, inst)
+		}
+	}
+	out := make([]*Instance, 0, len(insts))
+	for len(queue) > 0 {
+		inst := queue[0]
+		queue = queue[1:]
+		out = append(out, inst)
+		for _, s := range dep[inst] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(insts) {
+		return nil, fmt.Errorf("netlist: combinational cycle among %d instances", len(insts)-len(out))
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the design sharing the (immutable) library.
+func (d *Design) Clone() *Design {
+	c := New(d.Name, d.Lib)
+	c.Core = d.Core
+	c.anon = d.anon
+	for _, name := range d.netOrder {
+		if _, ok := d.nets[name]; !ok {
+			continue
+		}
+		src := d.nets[name]
+		n, _ := c.ensureNet(name)
+		n.IsClock, n.IsMTE, n.IsVGND = src.IsClock, src.IsMTE, src.IsVGND
+	}
+	for _, name := range d.portOrder {
+		src := d.ports[name]
+		p := &Port{Name: src.Name, Dir: src.Dir, IsClock: src.IsClock, Net: c.nets[src.Net.Name],
+			Pos: src.Pos, Placed: src.Placed}
+		c.ports[name] = p
+		c.portOrder = append(c.portOrder, name)
+		if src.Dir == DirInput {
+			p.Net.Driver = PinRef{Port: p}
+		} else {
+			p.Net.Sinks = append(p.Net.Sinks, PinRef{Port: p})
+		}
+	}
+	for _, name := range d.instOrder {
+		src, ok := d.insts[name]
+		if !ok {
+			continue
+		}
+		inst := &Instance{
+			Name: src.Name, Cell: src.Cell, Conns: make(map[string]*Net, len(src.Conns)),
+			Pos: src.Pos, Placed: src.Placed, Fixed: src.Fixed,
+		}
+		c.insts[name] = inst
+		c.instOrder = append(c.instOrder, name)
+	}
+	// Reconnect pins in the original net-endpoint order so clone equality
+	// is exact.
+	for _, name := range d.netOrder {
+		src, ok := d.nets[name]
+		if !ok {
+			continue
+		}
+		dst := c.nets[name]
+		if src.Driver.Inst != nil {
+			inst := c.insts[src.Driver.Inst.Name]
+			dst.Driver = PinRef{Inst: inst, Pin: src.Driver.Pin}
+			inst.Conns[src.Driver.Pin] = dst
+		}
+		for _, s := range src.Sinks {
+			if s.Inst != nil {
+				inst := c.insts[s.Inst.Name]
+				dst.Sinks = append(dst.Sinks, PinRef{Inst: inst, Pin: s.Pin})
+				inst.Conns[s.Pin] = dst
+			}
+			// Port sinks were added by the port loop above.
+		}
+	}
+	return c
+}

@@ -1,0 +1,280 @@
+// Package parasitics models interconnect RC: per-net RC trees with Elmore
+// delays, two extraction modes (pre-route placement estimates and
+// post-route Steiner-tree walks), and SPEF export/import. The Selective-MT
+// flow sizes sleep switches from the pre-route estimate, then re-optimizes
+// from the post-route extraction — exactly the two-pass structure the
+// paper describes.
+package parasitics
+
+import (
+	"fmt"
+	"math"
+
+	"selectivemt/internal/geom"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/route"
+	"selectivemt/internal/tech"
+)
+
+// RCTree is one net's extracted parasitics: a tree of resistive segments
+// with capacitance lumped at nodes. Node 0 is the driver pin.
+type RCTree struct {
+	NetName string
+	// NodeName[i] labels node i ("net:0" is the driver).
+	NodeName []string
+	// Parent[i] is the upstream node of i (Parent[0] = -1).
+	Parent []int
+	// ROhm[i] is the resistance (kΩ) between i and Parent[i].
+	RkOhm []float64
+	// CapPF[i] is the capacitance lumped at node i (wire + pin).
+	CapPF []float64
+	// SinkNode maps each sink PinRef index (position in net.Sinks) to its
+	// tree node.
+	SinkNode []int
+}
+
+// TotalCap returns the net's total capacitance (pF), the load the driver's
+// NLDM table is indexed with.
+func (t *RCTree) TotalCap() float64 {
+	var c float64
+	for _, v := range t.CapPF {
+		c += v
+	}
+	return c
+}
+
+// ElmoreDelays returns the Elmore delay (ns) from the driver to every node:
+// delay(n) = Σ over segments s on the path root→n of R(s)·Cdown(s).
+func (t *RCTree) ElmoreDelays() []float64 {
+	n := len(t.CapPF)
+	down := make([]float64, n)
+	copy(down, t.CapPF)
+	// Accumulate downstream caps: children appear after parents by
+	// construction, so a reverse sweep suffices.
+	for i := n - 1; i >= 1; i-- {
+		down[t.Parent[i]] += down[i]
+	}
+	delay := make([]float64, n)
+	for i := 1; i < n; i++ {
+		delay[i] = delay[t.Parent[i]] + t.RkOhm[i]*down[i]
+	}
+	return delay
+}
+
+// SinkDelays returns the Elmore delay per net sink, indexed like net.Sinks.
+func (t *RCTree) SinkDelays() []float64 {
+	all := t.ElmoreDelays()
+	out := make([]float64, len(t.SinkNode))
+	for i, n := range t.SinkNode {
+		out[i] = all[n]
+	}
+	return out
+}
+
+// MaxResistanceToSink returns the worst-case resistance (kΩ) from the root
+// to any sink — the quantity the VGND bounce rule multiplies with cluster
+// current.
+func (t *RCTree) MaxResistanceToSink() float64 {
+	rUp := make([]float64, len(t.CapPF))
+	for i := 1; i < len(t.CapPF); i++ {
+		rUp[i] = rUp[t.Parent[i]] + t.RkOhm[i]
+	}
+	var worst float64
+	for _, n := range t.SinkNode {
+		if rUp[n] > worst {
+			worst = rUp[n]
+		}
+	}
+	return worst
+}
+
+// pinCap returns the input capacitance of a sink endpoint.
+func pinCap(r netlist.PinRef) float64 {
+	if r.Inst == nil {
+		return 0.002 // primary output pad load, pF
+	}
+	if p := r.Inst.Cell.Pin(r.Pin); p != nil {
+		return p.CapPF
+	}
+	return 0
+}
+
+// Extractor produces an RCTree for a net.
+type Extractor interface {
+	Extract(n *netlist.Net) *RCTree
+}
+
+// EstimateExtractor is the pre-route model: a star from the driver with
+// per-sink resistance proportional to the placement Manhattan distance and
+// wire capacitance from the net bounding box. This is deliberately the
+// *estimated* RC the paper says carries error relative to post-route.
+type EstimateExtractor struct {
+	Proc *tech.Process
+}
+
+// Extract implements Extractor.
+func (e *EstimateExtractor) Extract(n *netlist.Net) *RCTree {
+	t := &RCTree{NetName: n.Name}
+	t.NodeName = append(t.NodeName, n.Name+":0")
+	t.Parent = append(t.Parent, -1)
+	t.RkOhm = append(t.RkOhm, 0)
+	t.CapPF = append(t.CapPF, 0)
+	drvPos, havePos := endpointPos(n.Driver)
+	wireCap := e.Proc.WireCap(estimateLength(n))
+	perSink := 0.0
+	if len(n.Sinks) > 0 {
+		perSink = wireCap / float64(len(n.Sinks))
+	} else {
+		t.CapPF[0] += wireCap
+	}
+	for i, s := range n.Sinks {
+		var r float64
+		if sp, ok := endpointPos(s); ok && havePos {
+			r = e.Proc.WireRes(drvPos.Manhattan(sp))
+		}
+		node := len(t.NodeName)
+		t.NodeName = append(t.NodeName, fmt.Sprintf("%s:%d", n.Name, node))
+		t.Parent = append(t.Parent, 0)
+		t.RkOhm = append(t.RkOhm, math.Max(r, 1e-6))
+		t.CapPF = append(t.CapPF, perSink+pinCap(s))
+		t.SinkNode = append(t.SinkNode, node)
+		_ = i
+	}
+	return t
+}
+
+// estimateLength approximates routed length as HPWL.
+func estimateLength(n *netlist.Net) float64 {
+	pts := endpointPoints(n)
+	if len(pts) < 2 {
+		return 0
+	}
+	return geom.BoundingBox(pts).HalfPerimeter()
+}
+
+func endpointPos(r netlist.PinRef) (geom.Point, bool) {
+	if r.Inst != nil {
+		return r.Inst.Pos, r.Inst.Placed
+	}
+	if r.Port != nil {
+		return r.Port.Pos, r.Port.Placed
+	}
+	return geom.Point{}, false
+}
+
+func endpointPoints(n *netlist.Net) []geom.Point {
+	var pts []geom.Point
+	if p, ok := endpointPos(n.Driver); ok {
+		pts = append(pts, p)
+	}
+	for _, s := range n.Sinks {
+		if p, ok := endpointPos(s); ok {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// SteinerExtractor is the post-route model: route the net as a Steiner
+// tree and distribute wire RC along the tree segments.
+type SteinerExtractor struct {
+	Proc *tech.Process
+	// TrunkNets selects trunk (comb) topology for matching nets — used for
+	// VGND rails.
+	TrunkNets func(n *netlist.Net) bool
+}
+
+// Extract implements Extractor.
+func (e *SteinerExtractor) Extract(n *netlist.Net) *RCTree {
+	pts := endpointPoints(n)
+	if len(pts) != n.Degree() || len(pts) == 0 {
+		// Some endpoint is unplaced: fall back to the estimate so SinkNode
+		// stays parallel to n.Sinks.
+		return (&EstimateExtractor{Proc: e.Proc}).Extract(n)
+	}
+	var tr *route.Tree
+	if e.TrunkNets != nil && e.TrunkNets(n) {
+		tr = route.Trunk(pts)
+	} else {
+		tr = route.Steiner(pts)
+	}
+	return FromRouteTree(n, tr, e.Proc)
+}
+
+// FromRouteTree converts a routed topology into an RC tree rooted at the
+// driver (route terminal 0), splitting each segment's wire cap between its
+// two end nodes.
+func FromRouteTree(n *netlist.Net, tr *route.Tree, proc *tech.Process) *RCTree {
+	nn := len(tr.Nodes)
+	t := &RCTree{NetName: n.Name}
+	if nn == 0 {
+		t.NodeName = []string{n.Name + ":0"}
+		t.Parent = []int{-1}
+		t.RkOhm = []float64{0}
+		t.CapPF = []float64{0}
+		return t
+	}
+	adj := tr.Adjacency()
+	// BFS from the driver orders nodes parent-before-child.
+	order := make([]int, 0, nn)
+	parent := make([]int, nn)
+	seen := make([]bool, nn)
+	for i := range parent {
+		parent[i] = -1
+	}
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Map route nodes → RC nodes in BFS order.
+	rcIndex := make([]int, nn)
+	for i := range rcIndex {
+		rcIndex[i] = -1
+	}
+	for _, v := range order {
+		idx := len(t.NodeName)
+		rcIndex[v] = idx
+		t.NodeName = append(t.NodeName, fmt.Sprintf("%s:%d", n.Name, idx))
+		if parent[v] < 0 {
+			t.Parent = append(t.Parent, -1)
+			t.RkOhm = append(t.RkOhm, 0)
+			t.CapPF = append(t.CapPF, 0)
+			continue
+		}
+		segLen := tr.Nodes[v].Manhattan(tr.Nodes[parent[v]])
+		t.Parent = append(t.Parent, rcIndex[parent[v]])
+		t.RkOhm = append(t.RkOhm, math.Max(proc.WireRes(segLen), 1e-6))
+		halfCap := proc.WireCap(segLen) / 2
+		t.CapPF = append(t.CapPF, halfCap)
+		t.CapPF[rcIndex[parent[v]]] += halfCap
+	}
+	// Attach pin caps: route terminal k corresponds to endpoint k in the
+	// order driver, sinks...
+	termIdx := 0
+	if _, ok := endpointPos(n.Driver); ok {
+		termIdx = 1 // terminal 0 is the driver
+	}
+	for _, s := range n.Sinks {
+		if _, ok := endpointPos(s); !ok {
+			continue
+		}
+		rc := rcIndex[termIdx]
+		if rc < 0 {
+			rc = 0
+		}
+		t.CapPF[rc] += pinCap(s)
+		t.SinkNode = append(t.SinkNode, rc)
+		termIdx++
+	}
+	return t
+}

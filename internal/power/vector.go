@@ -1,0 +1,90 @@
+package power
+
+import (
+	"math/rand"
+
+	"selectivemt/internal/logic"
+	"selectivemt/internal/netlist"
+)
+
+// OptimizeStandbyVector searches for the primary-input vector that
+// minimizes standby leakage — the classic companion to MTCMOS: subthreshold
+// leakage is state-dependent (stack effect), so the vector the design
+// parks in matters for the cells that stay powered (HVT logic, flops).
+//
+// The search is greedy bit-flipping with random restarts: evaluate the
+// current vector, try flipping each input, keep improvements, restart from
+// random vectors. Deterministic for a given seed. It returns the best
+// vector and its leakage.
+func OptimizeStandbyVector(d *netlist.Design, opts StandbyOptions,
+	restarts int, seed int64) (map[string]logic.Value, float64, error) {
+	var inputs []string
+	for _, p := range d.Ports() {
+		if p.Dir == netlist.DirInput && !p.IsClock && p.Name != "clk" && p.Name != "MTE" {
+			inputs = append(inputs, p.Name)
+		}
+	}
+	eval := func(vec map[string]logic.Value) (float64, error) {
+		o := opts
+		o.Inputs = vec
+		rep, err := Standby(d, o)
+		if err != nil {
+			return 0, err
+		}
+		return rep.StandbyLeakMW, nil
+	}
+
+	best := make(map[string]logic.Value, len(inputs))
+	for _, in := range inputs {
+		best[in] = logic.V0
+	}
+	bestLeak, err := eval(best)
+	if err != nil {
+		return nil, 0, err
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < restarts; r++ {
+		cur := make(map[string]logic.Value, len(inputs))
+		if r == 0 {
+			for k, v := range best {
+				cur[k] = v
+			}
+		} else {
+			for _, in := range inputs {
+				cur[in] = logic.FromBool(rng.Intn(2) == 1)
+			}
+		}
+		curLeak, err := eval(cur)
+		if err != nil {
+			return nil, 0, err
+		}
+		improved := true
+		for improved {
+			improved = false
+			for _, in := range inputs {
+				cur[in] = cur[in].Not()
+				leak, err := eval(cur)
+				if err != nil {
+					return nil, 0, err
+				}
+				if leak < curLeak {
+					curLeak = leak
+					improved = true
+				} else {
+					cur[in] = cur[in].Not() // revert
+				}
+			}
+		}
+		if curLeak < bestLeak {
+			bestLeak = curLeak
+			best = make(map[string]logic.Value, len(inputs))
+			for k, v := range cur {
+				best[k] = v
+			}
+		}
+	}
+	return best, bestLeak, nil
+}

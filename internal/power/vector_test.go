@@ -1,0 +1,82 @@
+package power
+
+import (
+	"testing"
+
+	"selectivemt/internal/logic"
+	"selectivemt/internal/netlist"
+)
+
+func TestOptimizeStandbyVectorImproves(t *testing.T) {
+	d := mixed(t)
+	// Leakage at the all-zeros vector.
+	base, err := Standby(d, StandbyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, leak, err := OptimizeStandbyVector(d, StandbyOptions{}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak > base.StandbyLeakMW {
+		t.Errorf("optimizer made it worse: %v vs %v", leak, base.StandbyLeakMW)
+	}
+	// The returned vector must actually produce the reported leakage.
+	rep, err := Standby(d, StandbyOptions{Inputs: vec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StandbyLeakMW != leak {
+		t.Errorf("reported %v, vector reproduces %v", leak, rep.StandbyLeakMW)
+	}
+	// Every non-clock input assigned.
+	for _, name := range []string{"in", "in2"} {
+		if _, ok := vec[name]; !ok {
+			t.Errorf("input %s unassigned", name)
+		}
+	}
+	if _, ok := vec["clk"]; ok {
+		t.Error("clock must not be part of the standby vector")
+	}
+}
+
+func TestOptimizeStandbyVectorIsLocalOptimum(t *testing.T) {
+	d := mixed(t)
+	vec, leak, err := OptimizeStandbyVector(d, StandbyOptions{}, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flipping any single bit must not improve further.
+	for in := range vec {
+		flipped := make(map[string]logic.Value, len(vec))
+		for k, v := range vec {
+			flipped[k] = v
+		}
+		flipped[in] = flipped[in].Not()
+		rep, err := Standby(d, StandbyOptions{Inputs: flipped})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.StandbyLeakMW < leak-1e-18 {
+			t.Errorf("flipping %s improves %v → %v: not a local optimum",
+				in, leak, rep.StandbyLeakMW)
+		}
+	}
+}
+
+func TestOptimizeStandbyVectorWithGating(t *testing.T) {
+	d := mixed(t)
+	inv := d.Instance("inv")
+	d.ReplaceCell(inv, lib(t).Cell("INV_X1_MN"))
+	opts := StandbyOptions{
+		Gated:    func(i *netlist.Instance) bool { return i == inv },
+		HolderOn: func(n *netlist.Net) bool { return n == d.NetByName("n1") },
+	}
+	_, leak, err := OptimizeStandbyVector(d, opts, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak <= 0 {
+		t.Error("gated design should still have a floor")
+	}
+}

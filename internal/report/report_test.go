@@ -1,0 +1,51 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := New("My Table", "Name", "Value")
+	tb.Add("alpha", 3.14159)
+	tb.Add("b", "text")
+	s := tb.String()
+	if !strings.Contains(s, "My Table") || !strings.Contains(s, "alpha") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+	if !strings.Contains(s, "3.14") {
+		t.Errorf("float not formatted:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+	// Columns aligned: header and first row start at same offsets.
+	if strings.Index(lines[1], "Value") != strings.Index(lines[3], "3.14") {
+		t.Errorf("columns not aligned:\n%s", s)
+	}
+}
+
+func TestAddPct(t *testing.T) {
+	tb := New("", "tech", "area", "leak")
+	tb.AddPct("Dual-Vth", 100, 100)
+	s := tb.String()
+	if !strings.Contains(s, "100.00%") {
+		t.Errorf("pct formatting wrong:\n%s", s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("x", "a", "b")
+	tb.Add("has,comma", "has\"quote")
+	csv := tb.CSV()
+	if !strings.Contains(csv, "\"has,comma\"") {
+		t.Errorf("comma not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, "\"has\"\"quote\"") {
+		t.Errorf("quote not escaped: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("header wrong: %s", csv)
+	}
+}

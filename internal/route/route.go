@@ -1,0 +1,163 @@
+// Package route builds per-net rectilinear routing topologies: Prim-grown
+// spanning trees refined with Steiner points on the Hanan grid of each
+// edge's L-shape. The parasitic extractor walks these trees to produce
+// post-route RC, and the VGND wire-length rule of the switch-structure
+// optimizer is checked against them.
+package route
+
+import (
+	"math"
+	"sort"
+
+	"selectivemt/internal/geom"
+)
+
+// Tree is a routed net topology. Node indices 0..len(Terminals)-1 are the
+// terminals in their original order (0 is the driver); higher indices are
+// Steiner points. Every edge is a rectilinear segment (its two nodes share
+// an x or y coordinate).
+type Tree struct {
+	Nodes []geom.Point
+	Edges [][2]int
+}
+
+// Length returns the total rectilinear wirelength.
+func (t *Tree) Length() float64 {
+	var sum float64
+	for _, e := range t.Edges {
+		sum += t.Nodes[e[0]].Manhattan(t.Nodes[e[1]])
+	}
+	return sum
+}
+
+// Adjacency returns the adjacency list of the tree.
+func (t *Tree) Adjacency() [][]int {
+	adj := make([][]int, len(t.Nodes))
+	for _, e := range t.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+// PathLengths returns the tree-path length from node `from` to every node.
+func (t *Tree) PathLengths(from int) []float64 {
+	dist := make([]float64, len(t.Nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	adj := t.Adjacency()
+	stack := []int{from}
+	dist[from] = 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range adj[n] {
+			if d := dist[n] + t.Nodes[n].Manhattan(t.Nodes[m]); d < dist[m] {
+				dist[m] = d
+				stack = append(stack, m)
+			}
+		}
+	}
+	return dist
+}
+
+// Steiner builds a rectilinear Steiner tree over the terminals. The
+// construction is Prim's MST in the Manhattan metric with each tree edge
+// realized as an L-shape through a Steiner corner; subsequent terminals may
+// connect to Steiner corners as well as terminals, which recovers most of
+// the sharing a true RSMT would find at standard-cell scale.
+func Steiner(terminals []geom.Point) *Tree {
+	n := len(terminals)
+	t := &Tree{Nodes: append([]geom.Point(nil), terminals...)}
+	if n <= 1 {
+		return t
+	}
+	inTree := make([]bool, n)
+	inTree[0] = true
+	treeNodes := []int{0}
+	for added := 1; added < n; added++ {
+		// Closest unconnected terminal to any tree node.
+		bestT, bestN, bestD := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			for _, tn := range treeNodes {
+				if d := terminals[i].Manhattan(t.Nodes[tn]); d < bestD {
+					bestD, bestT, bestN = d, i, tn
+				}
+			}
+		}
+		inTree[bestT] = true
+		a, b := t.Nodes[bestN], terminals[bestT]
+		if a.X == b.X || a.Y == b.Y {
+			t.Edges = append(t.Edges, [2]int{bestN, bestT})
+		} else {
+			// L-route through a Steiner corner; the corner becomes a
+			// connection point for later terminals.
+			corner := geom.Pt(b.X, a.Y)
+			ci := len(t.Nodes)
+			t.Nodes = append(t.Nodes, corner)
+			t.Edges = append(t.Edges, [2]int{bestN, ci}, [2]int{ci, bestT})
+			treeNodes = append(treeNodes, ci)
+		}
+		treeNodes = append(treeNodes, bestT)
+	}
+	return t
+}
+
+// Trunk builds a single-trunk (comb) topology: a horizontal trunk at the
+// terminals' median y, with a vertical stub to each terminal. The VGND
+// rails of a switch cluster use this shape — it matches how power-style
+// nets are actually routed and makes the wire-length rule easy to reason
+// about.
+func Trunk(terminals []geom.Point) *Tree {
+	n := len(terminals)
+	t := &Tree{Nodes: append([]geom.Point(nil), terminals...)}
+	if n <= 1 {
+		return t
+	}
+	ys := make([]float64, n)
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for i, p := range terminals {
+		ys[i] = p.Y
+		xmin = math.Min(xmin, p.X)
+		xmax = math.Max(xmax, p.X)
+	}
+	trunkY := median(ys)
+	// Trunk nodes at each terminal's x, sorted left to right.
+	type stub struct {
+		x    float64
+		term int
+	}
+	stubs := make([]stub, n)
+	for i, p := range terminals {
+		stubs[i] = stub{p.X, i}
+	}
+	sort.Slice(stubs, func(i, j int) bool { return stubs[i].x < stubs[j].x })
+	prevTrunk := -1
+	for _, s := range stubs {
+		ti := len(t.Nodes)
+		t.Nodes = append(t.Nodes, geom.Pt(s.x, trunkY))
+		if prevTrunk >= 0 {
+			t.Edges = append(t.Edges, [2]int{prevTrunk, ti})
+		}
+		// Vertical stub (zero length when the terminal sits on the trunk).
+		t.Edges = append(t.Edges, [2]int{ti, s.term})
+		prevTrunk = ti
+	}
+	return t
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// HPWLLowerBound returns the half-perimeter of the terminals' bounding box,
+// a lower bound any Steiner tree must meet or exceed.
+func HPWLLowerBound(terminals []geom.Point) float64 {
+	return geom.BoundingBox(terminals).HalfPerimeter()
+}

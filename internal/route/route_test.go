@@ -1,0 +1,136 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"selectivemt/internal/geom"
+)
+
+func TestSteinerTwoTerminals(t *testing.T) {
+	tr := Steiner([]geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)})
+	if got := tr.Length(); got != 7 {
+		t.Errorf("length = %v, want 7", got)
+	}
+	// L-shape adds a corner node.
+	if len(tr.Nodes) != 3 {
+		t.Errorf("nodes = %d, want 3 (two terminals + corner)", len(tr.Nodes))
+	}
+	// Aligned pair needs no corner.
+	tr2 := Steiner([]geom.Point{geom.Pt(0, 0), geom.Pt(5, 0)})
+	if len(tr2.Nodes) != 2 || tr2.Length() != 5 {
+		t.Errorf("aligned pair: %d nodes, length %v", len(tr2.Nodes), tr2.Length())
+	}
+}
+
+func TestSteinerDegenerate(t *testing.T) {
+	if tr := Steiner(nil); tr.Length() != 0 || len(tr.Edges) != 0 {
+		t.Error("empty net not degenerate")
+	}
+	if tr := Steiner([]geom.Point{geom.Pt(1, 1)}); tr.Length() != 0 {
+		t.Error("single terminal not degenerate")
+	}
+	// Coincident terminals.
+	tr := Steiner([]geom.Point{geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(1, 1)})
+	if tr.Length() != 0 {
+		t.Errorf("coincident terminals length %v", tr.Length())
+	}
+}
+
+func TestSteinerSharesCorners(t *testing.T) {
+	// A 3-terminal right angle: the RSMT length is 4, and the L-corner
+	// sharing should find it (plain MST would give 6).
+	terms := []geom.Point{geom.Pt(0, 0), geom.Pt(2, 2), geom.Pt(2, 0)}
+	tr := Steiner(terms)
+	if tr.Length() > 4+1e-9 {
+		t.Errorf("steiner length = %v, want 4", tr.Length())
+	}
+}
+
+func TestSteinerRectilinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		terms := make([]geom.Point, n)
+		for i := range terms {
+			terms[i] = geom.Pt(float64(rng.Intn(50)), float64(rng.Intn(50)))
+		}
+		tr := Steiner(terms)
+		// Every edge axis-aligned.
+		for _, e := range tr.Edges {
+			a, b := tr.Nodes[e[0]], tr.Nodes[e[1]]
+			if a.X != b.X && a.Y != b.Y {
+				t.Fatalf("edge %v-%v not rectilinear", a, b)
+			}
+		}
+		// Connected: path lengths from node 0 all finite.
+		dist := tr.PathLengths(0)
+		for i := 0; i < n; i++ {
+			if math.IsInf(dist[i], 1) {
+				t.Fatalf("terminal %d unreachable", i)
+			}
+		}
+		// Length ≥ HPWL lower bound, ≤ MST upper bound (sum of all Prim
+		// jumps is itself an upper bound the construction never exceeds).
+		if tr.Length() < HPWLLowerBound(terms)-1e-9 {
+			t.Fatalf("length %v below lower bound %v", tr.Length(), HPWLLowerBound(terms))
+		}
+	}
+}
+
+func TestPathLengthsChain(t *testing.T) {
+	terms := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(20, 0)}
+	tr := Steiner(terms)
+	dist := tr.PathLengths(0)
+	if dist[1] != 10 || dist[2] != 20 {
+		t.Errorf("dist = %v", dist)
+	}
+}
+
+func TestTrunkShape(t *testing.T) {
+	terms := []geom.Point{geom.Pt(0, 5), geom.Pt(10, 0), geom.Pt(20, 10), geom.Pt(5, 5)}
+	tr := Trunk(terms)
+	// Rectilinear.
+	for _, e := range tr.Edges {
+		a, b := tr.Nodes[e[0]], tr.Nodes[e[1]]
+		if a.X != b.X && a.Y != b.Y {
+			t.Fatalf("edge %v-%v not rectilinear", a, b)
+		}
+	}
+	// All terminals connected.
+	dist := tr.PathLengths(0)
+	for i := range terms {
+		if math.IsInf(dist[i], 1) {
+			t.Fatalf("terminal %d unreachable", i)
+		}
+	}
+	// Trunk length: x-span 20 + stubs to y=5 trunk: 5+5+0+0 = 30.
+	if tr.Length() != 30 {
+		t.Errorf("trunk length = %v, want 30", tr.Length())
+	}
+}
+
+func TestTrunkDegenerate(t *testing.T) {
+	if tr := Trunk([]geom.Point{geom.Pt(3, 3)}); tr.Length() != 0 {
+		t.Error("single-terminal trunk should be empty")
+	}
+}
+
+func TestSteinerNeverWorseThanNaiveStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(6)
+		terms := make([]geom.Point, n)
+		for i := range terms {
+			terms[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		star := 0.0
+		for i := 1; i < n; i++ {
+			star += terms[0].Manhattan(terms[i])
+		}
+		if tr := Steiner(terms); tr.Length() > star+1e-9 {
+			t.Fatalf("steiner %v worse than star %v", tr.Length(), star)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package sdc reads and writes the subset of Synopsys Design Constraints
+// the flow needs: clock definition, input/output delays and a transition
+// cap. The benchmark generator emits an SDC per circuit, and cmd/smtflow
+// accepts one alongside a Verilog netlist.
+package sdc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Constraints is a parsed SDC file.
+type Constraints struct {
+	ClockName     string
+	ClockPort     string
+	ClockPeriodNs float64
+	// InputDelayNs and OutputDelayNs map port names to external delays;
+	// the "*" key is the default applied to unlisted ports.
+	InputDelayNs    map[string]float64
+	OutputDelayNs   map[string]float64
+	MaxTransitionNs float64
+}
+
+// New returns empty constraints with allocated maps.
+func New() *Constraints {
+	return &Constraints{
+		InputDelayNs:  make(map[string]float64),
+		OutputDelayNs: make(map[string]float64),
+	}
+}
+
+// InputDelay returns the external delay for an input port.
+func (c *Constraints) InputDelay(port string) float64 {
+	if v, ok := c.InputDelayNs[port]; ok {
+		return v
+	}
+	return c.InputDelayNs["*"]
+}
+
+// OutputDelay returns the external margin for an output port.
+func (c *Constraints) OutputDelay(port string) float64 {
+	if v, ok := c.OutputDelayNs[port]; ok {
+		return v
+	}
+	return c.OutputDelayNs["*"]
+}
+
+// Write renders the constraints as SDC.
+func Write(w io.Writer, c *Constraints) error {
+	bw := bufio.NewWriter(w)
+	p := func(format string, args ...any) { fmt.Fprintf(bw, format, args...) }
+	name := c.ClockName
+	if name == "" {
+		name = c.ClockPort
+	}
+	p("create_clock -name %s -period %s [get_ports %s]\n", name, ftoa(c.ClockPeriodNs), c.ClockPort)
+	writeDelays := func(cmd string, m map[string]float64) {
+		for _, port := range sortedKeys(m) {
+			target := "[get_ports " + port + "]"
+			if port == "*" {
+				target = "[all_inputs]"
+				if cmd == "set_output_delay" {
+					target = "[all_outputs]"
+				}
+			}
+			p("%s %s -clock %s %s\n", cmd, ftoa(m[port]), name, target)
+		}
+	}
+	writeDelays("set_input_delay", c.InputDelayNs)
+	writeDelays("set_output_delay", c.OutputDelayNs)
+	if c.MaxTransitionNs > 0 {
+		p("set_max_transition %s [current_design]\n", ftoa(c.MaxTransitionNs))
+	}
+	return bw.Flush()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func ftoa(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// Parse reads an SDC subset. Unknown commands are rejected (better loud
+// than silently ignored constraints).
+func Parse(r io.Reader) (*Constraints, error) {
+	c := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		toks := tokenize(line)
+		if len(toks) == 0 {
+			continue
+		}
+		switch toks[0] {
+		case "create_clock":
+			if err := c.parseCreateClock(toks[1:]); err != nil {
+				return nil, fmt.Errorf("sdc: line %d: %v", lineNo, err)
+			}
+		case "set_input_delay":
+			if err := c.parseSetDelay(toks[1:], c.InputDelayNs, "all_inputs"); err != nil {
+				return nil, fmt.Errorf("sdc: line %d: %v", lineNo, err)
+			}
+		case "set_output_delay":
+			if err := c.parseSetDelay(toks[1:], c.OutputDelayNs, "all_outputs"); err != nil {
+				return nil, fmt.Errorf("sdc: line %d: %v", lineNo, err)
+			}
+		case "set_max_transition":
+			if len(toks) < 2 {
+				return nil, fmt.Errorf("sdc: line %d: set_max_transition needs a value", lineNo)
+			}
+			v, err := strconv.ParseFloat(toks[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdc: line %d: %v", lineNo, err)
+			}
+			c.MaxTransitionNs = v
+		default:
+			return nil, fmt.Errorf("sdc: line %d: unsupported command %q", lineNo, toks[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c.ClockPeriodNs <= 0 {
+		return nil, fmt.Errorf("sdc: no create_clock with a positive period")
+	}
+	return c, nil
+}
+
+// tokenize splits an SDC line, flattening [get_ports {a b}] into marker
+// tokens: "[get_ports", names..., "]".
+func tokenize(line string) []string {
+	line = strings.ReplaceAll(line, "[", " [ ")
+	line = strings.ReplaceAll(line, "]", " ] ")
+	line = strings.ReplaceAll(line, "{", " ")
+	line = strings.ReplaceAll(line, "}", " ")
+	return strings.Fields(line)
+}
+
+func (c *Constraints) parseCreateClock(toks []string) error {
+	i := 0
+	for i < len(toks) {
+		switch toks[i] {
+		case "-period":
+			if i+1 >= len(toks) {
+				return fmt.Errorf("-period needs a value")
+			}
+			v, err := strconv.ParseFloat(toks[i+1], 64)
+			if err != nil {
+				return err
+			}
+			c.ClockPeriodNs = v
+			i += 2
+		case "-name":
+			if i+1 >= len(toks) {
+				return fmt.Errorf("-name needs a value")
+			}
+			c.ClockName = toks[i+1]
+			i += 2
+		case "[":
+			ports, n, err := parseBracket(toks[i:])
+			if err != nil {
+				return err
+			}
+			if len(ports) > 0 {
+				c.ClockPort = ports[0]
+			}
+			i += n
+		default:
+			return fmt.Errorf("unexpected %q in create_clock", toks[i])
+		}
+	}
+	if c.ClockPeriodNs <= 0 {
+		return fmt.Errorf("create_clock needs a positive -period")
+	}
+	return nil
+}
+
+func (c *Constraints) parseSetDelay(toks []string, into map[string]float64, allCmd string) error {
+	var value *float64
+	var ports []string
+	var isAll bool
+	i := 0
+	for i < len(toks) {
+		switch {
+		case toks[i] == "-clock":
+			i += 2 // clock name; single-clock designs ignore it
+		case toks[i] == "-max" || toks[i] == "-min":
+			i++
+		case toks[i] == "[":
+			ps, n, err := parseBracket(toks[i:])
+			if err != nil {
+				return err
+			}
+			for _, p := range ps {
+				if p == allCmd {
+					isAll = true
+				} else {
+					ports = append(ports, p)
+				}
+			}
+			i += n
+		default:
+			v, err := strconv.ParseFloat(toks[i], 64)
+			if err != nil {
+				return fmt.Errorf("bad token %q", toks[i])
+			}
+			value = &v
+			i++
+		}
+	}
+	if value == nil {
+		return fmt.Errorf("missing delay value")
+	}
+	if isAll {
+		into["*"] = *value
+	}
+	for _, p := range ports {
+		into[p] = *value
+	}
+	if !isAll && len(ports) == 0 {
+		return fmt.Errorf("no target ports")
+	}
+	return nil
+}
+
+// parseBracket consumes "[ cmd args... ]" and returns the contained names
+// (for get_ports the port list; for all_inputs/all_outputs/current_design
+// the command itself) and the token count consumed.
+func parseBracket(toks []string) ([]string, int, error) {
+	if toks[0] != "[" {
+		return nil, 0, fmt.Errorf("expected '['")
+	}
+	var names []string
+	for i := 1; i < len(toks); i++ {
+		if toks[i] == "]" {
+			if len(names) > 0 && names[0] == "get_ports" {
+				return names[1:], i + 1, nil
+			}
+			return names, i + 1, nil
+		}
+		names = append(names, toks[i])
+	}
+	return nil, 0, fmt.Errorf("unterminated '['")
+}

@@ -1,0 +1,89 @@
+package sdc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `
+# constraints for circuit A
+create_clock -name core_clk -period 2.5 [get_ports clk]
+set_input_delay 0.2 -clock core_clk [all_inputs]
+set_input_delay 0.35 -clock core_clk [get_ports {mode rst}]
+set_output_delay 0.3 -clock core_clk [all_outputs]
+set_max_transition 0.4 [current_design]
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ClockPort != "clk" || c.ClockName != "core_clk" || c.ClockPeriodNs != 2.5 {
+		t.Errorf("clock parse wrong: %+v", c)
+	}
+	if c.InputDelay("anything") != 0.2 {
+		t.Errorf("default input delay = %v", c.InputDelay("anything"))
+	}
+	if c.InputDelay("mode") != 0.35 || c.InputDelay("rst") != 0.35 {
+		t.Error("per-port input delay wrong")
+	}
+	if c.OutputDelay("y") != 0.3 {
+		t.Errorf("output delay = %v", c.OutputDelay("y"))
+	}
+	if c.MaxTransitionNs != 0.4 {
+		t.Errorf("max transition = %v", c.MaxTransitionNs)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if c2.ClockPeriodNs != c.ClockPeriodNs || c2.ClockPort != c.ClockPort {
+		t.Error("clock lost in round trip")
+	}
+	if c2.InputDelay("mode") != c.InputDelay("mode") ||
+		c2.InputDelay("zzz") != c.InputDelay("zzz") ||
+		c2.OutputDelay("y") != c.OutputDelay("y") ||
+		c2.MaxTransitionNs != c.MaxTransitionNs {
+		t.Error("delays lost in round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"no period", "create_clock [get_ports clk]"},
+		{"negative period", "create_clock -period -1 [get_ports clk]"},
+		{"unknown command", "create_clock -period 1 [get_ports clk]\nset_false_path -from x"},
+		{"bad number", "create_clock -period abc [get_ports clk]"},
+		{"delay no target", "create_clock -period 1 [get_ports clk]\nset_input_delay 0.5"},
+		{"unterminated bracket", "create_clock -period 1 [get_ports clk"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNoDefaultsZero(t *testing.T) {
+	c, err := Parse(strings.NewReader("create_clock -period 1 [get_ports clk]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.InputDelay("x") != 0 || c.OutputDelay("y") != 0 {
+		t.Error("missing delays should default to 0")
+	}
+}

@@ -1,0 +1,309 @@
+// Package sim is a levelized three-valued (0/1/X) logic simulator over the
+// netlist. The flow uses it three ways:
+//
+//   - equivalence checking between transformation stages (the Fig.2 vs
+//     Fig.3 circuits must stay logically identical),
+//   - switching-activity estimation feeding dynamic power and sleep-switch
+//     current sizing,
+//   - standby-state derivation: with the circuit asleep, MT-cell outputs
+//     either hold at 1 (output holder present) or float to X, which is
+//     exactly the input-state information state-dependent leakage needs.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/logic"
+	"selectivemt/internal/netlist"
+)
+
+// Simulator evaluates a design combinationally and steps flops on demand.
+type Simulator struct {
+	d     *netlist.Design
+	order []*netlist.Instance
+	val   map[*netlist.Net]logic.Value
+	state map[*netlist.Instance]logic.Value // flop internal state
+}
+
+// New builds a simulator; it fails on combinational cycles.
+func New(d *netlist.Design) (*Simulator, error) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		d:     d,
+		order: order,
+		val:   make(map[*netlist.Net]logic.Value, d.NumNets()),
+		state: make(map[*netlist.Instance]logic.Value),
+	}
+	for _, n := range d.Nets() {
+		s.val[n] = logic.VX
+	}
+	for _, inst := range order {
+		if inst.Cell.IsSequential() {
+			s.state[inst] = logic.VX
+		}
+	}
+	return s, nil
+}
+
+// ResetState forces every flop's state to v.
+func (s *Simulator) ResetState(v logic.Value) {
+	for inst := range s.state {
+		s.state[inst] = v
+	}
+}
+
+// SetInput drives a primary input port.
+func (s *Simulator) SetInput(port string, v logic.Value) error {
+	p := s.d.PortByName(port)
+	if p == nil || p.Dir != netlist.DirInput {
+		return fmt.Errorf("sim: no input port %q", port)
+	}
+	s.val[p.Net] = v
+	return nil
+}
+
+// Value returns the current value on a net.
+func (s *Simulator) Value(n *netlist.Net) logic.Value { return s.val[n] }
+
+// PortValue returns the value at a port.
+func (s *Simulator) PortValue(name string) (logic.Value, error) {
+	p := s.d.PortByName(name)
+	if p == nil {
+		return logic.VX, fmt.Errorf("sim: no port %q", name)
+	}
+	return s.val[p.Net], nil
+}
+
+// Eval propagates values combinationally: flop outputs present their state,
+// then every combinational instance evaluates in topological order.
+func (s *Simulator) Eval() {
+	for inst, st := range s.state {
+		if q := inst.OutputNet(); q != nil {
+			s.val[q] = st
+		}
+	}
+	for _, inst := range s.order {
+		s.evalInstance(inst, nil)
+	}
+}
+
+// EvalStandby propagates values with the sleep mode asserted: instances for
+// which gated() is true do not evaluate; their outputs hold at 1 when
+// holderOn() reports an output holder on the net, and float to X otherwise.
+// This realizes the paper's output-holder semantics ("sets the output of
+// the improved MT-cell to one when a circuit is on standby").
+func (s *Simulator) EvalStandby(gated func(*netlist.Instance) bool, holderOn func(*netlist.Net) bool) {
+	for inst, st := range s.state {
+		if q := inst.OutputNet(); q != nil {
+			s.val[q] = st
+		}
+	}
+	for _, inst := range s.order {
+		if gated != nil && gated(inst) {
+			if out := inst.OutputNet(); out != nil {
+				if holderOn != nil && holderOn(out) {
+					s.val[out] = logic.V1
+				} else {
+					s.val[out] = logic.VX
+				}
+			}
+			continue
+		}
+		s.evalInstance(inst, nil)
+	}
+}
+
+func (s *Simulator) evalInstance(inst *netlist.Instance, _ []string) {
+	if inst.Cell.IsSequential() {
+		return // flops only change on Step
+	}
+	out := inst.Cell.Output()
+	if out == nil || out.Function == nil {
+		return // switches, holders
+	}
+	outNet := inst.Conns[out.Name]
+	if outNet == nil {
+		return
+	}
+	env := make(map[string]logic.Value, 4)
+	for _, p := range inst.Cell.Inputs() {
+		if n := inst.Conns[p.Name]; n != nil {
+			env[p.Name] = s.val[n]
+		} else {
+			env[p.Name] = logic.VX
+		}
+	}
+	s.val[outNet] = out.Function.Eval(env)
+}
+
+// Step captures every flop's D input into its state (a global clock edge)
+// and re-propagates.
+func (s *Simulator) Step() {
+	next := make(map[*netlist.Instance]logic.Value, len(s.state))
+	for inst := range s.state {
+		if d := inst.Conns["D"]; d != nil {
+			next[inst] = s.val[d]
+		} else {
+			next[inst] = logic.VX
+		}
+	}
+	s.state = next
+	s.Eval()
+}
+
+// InputNames returns the non-clock primary input port names in order.
+func InputNames(d *netlist.Design) []string {
+	var out []string
+	for _, p := range d.Ports() {
+		if p.Dir == netlist.DirInput && !p.IsClock && p.Name != "clk" && p.Name != "MTE" {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// OutputNames returns the primary output port names in order.
+func OutputNames(d *netlist.Design) []string {
+	var out []string
+	for _, p := range d.Ports() {
+		if p.Dir == netlist.DirOutput {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// Equivalent drives both designs with the same nCycles random input
+// sequences (flops reset to 0) and compares all primary outputs each cycle.
+// X on either side is treated as a mismatch unless both are X.
+func Equivalent(a, b *netlist.Design, nCycles int, seed int64) (bool, string, error) {
+	sa, err := New(a)
+	if err != nil {
+		return false, "", err
+	}
+	sb, err := New(b)
+	if err != nil {
+		return false, "", err
+	}
+	ins := InputNames(a)
+	insB := InputNames(b)
+	if len(ins) != len(insB) {
+		return false, fmt.Sprintf("input count %d vs %d", len(ins), len(insB)), nil
+	}
+	outs := OutputNames(a)
+	outsB := OutputNames(b)
+	if len(outs) != len(outsB) {
+		return false, fmt.Sprintf("output count %d vs %d", len(outs), len(outsB)), nil
+	}
+	sa.ResetState(logic.V0)
+	sb.ResetState(logic.V0)
+	rng := rand.New(rand.NewSource(seed))
+	for cyc := 0; cyc < nCycles; cyc++ {
+		for _, in := range ins {
+			v := logic.FromBool(rng.Intn(2) == 1)
+			if err := sa.SetInput(in, v); err != nil {
+				return false, "", err
+			}
+			if err := sb.SetInput(in, v); err != nil {
+				return false, "", err
+			}
+		}
+		sa.Eval()
+		sb.Eval()
+		for _, out := range outs {
+			va, _ := sa.PortValue(out)
+			vb, _ := sb.PortValue(out)
+			if va != vb {
+				return false, fmt.Sprintf("cycle %d output %s: %v vs %v", cyc, out, va, vb), nil
+			}
+		}
+		sa.Step()
+		sb.Step()
+	}
+	return true, "", nil
+}
+
+// Activity holds per-net switching statistics from a random simulation.
+type Activity struct {
+	// Toggle is the per-cycle toggle probability of each net.
+	Toggle map[*netlist.Net]float64
+	// ProbOne is the probability the net carries a 1.
+	ProbOne map[*netlist.Net]float64
+	Cycles  int
+}
+
+// EstimateActivity runs nCycles random cycles and gathers toggle and
+// level statistics. Flops start at 0; the first warmup cycles (one eighth)
+// are excluded from the statistics.
+func EstimateActivity(d *netlist.Design, nCycles int, seed int64) (*Activity, error) {
+	s, err := New(d)
+	if err != nil {
+		return nil, err
+	}
+	s.ResetState(logic.V0)
+	ins := InputNames(d)
+	rng := rand.New(rand.NewSource(seed))
+	warmup := nCycles / 8
+	toggles := make(map[*netlist.Net]int, d.NumNets())
+	ones := make(map[*netlist.Net]int, d.NumNets())
+	prev := make(map[*netlist.Net]logic.Value, d.NumNets())
+	counted := 0
+	for cyc := 0; cyc < nCycles; cyc++ {
+		for _, in := range ins {
+			s.SetInput(in, logic.FromBool(rng.Intn(2) == 1))
+		}
+		s.Eval()
+		if cyc >= warmup {
+			counted++
+			for _, n := range d.Nets() {
+				v := s.val[n]
+				if v == logic.V1 {
+					ones[n]++
+				}
+				if pv, ok := prev[n]; ok && pv != v && pv != logic.VX && v != logic.VX {
+					toggles[n]++
+				}
+			}
+		}
+		for _, n := range d.Nets() {
+			prev[n] = s.val[n]
+		}
+		s.Step()
+	}
+	act := &Activity{
+		Toggle:  make(map[*netlist.Net]float64, d.NumNets()),
+		ProbOne: make(map[*netlist.Net]float64, d.NumNets()),
+		Cycles:  counted,
+	}
+	if counted == 0 {
+		counted = 1
+	}
+	for _, n := range d.Nets() {
+		act.Toggle[n] = float64(toggles[n]) / float64(counted)
+		act.ProbOne[n] = float64(ones[n]) / float64(counted)
+	}
+	return act, nil
+}
+
+// InstanceInputState returns the input-pin environment of an instance given
+// the simulator's current net values, keyed by pin name — the shape
+// Cell.LeakageAt consumes.
+func (s *Simulator) InstanceInputState(inst *netlist.Instance) map[string]logic.Value {
+	env := make(map[string]logic.Value, 4)
+	for _, p := range inst.Cell.Pins {
+		if p.Dir != liberty.DirInput || p.IsEnable || p.IsVGND {
+			continue
+		}
+		if n := inst.Conns[p.Name]; n != nil {
+			env[p.Name] = s.val[n]
+		} else {
+			env[p.Name] = logic.VX
+		}
+	}
+	return env
+}

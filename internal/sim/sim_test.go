@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"testing"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/logic"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/tech"
+)
+
+var sharedLib *liberty.Library
+
+func lib(t *testing.T) *liberty.Library {
+	t.Helper()
+	if sharedLib == nil {
+		proc := tech.Default130()
+		l, err := liberty.Generate(proc, liberty.DefaultBuildOptions(proc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLib = l
+	}
+	return sharedLib
+}
+
+// buildComb returns a design computing y = !(a & b).
+func buildComb(t *testing.T) *netlist.Design {
+	t.Helper()
+	l := lib(t)
+	d := netlist.New("comb", l)
+	d.AddPort("a", netlist.DirInput)
+	d.AddPort("b", netlist.DirInput)
+	d.AddPort("y", netlist.DirOutput)
+	g, _ := d.AddInstance("g", l.Cell("NAND2_X1_L"))
+	d.Connect(g, "A", d.NetByName("a"))
+	d.Connect(g, "B", d.NetByName("b"))
+	d.Connect(g, "ZN", d.NetByName("y"))
+	return d
+}
+
+func TestCombEval(t *testing.T) {
+	d := buildComb(t)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b, want logic.Value }{
+		{logic.V0, logic.V0, logic.V1},
+		{logic.V0, logic.V1, logic.V1},
+		{logic.V1, logic.V0, logic.V1},
+		{logic.V1, logic.V1, logic.V0},
+		{logic.VX, logic.V1, logic.VX},
+		{logic.V0, logic.VX, logic.V1}, // controlling input
+	}
+	for _, c := range cases {
+		s.SetInput("a", c.a)
+		s.SetInput("b", c.b)
+		s.Eval()
+		got, _ := s.PortValue("y")
+		if got != c.want {
+			t.Errorf("NAND(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSetInputErrors(t *testing.T) {
+	d := buildComb(t)
+	s, _ := New(d)
+	if err := s.SetInput("nope", logic.V0); err == nil {
+		t.Error("unknown port accepted")
+	}
+	if err := s.SetInput("y", logic.V0); err == nil {
+		t.Error("driving an output accepted")
+	}
+	if _, err := s.PortValue("nope"); err == nil {
+		t.Error("unknown port value read accepted")
+	}
+}
+
+// buildCounterBit builds a 1-bit toggle circuit: ff.Q -> INV -> ff.D.
+func buildCounterBit(t *testing.T) *netlist.Design {
+	t.Helper()
+	l := lib(t)
+	d := netlist.New("tff", l)
+	d.AddPort("clk", netlist.DirInput)
+	d.AddPort("q", netlist.DirOutput)
+	qb, _ := d.AddNet("qb")
+	ff, _ := d.AddInstance("ff", l.Cell("DFF_X1_L"))
+	inv, _ := d.AddInstance("inv", l.Cell("INV_X1_L"))
+	d.Connect(ff, "CK", d.NetByName("clk"))
+	d.Connect(ff, "Q", d.NetByName("q"))
+	d.Connect(inv, "A", d.NetByName("q"))
+	d.Connect(inv, "ZN", qb)
+	d.Connect(ff, "D", qb)
+	return d
+}
+
+func TestSequentialStep(t *testing.T) {
+	d := buildCounterBit(t)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetState(logic.V0)
+	s.Eval()
+	want := logic.V0
+	for i := 0; i < 6; i++ {
+		got, _ := s.PortValue("q")
+		if got != want {
+			t.Fatalf("cycle %d: q = %v, want %v", i, got, want)
+		}
+		s.Step()
+		want = want.Not()
+	}
+}
+
+func TestEquivalentIdentical(t *testing.T) {
+	a := buildComb(t)
+	b := buildComb(t)
+	eq, why, err := Equivalent(a, b, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("identical designs reported different: %s", why)
+	}
+}
+
+func TestEquivalentAfterVthSwap(t *testing.T) {
+	// The fundamental flow invariant: flavor swaps never change function.
+	a := buildComb(t)
+	b := buildComb(t)
+	g := b.Instance("g")
+	for _, fl := range []liberty.Flavor{liberty.FlavorHVT, liberty.FlavorMTNoVGND, liberty.FlavorMTConv} {
+		v := lib(t).Variant(g.Cell, fl)
+		if v == nil {
+			t.Fatalf("no variant %s", fl)
+		}
+		if err := b.ReplaceCell(g, v); err != nil {
+			t.Fatal(err)
+		}
+		eq, why, err := Equivalent(a, b, 30, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("after swap to %s: %s", fl, why)
+		}
+	}
+}
+
+func TestEquivalentCatchesDifference(t *testing.T) {
+	a := buildComb(t)
+	l := lib(t)
+	b := netlist.New("comb", l)
+	b.AddPort("a", netlist.DirInput)
+	b.AddPort("b", netlist.DirInput)
+	b.AddPort("y", netlist.DirOutput)
+	g, _ := b.AddInstance("g", l.Cell("NOR2_X1_L")) // different function
+	b.Connect(g, "A", b.NetByName("a"))
+	b.Connect(g, "B", b.NetByName("b"))
+	b.Connect(g, "ZN", b.NetByName("y"))
+	eq, why, err := Equivalent(a, b, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("NAND vs NOR reported equivalent")
+	}
+	if why == "" {
+		t.Error("mismatch reason empty")
+	}
+}
+
+func TestEvalStandbyHolderSemantics(t *testing.T) {
+	// a → MT-INV → n1 → HVT-INV → y. Gate the first inverter.
+	l := lib(t)
+	d := netlist.New("sb", l)
+	d.AddPort("a", netlist.DirInput)
+	d.AddPort("y", netlist.DirOutput)
+	n1, _ := d.AddNet("n1")
+	mt, _ := d.AddInstance("mt", l.Cell("INV_X1_MN"))
+	hv, _ := d.AddInstance("hv", l.Cell("INV_X1_H"))
+	d.Connect(mt, "A", d.NetByName("a"))
+	d.Connect(mt, "ZN", n1)
+	d.Connect(hv, "A", n1)
+	d.Connect(hv, "ZN", d.NetByName("y"))
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput("a", logic.V0)
+	gated := func(i *netlist.Instance) bool { return i == mt }
+
+	// Without a holder the MT output floats: downstream sees X.
+	s.EvalStandby(gated, func(n *netlist.Net) bool { return false })
+	if got := s.Value(n1); got != logic.VX {
+		t.Errorf("floating MT output = %v, want X", got)
+	}
+	if got, _ := s.PortValue("y"); got != logic.VX {
+		t.Errorf("downstream of floating net = %v, want X", got)
+	}
+	// With a holder the net holds 1 and downstream evaluates normally.
+	s.EvalStandby(gated, func(n *netlist.Net) bool { return n == n1 })
+	if got := s.Value(n1); got != logic.V1 {
+		t.Errorf("held MT output = %v, want 1", got)
+	}
+	if got, _ := s.PortValue("y"); got != logic.V0 {
+		t.Errorf("downstream of held net = %v, want 0", got)
+	}
+}
+
+func TestEstimateActivity(t *testing.T) {
+	d := buildCounterBit(t)
+	act, err := EstimateActivity(d, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.NetByName("q")
+	// A toggle flop switches every cycle.
+	if act.Toggle[q] < 0.9 {
+		t.Errorf("toggle rate of q = %v, want ≈1", act.Toggle[q])
+	}
+	if act.ProbOne[q] < 0.3 || act.ProbOne[q] > 0.7 {
+		t.Errorf("P(1) of q = %v, want ≈0.5", act.ProbOne[q])
+	}
+	if act.Cycles <= 0 {
+		t.Error("no cycles counted")
+	}
+}
+
+func TestActivityCombinational(t *testing.T) {
+	d := buildComb(t)
+	act, err := EstimateActivity(d, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := d.NetByName("y")
+	// NAND output is 1 with p=3/4 under random inputs.
+	if act.ProbOne[y] < 0.6 || act.ProbOne[y] > 0.9 {
+		t.Errorf("P(y=1) = %v, want ≈0.75", act.ProbOne[y])
+	}
+	if act.Toggle[y] <= 0 || act.Toggle[y] >= 1 {
+		t.Errorf("toggle = %v", act.Toggle[y])
+	}
+}
+
+func TestInstanceInputState(t *testing.T) {
+	d := buildComb(t)
+	s, _ := New(d)
+	s.SetInput("a", logic.V1)
+	s.SetInput("b", logic.V0)
+	s.Eval()
+	env := s.InstanceInputState(d.Instance("g"))
+	if env["A"] != logic.V1 || env["B"] != logic.V0 {
+		t.Errorf("env = %v", env)
+	}
+}

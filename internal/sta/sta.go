@@ -1,0 +1,433 @@
+// Package sta is the static timing engine: levelized max/min arrival
+// propagation with NLDM table lookups and Elmore interconnect, setup and
+// hold checks against a (possibly skewed) clock, per-instance slack and
+// worst-path extraction. Every assignment step of the Selective-MT flow
+// (Dual-Vth, MT selection, switch clustering, ECO) queries this engine.
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/parasitics"
+)
+
+// Config parameterizes a timing run.
+type Config struct {
+	ClockPeriodNs float64
+	ClockPort     string  // name of the primary clock input
+	InputDelayNs  float64 // external arrival at non-clock primary inputs
+	OutputDelayNs float64 // external required-time margin at primary outputs
+	InputSlewNs   float64 // slew presented by primary inputs
+	Extractor     parasitics.Extractor
+	// ClockArrival returns each flop's clock insertion delay (from CTS).
+	// nil means an ideal clock with zero skew.
+	ClockArrival func(*netlist.Instance) float64
+	// ClockSlewNs is the slew at flop clock pins (post-CTS).
+	ClockSlewNs float64
+}
+
+// Result is a completed timing analysis.
+type Result struct {
+	Config Config
+
+	// ArrivalMax/ArrivalMin are the latest/earliest signal arrivals at
+	// each net's driver output, ns.
+	ArrivalMax map[*netlist.Net]float64
+	ArrivalMin map[*netlist.Net]float64
+	// SlewMax is the worst slew at each net's driver output.
+	SlewMax map[*netlist.Net]float64
+	// RequiredMax is the latest allowed arrival at each net.
+	RequiredMax map[*netlist.Net]float64
+	// RC holds the extracted parasitics used.
+	RC map[*netlist.Net]*parasitics.RCTree
+
+	WNS float64 // worst negative slack (positive = met), setup
+	TNS float64 // total negative slack, setup
+	// WorstHold is the worst hold slack over all flops.
+	WorstHold float64
+	// HoldViolations lists flops with negative hold slack.
+	HoldViolations []*netlist.Instance
+
+	design *netlist.Design
+}
+
+// Slack returns the setup slack of a net (required - arrival); +Inf for
+// nets with no constrained fanout cone.
+func (r *Result) Slack(n *netlist.Net) float64 {
+	req, ok := r.RequiredMax[n]
+	if !ok {
+		return math.Inf(1)
+	}
+	return req - r.ArrivalMax[n]
+}
+
+// InstSlack returns the setup slack of an instance's output net.
+func (r *Result) InstSlack(inst *netlist.Instance) float64 {
+	out := inst.OutputNet()
+	if out == nil {
+		return math.Inf(1)
+	}
+	return r.Slack(out)
+}
+
+// Analyze runs full setup and hold analysis.
+func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
+	if cfg.ClockPeriodNs <= 0 {
+		return nil, fmt.Errorf("sta: clock period %v must be positive", cfg.ClockPeriodNs)
+	}
+	if cfg.Extractor == nil {
+		return nil, fmt.Errorf("sta: no parasitic extractor")
+	}
+	if cfg.InputSlewNs <= 0 {
+		cfg.InputSlewNs = 0.05
+	}
+	if cfg.ClockSlewNs <= 0 {
+		cfg.ClockSlewNs = 0.04
+	}
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Config:      cfg,
+		ArrivalMax:  make(map[*netlist.Net]float64, d.NumNets()),
+		ArrivalMin:  make(map[*netlist.Net]float64, d.NumNets()),
+		SlewMax:     make(map[*netlist.Net]float64, d.NumNets()),
+		RequiredMax: make(map[*netlist.Net]float64, d.NumNets()),
+		RC:          make(map[*netlist.Net]*parasitics.RCTree, d.NumNets()),
+		design:      d,
+	}
+	for _, n := range d.Nets() {
+		r.RC[n] = cfg.Extractor.Extract(n)
+	}
+
+	clkArr := func(inst *netlist.Instance) float64 {
+		if cfg.ClockArrival != nil {
+			return cfg.ClockArrival(inst)
+		}
+		return 0
+	}
+
+	// --- forward propagation (max and min together) ---
+	// Sources: primary inputs and flop Q outputs.
+	for _, p := range d.Ports() {
+		if p.Dir != netlist.DirInput {
+			continue
+		}
+		if p.Name == cfg.ClockPort {
+			continue // the clock is not a data arrival
+		}
+		r.ArrivalMax[p.Net] = cfg.InputDelayNs
+		r.ArrivalMin[p.Net] = cfg.InputDelayNs
+		r.SlewMax[p.Net] = cfg.InputSlewNs
+	}
+	for _, inst := range d.Instances() {
+		if !inst.Cell.IsSequential() {
+			continue
+		}
+		q := inst.OutputNet()
+		if q == nil {
+			continue
+		}
+		arc := inst.Cell.Arc("CK", "Q")
+		load := r.RC[q].TotalCap()
+		var dq, sq float64
+		if arc != nil {
+			dq = arc.WorstDelay(cfg.ClockSlewNs, load)
+			sq = arc.WorstSlew(cfg.ClockSlewNs, load)
+		}
+		r.ArrivalMax[q] = clkArr(inst) + dq
+		r.ArrivalMin[q] = clkArr(inst) + dq
+		r.SlewMax[q] = sq
+	}
+	// Combinational instances in topological order.
+	for _, inst := range order {
+		if inst.Cell.IsSequential() {
+			continue
+		}
+		out := inst.OutputNet()
+		if out == nil {
+			continue // switches, holders
+		}
+		load := r.RC[out].TotalCap()
+		amax := math.Inf(-1)
+		amin := math.Inf(1)
+		smax := 0.0
+		for _, arc := range inst.Cell.Arcs {
+			inNet := inst.Conns[arc.From]
+			if inNet == nil {
+				continue
+			}
+			inArrMax, ok := r.ArrivalMax[inNet]
+			if !ok {
+				continue // unconstrained input
+			}
+			inArrMin := r.ArrivalMin[inNet]
+			inSlew := r.SlewMax[inNet]
+			wireMax, wireMin := sinkWireDelay(r.RC[inNet], inNet, inst, arc.From)
+			dm := arc.WorstDelay(inSlew, load)
+			amax = math.Max(amax, inArrMax+wireMax+dm)
+			amin = math.Min(amin, inArrMin+wireMin+dm)
+			smax = math.Max(smax, arc.WorstSlew(inSlew, load))
+		}
+		if math.IsInf(amax, -1) {
+			continue // no constrained fanin: leave unconstrained
+		}
+		r.ArrivalMax[out] = amax
+		r.ArrivalMin[out] = amin
+		r.SlewMax[out] = smax
+	}
+
+	// --- required times (backward) and endpoint slacks ---
+	T := cfg.ClockPeriodNs
+	r.WNS = math.Inf(1)
+	r.WorstHold = math.Inf(1)
+	// Initialize endpoint requireds.
+	for _, p := range d.Ports() {
+		if p.Dir != netlist.DirOutput {
+			continue
+		}
+		setRequired(r, p.Net, T-cfg.OutputDelayNs)
+	}
+	for _, inst := range d.Instances() {
+		if !inst.Cell.IsSequential() {
+			continue
+		}
+		dNet := inst.Conns["D"]
+		if dNet == nil {
+			continue
+		}
+		lat := clkArr(inst)
+		setRequired(r, dNet, T+lat-inst.Cell.SetupNs)
+		// Hold check at this flop.
+		if am, ok := r.ArrivalMin[dNet]; ok {
+			wireMin := minWireDelayTo(r.RC[dNet], dNet, inst, "D")
+			hs := am + wireMin - lat - inst.Cell.HoldNs
+			if hs < r.WorstHold {
+				r.WorstHold = hs
+			}
+			if hs < 0 {
+				r.HoldViolations = append(r.HoldViolations, inst)
+			}
+		}
+	}
+	// Propagate requireds backward through the topological order.
+	for i := len(order) - 1; i >= 0; i-- {
+		inst := order[i]
+		if inst.Cell.IsSequential() {
+			continue
+		}
+		out := inst.OutputNet()
+		if out == nil {
+			continue
+		}
+		req, ok := r.RequiredMax[out]
+		if !ok {
+			continue
+		}
+		load := r.RC[out].TotalCap()
+		for _, arc := range inst.Cell.Arcs {
+			inNet := inst.Conns[arc.From]
+			if inNet == nil {
+				continue
+			}
+			inSlew := r.SlewMax[inNet]
+			wireMax, _ := sinkWireDelay(r.RC[inNet], inNet, inst, arc.From)
+			cand := req - arc.WorstDelay(inSlew, load) - wireMax
+			setRequired(r, inNet, cand)
+		}
+	}
+	// Setup WNS/TNS over endpoints.
+	r.TNS = 0
+	check := func(n *netlist.Net, req float64) {
+		arr, ok := r.ArrivalMax[n]
+		if !ok {
+			return
+		}
+		s := req - arr
+		if s < r.WNS {
+			r.WNS = s
+		}
+		if s < 0 {
+			r.TNS += s
+		}
+	}
+	for _, p := range d.Ports() {
+		if p.Dir == netlist.DirOutput {
+			check(p.Net, T-cfg.OutputDelayNs)
+		}
+	}
+	for _, inst := range d.Instances() {
+		if inst.Cell.IsSequential() {
+			if dNet := inst.Conns["D"]; dNet != nil {
+				check(dNet, T+clkArr(inst)-inst.Cell.SetupNs)
+			}
+		}
+	}
+	if math.IsInf(r.WNS, 1) {
+		r.WNS = T // no endpoints: trivially met
+	}
+	if math.IsInf(r.WorstHold, 1) {
+		r.WorstHold = 0
+	}
+	return r, nil
+}
+
+func setRequired(r *Result, n *netlist.Net, req float64) {
+	if cur, ok := r.RequiredMax[n]; !ok || req < cur {
+		r.RequiredMax[n] = req
+	}
+}
+
+// sinkWireDelay returns the (max, min) Elmore delay from a net's driver to
+// the given instance pin. Max and min coincide in the Elmore model; both
+// are returned for interface clarity.
+func sinkWireDelay(rc *parasitics.RCTree, n *netlist.Net, inst *netlist.Instance, pin string) (float64, float64) {
+	if rc == nil {
+		return 0, 0
+	}
+	for i, s := range n.Sinks {
+		if s.Inst == inst && s.Pin == pin {
+			if i < len(rc.SinkNode) {
+				d := rc.ElmoreDelays()[rc.SinkNode[i]]
+				return d, d
+			}
+		}
+	}
+	return 0, 0
+}
+
+func minWireDelayTo(rc *parasitics.RCTree, n *netlist.Net, inst *netlist.Instance, pin string) float64 {
+	d, _ := sinkWireDelay(rc, n, inst, pin)
+	return d
+}
+
+// CriticalInstances returns the instances whose output slack is below the
+// margin, i.e. the gates the MT assignment must keep fast.
+func (r *Result) CriticalInstances(marginNs float64) []*netlist.Instance {
+	var out []*netlist.Instance
+	for _, inst := range r.design.Instances() {
+		if inst.Cell.Kind == liberty.KindSwitch || inst.Cell.Kind == liberty.KindHolder {
+			continue
+		}
+		if r.InstSlack(inst) < marginNs {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// PathStep is one instance along a timing path.
+type PathStep struct {
+	Inst     *netlist.Instance
+	Net      *netlist.Net
+	ArriveNs float64
+}
+
+// Path is an extracted worst path.
+type Path struct {
+	Steps   []PathStep
+	SlackNs float64
+}
+
+// WorstPaths extracts up to k worst setup paths by backtracking the max
+// arrival from the worst endpoints.
+func (r *Result) WorstPaths(k int) []Path {
+	type endpoint struct {
+		net   *netlist.Net
+		slack float64
+	}
+	var eps []endpoint
+	T := r.Config.ClockPeriodNs
+	clkArr := func(inst *netlist.Instance) float64 {
+		if r.Config.ClockArrival != nil {
+			return r.Config.ClockArrival(inst)
+		}
+		return 0
+	}
+	for _, p := range r.design.Ports() {
+		if p.Dir != netlist.DirOutput {
+			continue
+		}
+		if arr, ok := r.ArrivalMax[p.Net]; ok {
+			eps = append(eps, endpoint{p.Net, T - r.Config.OutputDelayNs - arr})
+		}
+	}
+	for _, inst := range r.design.Instances() {
+		if !inst.Cell.IsSequential() {
+			continue
+		}
+		if dNet := inst.Conns["D"]; dNet != nil {
+			if arr, ok := r.ArrivalMax[dNet]; ok {
+				eps = append(eps, endpoint{dNet, T + clkArr(inst) - inst.Cell.SetupNs - arr})
+			}
+		}
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i].slack < eps[j].slack })
+	if k > len(eps) {
+		k = len(eps)
+	}
+	var paths []Path
+	for i := 0; i < k; i++ {
+		paths = append(paths, r.backtrack(eps[i].net, eps[i].slack))
+	}
+	return paths
+}
+
+// backtrack walks the max-arrival predecessors from a net to a source.
+func (r *Result) backtrack(n *netlist.Net, slack float64) Path {
+	p := Path{SlackNs: slack}
+	cur := n
+	for steps := 0; steps < 10000; steps++ {
+		drv := cur.Driver.Inst
+		p.Steps = append(p.Steps, PathStep{Inst: drv, Net: cur, ArriveNs: r.ArrivalMax[cur]})
+		if drv == nil || drv.Cell.IsSequential() {
+			break
+		}
+		// Find the input pin that set the max arrival.
+		load := r.RC[cur].TotalCap()
+		var bestNet *netlist.Net
+		bestErr := math.Inf(1)
+		for _, arc := range drv.Cell.Arcs {
+			inNet := drv.Conns[arc.From]
+			if inNet == nil {
+				continue
+			}
+			inArr, ok := r.ArrivalMax[inNet]
+			if !ok {
+				continue
+			}
+			wireMax, _ := sinkWireDelay(r.RC[inNet], inNet, drv, arc.From)
+			cand := inArr + wireMax + arc.WorstDelay(r.SlewMax[inNet], load)
+			if e := math.Abs(cand - r.ArrivalMax[cur]); e < bestErr {
+				bestErr, bestNet = e, inNet
+			}
+		}
+		if bestNet == nil {
+			break
+		}
+		cur = bestNet
+	}
+	// Reverse: source first.
+	for i, j := 0, len(p.Steps)-1; i < j; i, j = i+1, j-1 {
+		p.Steps[i], p.Steps[j] = p.Steps[j], p.Steps[i]
+	}
+	return p
+}
+
+// MinPeriod estimates the smallest feasible clock period by analyzing at a
+// reference period and shifting by the worst slack.
+func MinPeriod(d *netlist.Design, cfg Config) (float64, error) {
+	if cfg.ClockPeriodNs <= 0 {
+		cfg.ClockPeriodNs = 100
+	}
+	r, err := Analyze(d, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.ClockPeriodNs - r.WNS, nil
+}

@@ -1,0 +1,321 @@
+// Package synth is the front of the Fig. 4 flow: it maps generic-gate
+// modules onto the library using only low-Vth cells ("physical synthesis
+// using low-Vth cells"), decomposing wide gates into 2-input trees, then
+// sizes drivers against their loads and buffers high-fanout nets.
+package synth
+
+import (
+	"fmt"
+
+	"selectivemt/internal/gen"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+)
+
+// Options controls mapping and sizing.
+type Options struct {
+	// ClockPort is the clock input created for DFFs.
+	ClockPort string
+	// MaxFanout splits data nets with more sinks than this.
+	MaxFanout int
+	// MaxLoadPerDrive is the pF of load an X1 driver may carry before
+	// sizing up.
+	MaxLoadPerDrive float64
+}
+
+// DefaultOptions returns the options the experiments use.
+func DefaultOptions() Options {
+	return Options{ClockPort: "clk", MaxFanout: 12, MaxLoadPerDrive: 0.012}
+}
+
+// Map synthesizes a generic module into a netlist of low-Vth cells.
+func Map(m *gen.Module, lib *liberty.Library, opts Options) (*netlist.Design, error) {
+	if opts.ClockPort == "" {
+		opts.ClockPort = "clk"
+	}
+	if opts.MaxFanout <= 1 {
+		opts.MaxFanout = 12
+	}
+	if opts.MaxLoadPerDrive <= 0 {
+		opts.MaxLoadPerDrive = 0.012
+	}
+	d := netlist.New(m.Name, lib)
+	mapper := &mapper{m: m, d: d, lib: lib, nets: make([]*netlist.Net, len(m.Nodes))}
+	if _, err := d.AddPort(opts.ClockPort, netlist.DirInput); err != nil {
+		return nil, err
+	}
+	d.NetByName(opts.ClockPort).IsClock = true
+
+	// Primary inputs.
+	for _, id := range m.Inputs {
+		n := m.Nodes[id]
+		if _, err := d.AddPort(n.Name, netlist.DirInput); err != nil {
+			return nil, err
+		}
+		mapper.nets[id] = d.NetByName(n.Name)
+	}
+	// Map every node in ID order (gen modules are built bottom-up, except
+	// patched DFF feedback inputs, which is fine because a DFF's input is
+	// consumed at connect time after all nodes exist).
+	for _, n := range m.Nodes {
+		if err := mapper.lower(n, opts); err != nil {
+			return nil, err
+		}
+	}
+	// Feedback/patched DFF inputs: connect now.
+	if err := mapper.connectFlops(opts); err != nil {
+		return nil, err
+	}
+	// Primary outputs.
+	for _, name := range m.OutputNames() {
+		id := m.Outputs[name]
+		if _, err := d.AddPort(name, netlist.DirOutput); err != nil {
+			return nil, err
+		}
+		outNet := d.NetByName(name)
+		src := mapper.nets[id]
+		// Tie the internal net to the port with a buffer (ports need a
+		// driver; a buffer isolates internal loading like real synthesis
+		// output isolation does).
+		buf, err := d.NewInstanceAuto("obuf", lib.Cell("BUF_X2_L"))
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Connect(buf, "A", src); err != nil {
+			return nil, err
+		}
+		if err := d.Connect(buf, "Z", outNet); err != nil {
+			return nil, err
+		}
+	}
+	if err := BufferHighFanout(d, opts.MaxFanout); err != nil {
+		return nil, err
+	}
+	if err := SizeForLoad(d, opts.MaxLoadPerDrive); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(netlist.StrictValidate()); err != nil {
+		return nil, fmt.Errorf("synth: mapped netlist invalid: %w", err)
+	}
+	return d, nil
+}
+
+type mapper struct {
+	m    *gen.Module
+	d    *netlist.Design
+	lib  *liberty.Library
+	nets []*netlist.Net
+	ffs  []ffFixup
+}
+
+type ffFixup struct {
+	inst *netlist.Instance
+	dID  int
+}
+
+func (mp *mapper) gate(base string, ins ...*netlist.Net) (*netlist.Net, error) {
+	cell := mp.lib.Cell(base + "_X1_L")
+	if cell == nil {
+		return nil, fmt.Errorf("synth: library lacks %s_X1_L", base)
+	}
+	inst, err := mp.d.NewInstanceAuto("u", cell)
+	if err != nil {
+		return nil, err
+	}
+	pins := cell.Inputs()
+	if len(pins) != len(ins) {
+		return nil, fmt.Errorf("synth: %s needs %d inputs, got %d", base, len(pins), len(ins))
+	}
+	for i, in := range ins {
+		if err := mp.d.Connect(inst, pins[i].Name, in); err != nil {
+			return nil, err
+		}
+	}
+	out := mp.d.NewNetAuto("n")
+	if err := mp.d.Connect(inst, cell.Output().Name, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// tree reduces a slice of nets with a balanced tree of 2-input gates.
+func (mp *mapper) tree(base string, ins []*netlist.Net) (*netlist.Net, error) {
+	if len(ins) == 1 {
+		return ins[0], nil
+	}
+	var next []*netlist.Net
+	for i := 0; i < len(ins); i += 2 {
+		if i+1 == len(ins) {
+			next = append(next, ins[i])
+			continue
+		}
+		o, err := mp.gate(base, ins[i], ins[i+1])
+		if err != nil {
+			return nil, err
+		}
+		next = append(next, o)
+	}
+	return mp.tree(base, next)
+}
+
+func (mp *mapper) lower(n *gen.Node, opts Options) error {
+	switch n.Op {
+	case gen.OpInput:
+		return nil // handled in Map
+	case gen.OpDFF:
+		cell := mp.lib.Cell("DFF_X1_L")
+		inst, err := mp.d.NewInstanceAuto("ff", cell)
+		if err != nil {
+			return err
+		}
+		if err := mp.d.Connect(inst, "CK", mp.d.NetByName(opts.ClockPort)); err != nil {
+			return err
+		}
+		q := mp.d.NewNetAuto("q")
+		if err := mp.d.Connect(inst, "Q", q); err != nil {
+			return err
+		}
+		mp.nets[n.ID] = q
+		mp.ffs = append(mp.ffs, ffFixup{inst, n.Ins[0]})
+		return nil
+	case gen.OpNot:
+		out, err := mp.gate("INV", mp.nets[n.Ins[0]])
+		if err != nil {
+			return err
+		}
+		mp.nets[n.ID] = out
+		return nil
+	case gen.OpAnd, gen.OpOr, gen.OpXor:
+		base := map[gen.Op]string{gen.OpAnd: "AND2", gen.OpOr: "OR2", gen.OpXor: "XOR2"}[n.Op]
+		ins := make([]*netlist.Net, len(n.Ins))
+		for i, id := range n.Ins {
+			if mp.nets[id] == nil {
+				return fmt.Errorf("synth: node %d uses unmapped node %d", n.ID, id)
+			}
+			ins[i] = mp.nets[id]
+		}
+		out, err := mp.tree(base, ins)
+		if err != nil {
+			return err
+		}
+		mp.nets[n.ID] = out
+		return nil
+	case gen.OpMux:
+		// Ins: [sel, a, b]; MUX2 function A*!S + B*S.
+		sel := mp.nets[n.Ins[0]]
+		a := mp.nets[n.Ins[1]]
+		b := mp.nets[n.Ins[2]]
+		cell := mp.lib.Cell("MUX2_X1_L")
+		inst, err := mp.d.NewInstanceAuto("u", cell)
+		if err != nil {
+			return err
+		}
+		if err := mp.d.Connect(inst, "A", a); err != nil {
+			return err
+		}
+		if err := mp.d.Connect(inst, "B", b); err != nil {
+			return err
+		}
+		if err := mp.d.Connect(inst, "S", sel); err != nil {
+			return err
+		}
+		out := mp.d.NewNetAuto("n")
+		if err := mp.d.Connect(inst, "Z", out); err != nil {
+			return err
+		}
+		mp.nets[n.ID] = out
+		return nil
+	}
+	return fmt.Errorf("synth: unsupported op %d", n.Op)
+}
+
+func (mp *mapper) connectFlops(opts Options) error {
+	for _, f := range mp.ffs {
+		src := mp.nets[f.dID]
+		if src == nil {
+			return fmt.Errorf("synth: flop %s input node %d unmapped", f.inst.Name, f.dID)
+		}
+		if err := mp.d.Connect(f.inst, "D", src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BufferHighFanout splits any non-clock, non-MTE net with more than
+// maxFanout sinks by inserting buffers over sink chunks, recursively.
+func BufferHighFanout(d *netlist.Design, maxFanout int) error {
+	buf := d.Lib.Cell("BUF_X4_L")
+	if buf == nil {
+		return fmt.Errorf("synth: library lacks BUF_X4_L")
+	}
+	changed := true
+	for rounds := 0; changed && rounds < 16; rounds++ {
+		changed = false
+		for _, n := range d.Nets() {
+			if n.IsClock || n.IsMTE || len(n.Sinks) <= maxFanout {
+				continue
+			}
+			// Move all but maxFanout-1 sinks behind new buffers, in chunks.
+			keep := maxFanout - 1
+			rest := append([]netlist.PinRef(nil), n.Sinks[keep:]...)
+			for start := 0; start < len(rest); start += maxFanout {
+				end := start + maxFanout
+				if end > len(rest) {
+					end = len(rest)
+				}
+				if _, err := d.InsertBuffer(n, buf, rest[start:end]); err != nil {
+					return err
+				}
+			}
+			changed = true
+		}
+	}
+	return nil
+}
+
+// SizeForLoad upsizes drivers whose output load exceeds the per-drive
+// budget, choosing the smallest drive variant that fits (or the largest
+// available).
+func SizeForLoad(d *netlist.Design, maxLoadPerDrive float64) error {
+	for _, inst := range d.Instances() {
+		out := inst.OutputNet()
+		if out == nil || inst.Cell.Kind == liberty.KindSwitch {
+			continue
+		}
+		var load float64
+		for _, s := range out.Sinks {
+			if s.Inst != nil {
+				if p := s.Inst.Cell.Pin(s.Pin); p != nil {
+					load += p.CapPF
+				}
+			}
+		}
+		needed := int(load/maxLoadPerDrive) + 1
+		if needed <= inst.Cell.Drive {
+			continue
+		}
+		best := inst.Cell
+		for _, dr := range d.Lib.Drives(inst.Cell.Base, inst.Cell.Flavor) {
+			if dr >= needed {
+				if v := d.Lib.Cell(variantName(inst.Cell, dr)); v != nil {
+					best = v
+					break
+				}
+			}
+			if v := d.Lib.Cell(variantName(inst.Cell, dr)); v != nil {
+				best = v // track largest available
+			}
+		}
+		if best != inst.Cell {
+			if err := d.ReplaceCell(inst, best); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func variantName(c *liberty.Cell, drive int) string {
+	return fmt.Sprintf("%s_X%d_%s", c.Base, drive, c.Flavor)
+}

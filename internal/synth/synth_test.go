@@ -1,0 +1,219 @@
+package synth
+
+import (
+	"testing"
+
+	"selectivemt/internal/gen"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/logic"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/sim"
+	"selectivemt/internal/tech"
+)
+
+var sharedLib *liberty.Library
+
+func lib(t *testing.T) *liberty.Library {
+	t.Helper()
+	if sharedLib == nil {
+		proc := tech.Default130()
+		l, err := liberty.Generate(proc, liberty.DefaultBuildOptions(proc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLib = l
+	}
+	return sharedLib
+}
+
+func TestMapSmallModule(t *testing.T) {
+	m := gen.NewModule("t")
+	a := m.Input("a")
+	b := m.Input("b")
+	m.Output("y", m.And(a, b))
+	d, err := Map(m, lib(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(netlist.StrictValidate()); err != nil {
+		t.Fatal(err)
+	}
+	// Functional check: y = a & b.
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ a, b, want logic.Value }{
+		{logic.V0, logic.V0, logic.V0},
+		{logic.V1, logic.V0, logic.V0},
+		{logic.V1, logic.V1, logic.V1},
+	} {
+		s.SetInput("a", c.a)
+		s.SetInput("b", c.b)
+		s.Eval()
+		if got, _ := s.PortValue("y"); got != c.want {
+			t.Errorf("AND(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestMapWideGateDecomposes(t *testing.T) {
+	m := gen.NewModule("t")
+	ins := m.InputBus("i", 7)
+	m.Output("y", m.And(ins...))
+	d, err := Map(m, lib(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 2-input AND cells (plus the output buffer).
+	for _, inst := range d.Instances() {
+		if inst.Cell.Base == "AND2" && len(inst.Cell.Inputs()) != 2 {
+			t.Fatal("wide gate leaked through")
+		}
+	}
+	// Functional: all-ones → 1, any zero → 0.
+	s, _ := sim.New(d)
+	for i := 0; i < 7; i++ {
+		s.SetInput(m.Nodes[ins[i]].Name, logic.V1)
+	}
+	s.Eval()
+	if got, _ := s.PortValue("y"); got != logic.V1 {
+		t.Errorf("AND of ones = %v", got)
+	}
+	s.SetInput("i[3]", logic.V0)
+	s.Eval()
+	if got, _ := s.PortValue("y"); got != logic.V0 {
+		t.Errorf("AND with a zero = %v", got)
+	}
+}
+
+func TestMapMux(t *testing.T) {
+	m := gen.NewModule("t")
+	sel := m.Input("s")
+	a := m.Input("a")
+	b := m.Input("b")
+	m.Output("y", m.Mux(sel, a, b))
+	d, err := Map(m, lib(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := sim.New(d)
+	s.SetInput("a", logic.V1)
+	s.SetInput("b", logic.V0)
+	s.SetInput("s", logic.V0)
+	s.Eval()
+	if got, _ := s.PortValue("y"); got != logic.V1 {
+		t.Errorf("mux sel=0 = %v, want a=1", got)
+	}
+	s.SetInput("s", logic.V1)
+	s.Eval()
+	if got, _ := s.PortValue("y"); got != logic.V0 {
+		t.Errorf("mux sel=1 = %v, want b=0", got)
+	}
+}
+
+func TestMapSequentialCounter(t *testing.T) {
+	m := gen.NewModule("t")
+	en := m.Input("en")
+	cnt := m.Counter(3, en)
+	m.OutputBus("q", cnt)
+	d, err := Map(m, lib(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := sim.New(d)
+	s.ResetState(logic.V0)
+	s.SetInput("en", logic.V1)
+	s.Eval()
+	// Count 5 cycles: q should read 5 = 101.
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	want := []logic.Value{logic.V1, logic.V0, logic.V1}
+	for i, w := range want {
+		if got, _ := s.PortValue(m.OutputNames()[i]); got != w {
+			t.Errorf("q[%d] = %v, want %v after 5 counts", i, got, w)
+		}
+	}
+}
+
+func TestAllLVTAfterMap(t *testing.T) {
+	spec := gen.SmallTest()
+	d, err := Map(spec.Module, lib(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range d.Instances() {
+		if inst.Cell.Flavor != liberty.FlavorLVT {
+			t.Fatalf("%s is %s, flow starts all-LVT", inst.Name, inst.Cell.Flavor)
+		}
+	}
+}
+
+func TestBufferHighFanout(t *testing.T) {
+	l := lib(t)
+	d := netlist.New("f", l)
+	d.AddPort("in", netlist.DirInput)
+	drv, _ := d.AddInstance("drv", l.Cell("INV_X1_L"))
+	d.Connect(drv, "A", d.NetByName("in"))
+	n, _ := d.AddNet("n")
+	d.Connect(drv, "ZN", n)
+	for i := 0; i < 40; i++ {
+		g, _ := d.NewInstanceAuto("g", l.Cell("INV_X1_L"))
+		d.Connect(g, "A", n)
+		o := d.NewNetAuto("o")
+		d.Connect(g, "ZN", o)
+	}
+	if err := BufferHighFanout(d, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(netlist.StrictValidate()); err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range d.Nets() {
+		if len(net.Sinks) > 10 {
+			t.Fatalf("net %s still has %d sinks", net.Name, len(net.Sinks))
+		}
+	}
+}
+
+func TestSizeForLoad(t *testing.T) {
+	l := lib(t)
+	d := netlist.New("s", l)
+	d.AddPort("in", netlist.DirInput)
+	drv, _ := d.AddInstance("drv", l.Cell("INV_X1_L"))
+	d.Connect(drv, "A", d.NetByName("in"))
+	n, _ := d.AddNet("n")
+	d.Connect(drv, "ZN", n)
+	for i := 0; i < 10; i++ {
+		g, _ := d.NewInstanceAuto("g", l.Cell("NAND2_X4_L"))
+		d.Connect(g, "A", n)
+		d.Connect(g, "B", n)
+		o := d.NewNetAuto("o")
+		d.Connect(g, "ZN", o)
+	}
+	if err := SizeForLoad(d, 0.012); err != nil {
+		t.Fatal(err)
+	}
+	if d.Instance("drv").Cell.Drive == 1 {
+		t.Error("heavily loaded driver not upsized")
+	}
+}
+
+func TestMapCircuitAB(t *testing.T) {
+	for _, spec := range []gen.CircuitSpec{gen.CircuitA(), gen.CircuitB()} {
+		d, err := Map(spec.Module, lib(t), DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Module.Name, err)
+		}
+		if err := d.Validate(netlist.StrictValidate()); err != nil {
+			t.Fatalf("%s: %v", spec.Module.Name, err)
+		}
+		if _, err := d.TopoOrder(); err != nil {
+			t.Fatalf("%s: %v", spec.Module.Name, err)
+		}
+		if d.NumInstances() < 400 {
+			t.Errorf("%s suspiciously small: %d instances", spec.Module.Name, d.NumInstances())
+		}
+	}
+}

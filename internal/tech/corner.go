@@ -1,0 +1,67 @@
+package tech
+
+import "fmt"
+
+// Corner identifies a process/voltage/temperature corner. Sign-off checks
+// setup at the slow corner and leakage/hold at the fast-hot corner; the
+// Selective-MT experiments run at typical, but the library generator can
+// characterize any corner.
+type Corner int
+
+const (
+	// CornerTyp is the nominal PVT point.
+	CornerTyp Corner = iota
+	// CornerSlow is the setup-critical corner: low supply, high Vth,
+	// hot junction.
+	CornerSlow
+	// CornerFastHot is the leakage/hold-critical corner: high supply,
+	// low Vth, hot junction (leakage is worst fast and hot).
+	CornerFastHot
+	// CornerFastCold is the hold-critical cold corner.
+	CornerFastCold
+)
+
+// String names the corner.
+func (c Corner) String() string {
+	switch c {
+	case CornerTyp:
+		return "typ"
+	case CornerSlow:
+		return "slow"
+	case CornerFastHot:
+		return "fast-hot"
+	case CornerFastCold:
+		return "fast-cold"
+	}
+	return fmt.Sprintf("corner(%d)", int(c))
+}
+
+// AtCorner returns a copy of the process shifted to the corner: ±10%
+// supply, ∓8% threshold, and the corner's junction temperature. The
+// returned process is independent of the receiver.
+func (p *Process) AtCorner(c Corner) *Process {
+	q := *p
+	switch c {
+	case CornerTyp:
+		return &q
+	case CornerSlow:
+		q.Name = p.Name + "_ss"
+		q.Vdd = p.Vdd * 0.9
+		q.VthLowV = p.VthLowV * 1.08
+		q.VthHighV = p.VthHighV * 1.08
+		q.TempK = 398.15 // 125 °C: carriers slower when hot
+	case CornerFastHot:
+		q.Name = p.Name + "_ff_hot"
+		q.Vdd = p.Vdd * 1.1
+		q.VthLowV = p.VthLowV * 0.92
+		q.VthHighV = p.VthHighV * 0.92
+		q.TempK = 398.15
+	case CornerFastCold:
+		q.Name = p.Name + "_ff_cold"
+		q.Vdd = p.Vdd * 1.1
+		q.VthLowV = p.VthLowV * 0.92
+		q.VthHighV = p.VthHighV * 0.92
+		q.TempK = 233.15 // −40 °C
+	}
+	return &q
+}

@@ -1,0 +1,71 @@
+package tech
+
+import "testing"
+
+func TestCornerString(t *testing.T) {
+	names := map[Corner]string{
+		CornerTyp: "typ", CornerSlow: "slow",
+		CornerFastHot: "fast-hot", CornerFastCold: "fast-cold",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Corner(%d).String() = %q", int(c), c.String())
+		}
+	}
+	if Corner(99).String() == "" {
+		t.Error("unknown corner should still format")
+	}
+}
+
+func TestCornersValidate(t *testing.T) {
+	p := Default130()
+	for _, c := range []Corner{CornerTyp, CornerSlow, CornerFastHot, CornerFastCold} {
+		if err := p.AtCorner(c).Validate(); err != nil {
+			t.Errorf("%s corner invalid: %v", c, err)
+		}
+	}
+}
+
+func TestCornerIndependence(t *testing.T) {
+	p := Default130()
+	s := p.AtCorner(CornerSlow)
+	if s.Vdd == p.Vdd {
+		t.Fatal("corner did not shift Vdd")
+	}
+	s.Vdd = 0 // must not touch the original
+	if p.Vdd != 1.2 {
+		t.Error("AtCorner aliases the receiver")
+	}
+}
+
+func TestSlowCornerSlower(t *testing.T) {
+	p := Default130()
+	s := p.AtCorner(CornerSlow)
+	f := p.AtCorner(CornerFastCold)
+	rTyp := p.DriveResistance(1, VthLow)
+	rSlow := s.DriveResistance(1, VthLow)
+	rFast := f.DriveResistance(1, VthLow)
+	if !(rSlow > rTyp && rTyp > rFast) {
+		t.Errorf("drive ordering wrong: slow=%v typ=%v fast=%v", rSlow, rTyp, rFast)
+	}
+}
+
+func TestFastHotLeakiest(t *testing.T) {
+	p := Default130()
+	leak := func(q *Process) float64 { return q.SubthresholdCurrent(1, VthLow) }
+	typ := leak(p)
+	fastHot := leak(p.AtCorner(CornerFastHot))
+	slow := leak(p.AtCorner(CornerSlow))
+	fastCold := leak(p.AtCorner(CornerFastCold))
+	if !(fastHot > typ) {
+		t.Errorf("fast-hot %v should out-leak typ %v", fastHot, typ)
+	}
+	if !(fastCold < fastHot) {
+		t.Errorf("cold %v should leak less than hot %v", fastCold, fastHot)
+	}
+	// Slow corner (higher Vth, hot): the Vth shift and temperature fight;
+	// just require it stays within an order of magnitude of typical.
+	if slow > 10*typ || typ > 100*slow {
+		t.Errorf("slow-corner leakage %v implausible vs typ %v", slow, typ)
+	}
+}

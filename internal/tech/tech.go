@@ -1,0 +1,264 @@
+// Package tech models the process technology underneath the cell library:
+// threshold voltages, the alpha-power-law drive model, BSIM-style
+// subthreshold leakage with stack factors, wire parasitics and reliability
+// limits. Everything downstream (library characterization, STA, power and
+// virtual-ground analysis) pulls its physics from here, so the whole
+// repository uses one consistent unit system:
+//
+//	time        ns
+//	capacitance pF
+//	resistance  kΩ   (kΩ·pF = ns)
+//	voltage     V
+//	current     mA   (V = mA·kΩ)
+//	power       mW   (mW = V·mA)
+//	length      µm
+//	area        µm²
+//
+// The default parameters describe a 130 nm-class low-power process at 85 °C,
+// the generation the paper's Toshiba flow targeted. Absolute values are
+// generic textbook numbers; the experiments depend only on the relative
+// LVT/HVT/MT behaviour they produce.
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// VthClass identifies a transistor threshold flavor.
+type VthClass int
+
+const (
+	// VthLow is the fast, leaky device used on critical paths.
+	VthLow VthClass = iota
+	// VthHigh is the slow, low-leakage device used off critical paths and
+	// for sleep switches.
+	VthHigh
+)
+
+// String returns the conventional short name ("lvt"/"hvt").
+func (v VthClass) String() string {
+	switch v {
+	case VthLow:
+		return "lvt"
+	case VthHigh:
+		return "hvt"
+	}
+	return fmt.Sprintf("vth(%d)", int(v))
+}
+
+// Process holds every technology parameter the flow consumes.
+type Process struct {
+	Name string
+
+	Vdd      float64 // supply, V
+	TempK    float64 // junction temperature, K
+	VthLowV  float64 // low threshold, V
+	VthHighV float64 // high threshold, V
+
+	// Alpha-power-law drive model: Rdrive = DriveK / (W · (Vdd−Vth)^Alpha).
+	Alpha  float64
+	DriveK float64 // kΩ·µm·V^Alpha
+
+	// Subthreshold leakage: I = LeakI0 · W · 10^(−Vth/SubthresholdSwing()),
+	// multiplied by a stack factor when series devices are off.
+	LeakI0        float64 // mA/µm at Vth = 0
+	SubSwingIdeal float64 // body-effect ideality factor n (swing = n·vT·ln10)
+	StackFactor2  float64 // leakage multiplier with 2 series-off devices
+	StackFactor3  float64 // leakage multiplier with ≥3 series-off devices
+
+	GateCapPerUm  float64 // gate capacitance, pF/µm of device width
+	DrainCapPerUm float64 // drain junction capacitance, pF/µm
+
+	// Wire parasitics (a representative intermediate metal layer).
+	WireResPerUm float64 // kΩ/µm
+	WireCapPerUm float64 // pF/µm
+
+	// Reliability limits for the VGND network.
+	EMCurrentPerUm float64 // max sustained current per µm of wire width, mA/µm
+	WireWidthUm    float64 // VGND wire width, µm
+
+	// Standard-cell geometry.
+	RowHeightUm float64 // standard-cell row height, µm
+	SitePitchUm float64 // placement site pitch, µm
+	AreaPerSite float64 // µm² per site (RowHeightUm · SitePitchUm)
+
+	// Virtual-ground behaviour.
+	BounceDelayK float64 // delay multiplier slope vs ΔV/(Vdd−VthLow)
+}
+
+// Default130 returns the default 130 nm-class low-power process at 85 °C.
+func Default130() *Process {
+	p := &Process{
+		Name:           "olp130",
+		Vdd:            1.2,
+		TempK:          358.15, // 85 °C
+		VthLowV:        0.22,
+		VthHighV:       0.45,
+		Alpha:          1.3,
+		DriveK:         1.9,    // → ~1.95 kΩ for a 1 µm LVT device
+		LeakI0:         1.6e-3, // → ~10 nA/µm LVT, ~0.05 nA/µm HVT at 85 °C
+		SubSwingIdeal:  1.4,
+		StackFactor2:   0.2,
+		StackFactor3:   0.09,
+		GateCapPerUm:   0.002,  // 2 fF/µm
+		DrainCapPerUm:  0.001,  // 1 fF/µm
+		WireResPerUm:   0.0004, // 0.4 Ω/µm
+		WireCapPerUm:   0.0002, // 0.2 fF/µm
+		EMCurrentPerUm: 1.0,    // 1 mA/µm
+		WireWidthUm:    0.4,
+		RowHeightUm:    3.69,
+		SitePitchUm:    0.41,
+		BounceDelayK:   0.7,
+	}
+	p.AreaPerSite = p.RowHeightUm * p.SitePitchUm
+	return p
+}
+
+// Validate reports the first physically inconsistent parameter.
+func (p *Process) Validate() error {
+	switch {
+	case p.Vdd <= 0:
+		return fmt.Errorf("tech: Vdd %v must be positive", p.Vdd)
+	case p.VthLowV <= 0 || p.VthHighV <= p.VthLowV:
+		return fmt.Errorf("tech: need 0 < VthLow (%v) < VthHigh (%v)", p.VthLowV, p.VthHighV)
+	case p.VthHighV >= p.Vdd:
+		return fmt.Errorf("tech: VthHigh %v must stay below Vdd %v", p.VthHighV, p.Vdd)
+	case p.TempK <= 0:
+		return fmt.Errorf("tech: temperature %v K must be positive", p.TempK)
+	case p.Alpha < 1 || p.Alpha > 2:
+		return fmt.Errorf("tech: alpha %v outside the plausible [1,2]", p.Alpha)
+	case p.DriveK <= 0 || p.LeakI0 <= 0 || p.GateCapPerUm <= 0:
+		return fmt.Errorf("tech: drive/leakage/cap constants must be positive")
+	case p.StackFactor2 <= 0 || p.StackFactor2 > 1 || p.StackFactor3 <= 0 || p.StackFactor3 > p.StackFactor2:
+		return fmt.Errorf("tech: stack factors must satisfy 0 < SF3 ≤ SF2 ≤ 1")
+	case p.WireResPerUm <= 0 || p.WireCapPerUm <= 0:
+		return fmt.Errorf("tech: wire parasitics must be positive")
+	case p.EMCurrentPerUm <= 0 || p.WireWidthUm <= 0:
+		return fmt.Errorf("tech: EM limit and wire width must be positive")
+	case p.RowHeightUm <= 0 || p.SitePitchUm <= 0:
+		return fmt.Errorf("tech: row geometry must be positive")
+	}
+	return nil
+}
+
+// Vth returns the threshold voltage of the class in volts.
+func (p *Process) Vth(c VthClass) float64 {
+	if c == VthLow {
+		return p.VthLowV
+	}
+	return p.VthHighV
+}
+
+// ThermalVoltage returns kT/q in volts at the process temperature.
+func (p *Process) ThermalVoltage() float64 {
+	const kOverQ = 8.617333262e-5 // V/K
+	return kOverQ * p.TempK
+}
+
+// SubthresholdSwing returns the subthreshold swing S in V/decade
+// (n·vT·ln 10); about 100 mV/dec at 85 °C.
+func (p *Process) SubthresholdSwing() float64 {
+	return p.SubSwingIdeal * p.ThermalVoltage() * math.Ln10
+}
+
+// SubthresholdCurrent returns the off-state channel current in mA of a
+// device of the given width (µm) and threshold class, with no stack effect.
+func (p *Process) SubthresholdCurrent(widthUm float64, c VthClass) float64 {
+	return p.LeakI0 * widthUm * math.Pow(10, -p.Vth(c)/p.SubthresholdSwing())
+}
+
+// StackSuppression returns the leakage multiplier for nSeriesOff devices in
+// series that are all off (1 device → 1.0).
+func (p *Process) StackSuppression(nSeriesOff int) float64 {
+	switch {
+	case nSeriesOff <= 1:
+		return 1
+	case nSeriesOff == 2:
+		return p.StackFactor2
+	default:
+		return p.StackFactor3
+	}
+}
+
+// LeakageRatio returns how many times leakier VthLow is than VthHigh per
+// unit width (≈200 for the default process).
+func (p *Process) LeakageRatio() float64 {
+	return math.Pow(10, (p.VthHighV-p.VthLowV)/p.SubthresholdSwing())
+}
+
+// DriveResistance returns the equivalent switching resistance in kΩ of a
+// device of the given width (µm) and threshold class (alpha-power law).
+func (p *Process) DriveResistance(widthUm float64, c VthClass) float64 {
+	if widthUm <= 0 {
+		return math.Inf(1)
+	}
+	return p.DriveK / (widthUm * math.Pow(p.Vdd-p.Vth(c), p.Alpha))
+}
+
+// OnResistance returns the linear-region resistance in kΩ of a sleep switch
+// of the given width. A conducting sleep switch sits in the triode region;
+// its resistance is modelled with the same alpha-power constant but a
+// triode factor, which keeps switch sizing on the same axis as cell drive.
+func (p *Process) OnResistance(widthUm float64, c VthClass) float64 {
+	const triodeFactor = 0.6 // triode resistance is lower than switching R
+	return triodeFactor * p.DriveResistance(widthUm, c)
+}
+
+// DelayRatioHighToLow returns how much slower a VthHigh gate is than the
+// same VthLow gate (≈1.4 for the default process).
+func (p *Process) DelayRatioHighToLow() float64 {
+	return math.Pow((p.Vdd-p.VthLowV)/(p.Vdd-p.VthHighV), p.Alpha)
+}
+
+// GateCap returns the input capacitance in pF presented by widthUm of gate.
+func (p *Process) GateCap(widthUm float64) float64 { return p.GateCapPerUm * widthUm }
+
+// DrainCap returns the junction capacitance in pF of widthUm of drain.
+func (p *Process) DrainCap(widthUm float64) float64 { return p.DrainCapPerUm * widthUm }
+
+// WireRes returns the resistance in kΩ of lengthUm of default-width wire.
+func (p *Process) WireRes(lengthUm float64) float64 { return p.WireResPerUm * lengthUm }
+
+// VGNDWireRes returns the resistance in kΩ of lengthUm of virtual-ground
+// rail. VGND is routed as a narrow local rail (WireWidthUm wide), so its
+// per-µm resistance is the default wire's scaled up by the width ratio —
+// this is what makes the post-route RC of long VGND trunks differ
+// measurably from the pre-route star estimate.
+func (p *Process) VGNDWireRes(lengthUm float64) float64 {
+	return p.WireResPerUm * lengthUm / p.WireWidthUm
+}
+
+// WireCap returns the capacitance in pF of lengthUm of wire.
+func (p *Process) WireCap(lengthUm float64) float64 { return p.WireCapPerUm * lengthUm }
+
+// EMCurrentLimit returns the sustained-current EM limit in mA for the VGND
+// wire width.
+func (p *Process) EMCurrentLimit() float64 { return p.EMCurrentPerUm * p.WireWidthUm }
+
+// BounceDelayFactor returns the multiplicative delay penalty an MT-cell
+// suffers when its virtual ground sits bounceV above true ground. The gate
+// overdrive shrinks from (Vdd−VthL) to (Vdd−VthL−ΔV) and the output swing
+// is reduced, which first-order costs k·ΔV/(Vdd−VthL).
+func (p *Process) BounceDelayFactor(bounceV float64) float64 {
+	if bounceV <= 0 {
+		return 1
+	}
+	over := p.Vdd - p.VthLowV
+	f := 1 + p.BounceDelayK*bounceV/over
+	return f
+}
+
+// SwitchWidthForCurrent returns the minimum sleep-switch width in µm such
+// that current·Ron ≤ maxBounceV, i.e. the IR drop across the switch itself
+// stays within budget. It returns 0 when current is non-positive.
+func (p *Process) SwitchWidthForCurrent(currentMA, maxBounceV float64) float64 {
+	if currentMA <= 0 {
+		return 0
+	}
+	if maxBounceV <= 0 {
+		return math.Inf(1)
+	}
+	// Ron = 0.6·DriveK/(W·(Vdd−VthH)^α) ⇒ W = 0.6·DriveK·I/(ΔV·(Vdd−VthH)^α)
+	return 0.6 * p.DriveK * currentMA / (maxBounceV * math.Pow(p.Vdd-p.VthHighV, p.Alpha))
+}

@@ -1,0 +1,213 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default130().Validate(); err != nil {
+		t.Fatalf("default process invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadParameters(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Process)
+	}{
+		{"zero vdd", func(p *Process) { p.Vdd = 0 }},
+		{"vth order", func(p *Process) { p.VthHighV = p.VthLowV - 0.01 }},
+		{"vth above vdd", func(p *Process) { p.VthHighV = p.Vdd + 0.1 }},
+		{"temp", func(p *Process) { p.TempK = -1 }},
+		{"alpha", func(p *Process) { p.Alpha = 3 }},
+		{"drive", func(p *Process) { p.DriveK = 0 }},
+		{"stack", func(p *Process) { p.StackFactor3 = 0.5 }},
+		{"wire", func(p *Process) { p.WireResPerUm = 0 }},
+		{"em", func(p *Process) { p.EMCurrentPerUm = 0 }},
+		{"rows", func(p *Process) { p.RowHeightUm = 0 }},
+	}
+	for _, m := range mutations {
+		p := Default130()
+		m.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken process", m.name)
+		}
+	}
+}
+
+func TestVthClassString(t *testing.T) {
+	if VthLow.String() != "lvt" || VthHigh.String() != "hvt" {
+		t.Error("VthClass.String wrong")
+	}
+	if VthClass(9).String() == "" {
+		t.Error("unknown class should still format")
+	}
+}
+
+func TestSubthresholdSwingMagnitude(t *testing.T) {
+	p := Default130()
+	s := p.SubthresholdSwing()
+	// n·vT·ln10 ≈ 1.4 · 30.9 mV · 2.303 ≈ 99.5 mV/dec at 85 °C.
+	if s < 0.085 || s > 0.115 {
+		t.Errorf("swing = %v V/dec, want ≈0.1", s)
+	}
+}
+
+func TestLeakageRatioAround200(t *testing.T) {
+	p := Default130()
+	r := p.LeakageRatio()
+	if r < 100 || r > 400 {
+		t.Errorf("LVT/HVT leakage ratio = %v, want O(200)", r)
+	}
+	// Must agree with the current model itself.
+	il := p.SubthresholdCurrent(1, VthLow)
+	ih := p.SubthresholdCurrent(1, VthHigh)
+	if math.Abs(il/ih-r) > 1e-9*r {
+		t.Errorf("ratio inconsistent: %v vs %v", il/ih, r)
+	}
+}
+
+func TestSubthresholdCurrentScalesWithWidth(t *testing.T) {
+	p := Default130()
+	f := func(w float64) bool {
+		w = math.Abs(w)
+		if w == 0 || math.IsInf(w, 0) || math.IsNaN(w) || w > 1e6 {
+			return true
+		}
+		one := p.SubthresholdCurrent(1, VthLow)
+		got := p.SubthresholdCurrent(w, VthLow)
+		return math.Abs(got-w*one) <= 1e-12*math.Max(1, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeakageMagnitude(t *testing.T) {
+	p := Default130()
+	// LVT ≈ 10 nA/µm = 1e-5 mA/µm at 85 °C for this class of process.
+	il := p.SubthresholdCurrent(1, VthLow)
+	if il < 1e-6 || il > 1e-4 {
+		t.Errorf("LVT leakage %v mA/µm outside sanity band", il)
+	}
+}
+
+func TestStackSuppression(t *testing.T) {
+	p := Default130()
+	if p.StackSuppression(0) != 1 || p.StackSuppression(1) != 1 {
+		t.Error("single device should have no suppression")
+	}
+	s2, s3 := p.StackSuppression(2), p.StackSuppression(3)
+	if !(s3 < s2 && s2 < 1) {
+		t.Errorf("stack factors not monotone: s2=%v s3=%v", s2, s3)
+	}
+	if p.StackSuppression(5) != s3 {
+		t.Error("deep stacks should saturate at StackFactor3")
+	}
+}
+
+func TestDriveResistance(t *testing.T) {
+	p := Default130()
+	rl := p.DriveResistance(1, VthLow)
+	rh := p.DriveResistance(1, VthHigh)
+	if !(rh > rl) {
+		t.Fatalf("HVT must be slower: rl=%v rh=%v", rl, rh)
+	}
+	ratio := rh / rl
+	want := p.DelayRatioHighToLow()
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("resistance ratio %v != DelayRatioHighToLow %v", ratio, want)
+	}
+	if want < 1.3 || want > 1.6 {
+		t.Errorf("HVT/LVT delay ratio %v outside the ≈1.4 band", want)
+	}
+	// Doubling width halves resistance.
+	if math.Abs(p.DriveResistance(2, VthLow)-rl/2) > 1e-12 {
+		t.Error("resistance does not scale 1/W")
+	}
+	if !math.IsInf(p.DriveResistance(0, VthLow), 1) {
+		t.Error("zero width should be infinite resistance")
+	}
+}
+
+func TestOnResistanceBelowDrive(t *testing.T) {
+	p := Default130()
+	if p.OnResistance(4, VthHigh) >= p.DriveResistance(4, VthHigh) {
+		t.Error("triode resistance should be below switching resistance")
+	}
+}
+
+func TestBounceDelayFactor(t *testing.T) {
+	p := Default130()
+	if p.BounceDelayFactor(0) != 1 || p.BounceDelayFactor(-1) != 1 {
+		t.Error("no bounce must mean no penalty")
+	}
+	f5 := p.BounceDelayFactor(0.05 * p.Vdd)
+	if f5 <= 1 || f5 > 1.25 {
+		t.Errorf("5%% bounce penalty %v outside (1,1.25]", f5)
+	}
+	if p.BounceDelayFactor(0.1) <= p.BounceDelayFactor(0.05) {
+		t.Error("penalty must grow with bounce")
+	}
+}
+
+func TestSwitchWidthForCurrent(t *testing.T) {
+	p := Default130()
+	if p.SwitchWidthForCurrent(0, 0.06) != 0 {
+		t.Error("zero current needs zero width")
+	}
+	if !math.IsInf(p.SwitchWidthForCurrent(1, 0), 1) {
+		t.Error("zero budget needs infinite width")
+	}
+	w := p.SwitchWidthForCurrent(2.0, 0.06)
+	if w <= 0 {
+		t.Fatalf("width = %v", w)
+	}
+	// The width returned must actually meet the budget.
+	drop := 2.0 * p.OnResistance(w, VthHigh)
+	if drop > 0.06*(1+1e-9) {
+		t.Errorf("IR drop %v exceeds budget 0.06 at returned width", drop)
+	}
+	// And be tight: 1% less width should violate.
+	drop2 := 2.0 * p.OnResistance(w*0.99, VthHigh)
+	if drop2 <= 0.06 {
+		t.Errorf("returned width not tight (drop at 0.99W = %v)", drop2)
+	}
+	// Linearity in current.
+	if math.Abs(p.SwitchWidthForCurrent(4.0, 0.06)-2*w) > 1e-9*w {
+		t.Error("switch width should scale linearly with current")
+	}
+}
+
+func TestWireParasitics(t *testing.T) {
+	p := Default130()
+	if p.WireRes(100) != 100*p.WireResPerUm {
+		t.Error("WireRes wrong")
+	}
+	if p.WireCap(100) != 100*p.WireCapPerUm {
+		t.Error("WireCap wrong")
+	}
+	if p.EMCurrentLimit() != p.EMCurrentPerUm*p.WireWidthUm {
+		t.Error("EMCurrentLimit wrong")
+	}
+}
+
+func TestGateAndDrainCap(t *testing.T) {
+	p := Default130()
+	if p.GateCap(3) != 3*p.GateCapPerUm {
+		t.Error("GateCap wrong")
+	}
+	if p.DrainCap(3) != 3*p.DrainCapPerUm {
+		t.Error("DrainCap wrong")
+	}
+}
+
+func TestThermalVoltage(t *testing.T) {
+	p := Default130()
+	vt := p.ThermalVoltage()
+	if vt < 0.029 || vt > 0.033 {
+		t.Errorf("vT at 85 °C = %v, want ≈0.0309", vt)
+	}
+}

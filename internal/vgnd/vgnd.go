@@ -1,0 +1,346 @@
+// Package vgnd analyzes virtual-ground networks: given a cluster of
+// MT-cells sharing one sleep switch, it solves the resistive VGND tree for
+// the worst voltage bounce, checks the electromigration and wire-length
+// rules, sizes the switch against the bounce budget, and estimates wake-up
+// behaviour. The switch-structure optimizer in internal/core drives these
+// primitives; the post-route pass re-runs them on extracted (SPEF) RC.
+package vgnd
+
+import (
+	"fmt"
+	"math"
+
+	"selectivemt/internal/geom"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/linsolve"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/route"
+	"selectivemt/internal/tech"
+)
+
+// Cluster is a group of MT-cells sharing one sleep switch.
+type Cluster struct {
+	Cells []*netlist.Instance
+	// Switch is the assigned switch instance (nil until inserted).
+	Switch *netlist.Instance
+	// SwitchCell is the chosen switch size.
+	SwitchCell *liberty.Cell
+	// Net is the VGND net connecting the cells to the switch.
+	Net *netlist.Net
+}
+
+// Center returns the placement centroid of the cluster's cells.
+func (c *Cluster) Center() geom.Point {
+	pts := make([]geom.Point, 0, len(c.Cells))
+	for _, inst := range c.Cells {
+		pts = append(pts, inst.Pos)
+	}
+	return geom.Centroid(pts)
+}
+
+// WirelengthUm returns the trunk-routed VGND wire length of the cluster,
+// assuming the switch sits at the given point.
+func (c *Cluster) WirelengthUm(switchPos geom.Point) float64 {
+	pts := make([]geom.Point, 0, len(c.Cells)+1)
+	pts = append(pts, switchPos)
+	for _, inst := range c.Cells {
+		pts = append(pts, inst.Pos)
+	}
+	return route.Trunk(pts).Length()
+}
+
+// Currents supplies per-cell discharge currents to the analysis.
+type Currents interface {
+	// Peak returns the worst-case instantaneous discharge current (mA).
+	Peak(*netlist.Instance) float64
+	// Avg returns the cycle-average discharge current (mA).
+	Avg(*netlist.Instance) float64
+}
+
+// Rules are the designer limits from the paper's Section 3: bounce cap
+// (delay), wire-length cap (crosstalk) and cells-per-switch / current caps
+// (electromigration).
+type Rules struct {
+	MaxBounceV      float64 // VGND voltage bounce limit
+	MaxWirelengthUm float64 // VGND net length limit
+	MaxCellsPerSW   int     // sharing limit
+	MaxCurrentMA    float64 // EM sustained-current limit at the switch
+	DiversityFactor float64 // fraction of cells discharging simultaneously
+	MinSimultaneous int     // at least this many cells assumed simultaneous
+	// PreRouteGuardband scales MaxBounceV during pre-route sizing: the
+	// estimate cannot see wire RC, so switches are sized with margin and
+	// the post-route pass recovers the pessimism (or fixes optimism) from
+	// extracted RC — the adjustment the paper performs on SPEF data.
+	PreRouteGuardband float64
+}
+
+// DefaultRules derives limits from the process and library bounce budget.
+func DefaultRules(proc *tech.Process, lib *liberty.Library) Rules {
+	return Rules{
+		MaxBounceV:        lib.BounceLimitV,
+		MaxWirelengthUm:   220,
+		MaxCellsPerSW:     24,
+		MaxCurrentMA:      proc.EMCurrentLimit(),
+		DiversityFactor:   0.30,
+		MinSimultaneous:   2,
+		PreRouteGuardband: 0.8,
+	}
+}
+
+// ClusterCurrent returns the design current of a cluster: the diversity-
+// weighted sum of peak currents, floored at the MinSimultaneous largest
+// peaks. Sharing a switch across many cells is exactly what lets the total
+// switch width shrink versus per-cell switches — the area/leakage win of
+// the improved Selective-MT circuit.
+func ClusterCurrent(cells []*netlist.Instance, cur Currents, r Rules) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	var sum float64
+	peaks := make([]float64, 0, len(cells))
+	for _, inst := range cells {
+		p := cur.Peak(inst)
+		peaks = append(peaks, p)
+		sum += p
+	}
+	div := r.DiversityFactor
+	if div <= 0 || div > 1 {
+		div = 1
+	}
+	design := sum * div
+	// Floor: the MinSimultaneous largest cells can always align.
+	k := r.MinSimultaneous
+	if k < 1 {
+		k = 1
+	}
+	if k > len(peaks) {
+		k = len(peaks)
+	}
+	// Partial selection of the k largest.
+	for i := 0; i < k; i++ {
+		maxIdx := i
+		for j := i + 1; j < len(peaks); j++ {
+			if peaks[j] > peaks[maxIdx] {
+				maxIdx = j
+			}
+		}
+		peaks[i], peaks[maxIdx] = peaks[maxIdx], peaks[i]
+	}
+	var floor float64
+	for i := 0; i < k; i++ {
+		floor += peaks[i]
+	}
+	if floor > design {
+		design = floor
+	}
+	return design
+}
+
+// BounceResult reports the electrical state of one cluster.
+type BounceResult struct {
+	WorstBounceV   float64
+	WorstCell      *netlist.Instance
+	SwitchDropV    float64 // IR across the switch itself
+	WirelengthUm   float64
+	TotalCurrentMA float64
+}
+
+// Topology selects how the VGND wiring is modelled.
+type Topology int
+
+const (
+	// TopoTrunk is the post-route model: the trunk/comb tree the router
+	// actually builds, with shared trunk segments.
+	TopoTrunk Topology = iota
+	// TopoEstimate is the pre-route view: the switch IR drop is computed
+	// from the placement-derived cluster current, but the VGND rail is
+	// taken as ideal (wire RC is only known after routing) — exactly the
+	// estimation error the paper's post-route SPEF re-optimization
+	// corrects by adjusting switch sizes.
+	TopoEstimate
+)
+
+// SolveBounce computes the worst VGND bounce of a cluster with the given
+// switch cell placed at switchPos, using the post-route trunk topology.
+func SolveBounce(cl *Cluster, switchPos geom.Point, sw *liberty.Cell,
+	cur Currents, proc *tech.Process, r Rules) (*BounceResult, error) {
+	return SolveBounceTopo(cl, switchPos, sw, cur, proc, r, TopoTrunk)
+}
+
+// SolveBounceTopo is SolveBounce with an explicit wiring topology.
+func SolveBounceTopo(cl *Cluster, switchPos geom.Point, sw *liberty.Cell,
+	cur Currents, proc *tech.Process, r Rules, topo Topology) (*BounceResult, error) {
+	if len(cl.Cells) == 0 {
+		return &BounceResult{}, nil
+	}
+	if sw == nil || sw.Kind != liberty.KindSwitch {
+		return nil, fmt.Errorf("vgnd: cluster has no switch cell")
+	}
+	pts := make([]geom.Point, 0, len(cl.Cells)+1)
+	pts = append(pts, switchPos)
+	for _, inst := range cl.Cells {
+		pts = append(pts, inst.Pos)
+	}
+	var tree *route.Tree
+	if topo == TopoEstimate {
+		tree = starTree(pts) // shape only; edges get negligible resistance
+	} else {
+		tree = route.Trunk(pts)
+	}
+
+	// Node mapping: resistive network node 0 = true ground; node i+1 =
+	// route tree node i. Switch connects ground to tree node 0.
+	rn := linsolve.NewResistiveNetwork(len(tree.Nodes) + 1)
+	ron := proc.OnResistance(sw.SwitchWidthUm, tech.VthHigh)
+	if err := rn.AddResistor(0, 1, math.Max(ron, 1e-9)); err != nil {
+		return nil, err
+	}
+	for _, e := range tree.Edges {
+		res := 1e-9 // pre-route: rail treated as ideal
+		if topo != TopoEstimate {
+			length := tree.Nodes[e[0]].Manhattan(tree.Nodes[e[1]])
+			res = math.Max(proc.VGNDWireRes(length), 1e-9)
+		}
+		if err := rn.AddResistor(e[0]+1, e[1]+1, res); err != nil {
+			return nil, err
+		}
+	}
+	// Inject diversity-scaled currents at each cell terminal. Terminal i+1
+	// of the route tree is cell i.
+	total := ClusterCurrent(cl.Cells, cur, r)
+	var sumPeak float64
+	for _, inst := range cl.Cells {
+		sumPeak += cur.Peak(inst)
+	}
+	for i, inst := range cl.Cells {
+		share := 0.0
+		if sumPeak > 0 {
+			share = cur.Peak(inst) / sumPeak * total
+		}
+		if share <= 0 {
+			continue
+		}
+		if err := rn.InjectCurrent(i+2, share); err != nil {
+			return nil, err
+		}
+	}
+	v, err := rn.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("vgnd: cluster solve: %w", err)
+	}
+	res := &BounceResult{
+		SwitchDropV:    v[1],
+		WirelengthUm:   tree.Length(),
+		TotalCurrentMA: total,
+	}
+	for i, inst := range cl.Cells {
+		if b := v[i+2]; b > res.WorstBounceV {
+			res.WorstBounceV = b
+			res.WorstCell = inst
+		}
+	}
+	return res, nil
+}
+
+// starTree builds the pre-route star estimate: every terminal wired
+// directly to terminal 0 with an L-route.
+func starTree(pts []geom.Point) *route.Tree {
+	t := &route.Tree{Nodes: append([]geom.Point(nil), pts...)}
+	for i := 1; i < len(pts); i++ {
+		t.Edges = append(t.Edges, [2]int{0, i})
+	}
+	return t
+}
+
+// SizeSwitch picks the smallest library switch that keeps the cluster's
+// worst bounce within the rule, or an error when even the largest switch
+// cannot (the caller should split the cluster).
+func SizeSwitch(cl *Cluster, switchPos geom.Point, lib *liberty.Library,
+	cur Currents, proc *tech.Process, r Rules) (*liberty.Cell, *BounceResult, error) {
+	return SizeSwitchTopo(cl, switchPos, lib, cur, proc, r, TopoTrunk)
+}
+
+// SizeSwitchTopo is SizeSwitch with an explicit wiring topology.
+func SizeSwitchTopo(cl *Cluster, switchPos geom.Point, lib *liberty.Library,
+	cur Currents, proc *tech.Process, r Rules, topo Topology) (*liberty.Cell, *BounceResult, error) {
+	var last *BounceResult
+	for _, sw := range lib.SwitchCells() {
+		br, err := SolveBounceTopo(cl, switchPos, sw, cur, proc, r, topo)
+		if err != nil {
+			return nil, nil, err
+		}
+		last = br
+		if br.WorstBounceV <= r.MaxBounceV {
+			return sw, br, nil
+		}
+	}
+	return nil, last, fmt.Errorf("vgnd: no switch meets %.3fV bounce for %d cells (best %.3fV)",
+		r.MaxBounceV, len(cl.Cells), worst(last))
+}
+
+func worst(b *BounceResult) float64 {
+	if b == nil {
+		return math.Inf(1)
+	}
+	return b.WorstBounceV
+}
+
+// Check validates a sized cluster against every rule.
+func Check(cl *Cluster, switchPos geom.Point, cur Currents, proc *tech.Process, r Rules) error {
+	if len(cl.Cells) == 0 {
+		return fmt.Errorf("vgnd: empty cluster")
+	}
+	if r.MaxCellsPerSW > 0 && len(cl.Cells) > r.MaxCellsPerSW {
+		return fmt.Errorf("vgnd: %d cells exceed the %d-per-switch EM rule", len(cl.Cells), r.MaxCellsPerSW)
+	}
+	br, err := SolveBounce(cl, switchPos, cl.SwitchCell, cur, proc, r)
+	if err != nil {
+		return err
+	}
+	if br.WorstBounceV > r.MaxBounceV*(1+1e-9) {
+		return fmt.Errorf("vgnd: bounce %.4fV exceeds limit %.4fV", br.WorstBounceV, r.MaxBounceV)
+	}
+	if r.MaxWirelengthUm > 0 && br.WirelengthUm > r.MaxWirelengthUm {
+		return fmt.Errorf("vgnd: wirelength %.1fµm exceeds limit %.1fµm (crosstalk rule)",
+			br.WirelengthUm, r.MaxWirelengthUm)
+	}
+	// A cluster cannot be split below one cell: a lone cell whose own
+	// current exceeds the per-strap EM limit gets a widened dedicated
+	// strap instead (routing handles it), so the rule binds shared rails
+	// only.
+	if len(cl.Cells) > 1 && r.MaxCurrentMA > 0 && br.TotalCurrentMA > r.MaxCurrentMA {
+		return fmt.Errorf("vgnd: cluster current %.3fmA exceeds EM limit %.3fmA",
+			br.TotalCurrentMA, r.MaxCurrentMA)
+	}
+	return nil
+}
+
+// WakeupEstimate approximates the sleep-to-active transition of a cluster:
+// the time for the switch to discharge the accumulated VGND charge.
+type WakeupEstimate struct {
+	TimeNs   float64
+	EnergyPJ float64
+}
+
+// Wakeup estimates wake-up time (3·Ron·Cvgnd) and the energy to swing the
+// VGND rail back down.
+func Wakeup(cl *Cluster, proc *tech.Process) WakeupEstimate {
+	if cl.SwitchCell == nil || len(cl.Cells) == 0 {
+		return WakeupEstimate{}
+	}
+	var capPF float64
+	for _, inst := range cl.Cells {
+		// Parasitic cap hanging on each cell's VGND terminal ≈ its drain
+		// cap share.
+		capPF += proc.DrainCap(1.0) * float64(inst.Cell.Drive)
+	}
+	wl := cl.WirelengthUm(cl.Center())
+	capPF += proc.WireCap(wl)
+	ron := proc.OnResistance(cl.SwitchCell.SwitchWidthUm, tech.VthHigh)
+	// VGND floats near Vdd−Vth in standby; energy = C·V².
+	swing := proc.Vdd - proc.VthHighV
+	return WakeupEstimate{
+		TimeNs:   3 * ron * capPF,
+		EnergyPJ: capPF * swing * swing, // pF · V² = pJ
+	}
+}

@@ -1,0 +1,257 @@
+package vgnd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"selectivemt/internal/geom"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/tech"
+)
+
+var (
+	sharedLib  *liberty.Library
+	sharedProc *tech.Process
+)
+
+func lib(t *testing.T) *liberty.Library {
+	t.Helper()
+	if sharedLib == nil {
+		sharedProc = tech.Default130()
+		l, err := liberty.Generate(sharedProc, liberty.DefaultBuildOptions(sharedProc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLib = l
+	}
+	return sharedLib
+}
+
+// fixedCurrents is a test stub.
+type fixedCurrents struct{ peak, avg float64 }
+
+func (f fixedCurrents) Peak(*netlist.Instance) float64 { return f.peak }
+func (f fixedCurrents) Avg(*netlist.Instance) float64  { return f.avg }
+
+// mkCluster builds n MT cells on a row, 4µm apart.
+func mkCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	l := lib(t)
+	d := netlist.New("cl", l)
+	cl := &Cluster{}
+	for i := 0; i < n; i++ {
+		inst, _ := d.NewInstanceAuto("mt", l.Cell("NAND2_X1_MV"))
+		inst.Pos, inst.Placed = geom.Pt(float64(i)*4, 0), true
+		cl.Cells = append(cl.Cells, inst)
+	}
+	return cl
+}
+
+func TestClusterCenterAndWirelength(t *testing.T) {
+	cl := mkCluster(t, 5)
+	c := cl.Center()
+	if c.X != 8 || c.Y != 0 {
+		t.Errorf("center = %v", c)
+	}
+	wl := cl.WirelengthUm(c)
+	// Trunk along y=0 spanning x=0..16 → 16µm.
+	if math.Abs(wl-16) > 1e-9 {
+		t.Errorf("wirelength = %v, want 16", wl)
+	}
+}
+
+func TestClusterCurrentDiversity(t *testing.T) {
+	cl := mkCluster(t, 10)
+	cur := fixedCurrents{peak: 0.1}
+	r := DefaultRules(sharedProc, lib(t))
+	r.DiversityFactor = 0.3
+	r.MinSimultaneous = 2
+	got := ClusterCurrent(cl.Cells, cur, r)
+	// 10 cells × 0.1 × 0.3 = 0.3; floor = 2 × 0.1 = 0.2 → 0.3.
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("cluster current = %v, want 0.3", got)
+	}
+	// Small cluster: the floor dominates.
+	cl2 := mkCluster(t, 2)
+	got2 := ClusterCurrent(cl2.Cells, cur, r)
+	if math.Abs(got2-0.2) > 1e-12 {
+		t.Errorf("small cluster current = %v, want floor 0.2", got2)
+	}
+	if ClusterCurrent(nil, cur, r) != 0 {
+		t.Error("empty cluster current should be 0")
+	}
+}
+
+func TestSolveBounceGrowsWithCellsAndShrinksWithSwitch(t *testing.T) {
+	l := lib(t)
+	r := DefaultRules(sharedProc, l)
+	cur := fixedCurrents{peak: 0.12}
+	sws := l.SwitchCells()
+	small, big := sws[0], sws[len(sws)-1]
+
+	cl4 := mkCluster(t, 4)
+	cl12 := mkCluster(t, 12)
+	b4, err := SolveBounce(cl4, cl4.Center(), small, cur, sharedProc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b12, err := SolveBounce(cl12, cl12.Center(), small, cur, sharedProc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b12.WorstBounceV > b4.WorstBounceV) {
+		t.Errorf("more cells should bounce more: %v vs %v", b12.WorstBounceV, b4.WorstBounceV)
+	}
+	bBig, err := SolveBounce(cl12, cl12.Center(), big, cur, sharedProc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bBig.WorstBounceV < b12.WorstBounceV) {
+		t.Errorf("bigger switch should bounce less: %v vs %v", bBig.WorstBounceV, b12.WorstBounceV)
+	}
+	if b12.WorstCell == nil || b12.TotalCurrentMA <= 0 || b12.WirelengthUm <= 0 {
+		t.Error("bounce result incomplete")
+	}
+	// Switch drop is part of (and below) the worst bounce.
+	if b12.SwitchDropV <= 0 || b12.SwitchDropV > b12.WorstBounceV {
+		t.Errorf("switch drop %v vs worst %v", b12.SwitchDropV, b12.WorstBounceV)
+	}
+}
+
+func TestSolveBounceEmptyAndErrors(t *testing.T) {
+	r := DefaultRules(sharedProc, lib(t))
+	cur := fixedCurrents{peak: 0.1}
+	empty := &Cluster{}
+	br, err := SolveBounce(empty, geom.Pt(0, 0), nil, cur, sharedProc, r)
+	if err != nil || br.WorstBounceV != 0 {
+		t.Error("empty cluster should be trivially zero")
+	}
+	cl := mkCluster(t, 3)
+	if _, err := SolveBounce(cl, cl.Center(), nil, cur, sharedProc, r); err == nil {
+		t.Error("nil switch accepted")
+	}
+	notSwitch := lib(t).Cell("INV_X1_L")
+	if _, err := SolveBounce(cl, cl.Center(), notSwitch, cur, sharedProc, r); err == nil {
+		t.Error("non-switch cell accepted")
+	}
+}
+
+func TestSizeSwitch(t *testing.T) {
+	l := lib(t)
+	r := DefaultRules(sharedProc, l)
+	cur := fixedCurrents{peak: 0.12}
+	cl := mkCluster(t, 12)
+	sw, br, err := SizeSwitch(cl, cl.Center(), l, cur, sharedProc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.WorstBounceV > r.MaxBounceV {
+		t.Errorf("sized switch still bounces %v > %v", br.WorstBounceV, r.MaxBounceV)
+	}
+	// Minimality: the next smaller switch must violate.
+	sws := l.SwitchCells()
+	for i, c := range sws {
+		if c == sw && i > 0 {
+			br2, err := SolveBounce(cl, cl.Center(), sws[i-1], cur, sharedProc, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if br2.WorstBounceV <= r.MaxBounceV {
+				t.Errorf("smaller switch %s would also fit (%.4f ≤ %.4f)",
+					sws[i-1].Name, br2.WorstBounceV, r.MaxBounceV)
+			}
+		}
+	}
+	// Impossible budget → error mentioning the bounce.
+	rBad := r
+	rBad.MaxBounceV = 1e-7
+	if _, _, err := SizeSwitch(cl, cl.Center(), l, cur, sharedProc, rBad); err == nil {
+		t.Error("impossible budget accepted")
+	} else if !strings.Contains(err.Error(), "bounce") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestCheckRules(t *testing.T) {
+	l := lib(t)
+	r := DefaultRules(sharedProc, l)
+	cur := fixedCurrents{peak: 0.12}
+	cl := mkCluster(t, 10)
+	sw, _, err := SizeSwitch(cl, cl.Center(), l, cur, sharedProc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SwitchCell = sw
+	if err := Check(cl, cl.Center(), cur, sharedProc, r); err != nil {
+		t.Fatalf("valid cluster rejected: %v", err)
+	}
+	// Cells-per-switch rule.
+	rTight := r
+	rTight.MaxCellsPerSW = 5
+	if err := Check(cl, cl.Center(), cur, sharedProc, rTight); err == nil {
+		t.Error("EM cell-count violation not caught")
+	}
+	// Wirelength rule.
+	rWL := r
+	rWL.MaxWirelengthUm = 1
+	if err := Check(cl, cl.Center(), cur, sharedProc, rWL); err == nil {
+		t.Error("wirelength violation not caught")
+	}
+	// Current rule.
+	rI := r
+	rI.MaxCurrentMA = 1e-6
+	if err := Check(cl, cl.Center(), cur, sharedProc, rI); err == nil {
+		t.Error("EM current violation not caught")
+	}
+	// Empty cluster.
+	if err := Check(&Cluster{}, geom.Pt(0, 0), cur, sharedProc, r); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+func TestWakeup(t *testing.T) {
+	l := lib(t)
+	cl := mkCluster(t, 8)
+	cl.SwitchCell = l.SwitchCells()[1]
+	w := Wakeup(cl, sharedProc)
+	if w.TimeNs <= 0 || w.EnergyPJ <= 0 {
+		t.Errorf("wakeup = %+v", w)
+	}
+	// Bigger switch wakes faster.
+	cl.SwitchCell = l.SwitchCells()[4]
+	w2 := Wakeup(cl, sharedProc)
+	if !(w2.TimeNs < w.TimeNs) {
+		t.Errorf("bigger switch should wake faster: %v vs %v", w2.TimeNs, w.TimeNs)
+	}
+	if got := Wakeup(&Cluster{}, sharedProc); got.TimeNs != 0 {
+		t.Error("empty cluster wakeup should be zero")
+	}
+}
+
+func TestSharedSwitchNarrowerThanPerCell(t *testing.T) {
+	// The paper's core quantitative claim: one shared, diversity-sized
+	// switch needs less total width than per-cell switches sized for each
+	// cell's own peak current.
+	l := lib(t)
+	r := DefaultRules(sharedProc, l)
+	cur := fixedCurrents{peak: 0.12}
+	cl := mkCluster(t, 16)
+	sw, _, err := SizeSwitch(cl, cl.Center(), l, cur, sharedProc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCell := 0.0
+	for range cl.Cells {
+		w := sharedProc.SwitchWidthForCurrent(0.12, r.MaxBounceV)
+		if w < 1.0 {
+			w = 1.0 // layout minimum, as in the conventional MT-cell
+		}
+		perCell += w
+	}
+	if sw.SwitchWidthUm >= perCell {
+		t.Errorf("shared switch %vµm not narrower than per-cell total %vµm",
+			sw.SwitchWidthUm, perCell)
+	}
+}

@@ -1,0 +1,188 @@
+// Package selectivemt reproduces "Area-efficient Selective Multi-Threshold
+// CMOS Design Methodology for Standby Leakage Power Reduction" (Kitahara,
+// Kawabe, Minami, Seta, Furusawa — DATE 2005) as a self-contained Go
+// library: an analytically characterized multi-Vth cell library, the full
+// RTL-to-layout flow of the paper's Fig. 4, the conventional and improved
+// Selective-MT techniques, the Dual-Vth baseline, and the benchmark
+// circuits and harnesses that regenerate the paper's Table 1.
+//
+// Quick start:
+//
+//	env, err := selectivemt.NewEnvironment()
+//	cmp, err := env.Compare(selectivemt.CircuitA())
+//	fmt.Println(cmp.Format())
+//
+// The heavy lifting lives in internal packages (sta, place, cts, vgnd,
+// core, ...); this facade exposes the workflow a downstream user needs.
+package selectivemt
+
+import (
+	"fmt"
+	"io"
+
+	"selectivemt/internal/core"
+	"selectivemt/internal/gen"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/report"
+	"selectivemt/internal/tech"
+	"selectivemt/internal/verilog"
+)
+
+// Re-exported workflow types. The aliases keep one set of concrete types
+// across the facade and the internal engines.
+type (
+	// Environment bundles a process and its characterized library.
+	Environment struct {
+		Proc *tech.Process
+		Lib  *liberty.Library
+	}
+	// Config is the flow configuration (clock, rules, engine options).
+	Config = core.Config
+	// TechniqueResult is one technique's outcome on one circuit.
+	TechniqueResult = core.TechniqueResult
+	// CircuitSpec is a generated benchmark circuit plus its flow knobs.
+	CircuitSpec = gen.CircuitSpec
+	// Design is a flat gate-level netlist.
+	Design = netlist.Design
+)
+
+// NewEnvironment characterizes the default 130nm-class process/library.
+func NewEnvironment() (*Environment, error) {
+	proc := tech.Default130()
+	lib, err := liberty.Generate(proc, liberty.DefaultBuildOptions(proc))
+	if err != nil {
+		return nil, err
+	}
+	return &Environment{Proc: proc, Lib: lib}, nil
+}
+
+// NewConfig returns the default flow configuration for this environment.
+func (e *Environment) NewConfig() *Config { return core.DefaultConfig(e.Proc, e.Lib) }
+
+// CircuitA returns the datapath-heavy evaluation circuit (tight clock).
+func CircuitA() CircuitSpec { return gen.CircuitA() }
+
+// CircuitB returns the control-heavy evaluation circuit (relaxed clock).
+func CircuitB() CircuitSpec { return gen.CircuitB() }
+
+// SmallTest returns a compact circuit for experimentation.
+func SmallTest() CircuitSpec { return gen.SmallTest() }
+
+// Comparison is the paper's three-technique comparison on one circuit.
+type Comparison struct {
+	Circuit  string
+	Dual     *TechniqueResult
+	Conv     *TechniqueResult
+	Improved *TechniqueResult
+}
+
+// Compare runs all three techniques on the circuit with default options.
+func (e *Environment) Compare(spec CircuitSpec) (*Comparison, error) {
+	cfg := e.NewConfig()
+	cfg.ClockSlack = spec.ClockSlack
+	return e.CompareWithConfig(spec, cfg)
+}
+
+// CompareWithConfig runs all three techniques with an explicit config.
+func (e *Environment) CompareWithConfig(spec CircuitSpec, cfg *Config) (*Comparison, error) {
+	base, err := core.PrepareBase(spec.Module, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("selectivemt: prepare %s: %w", spec.Module.Name, err)
+	}
+	dual, err := core.RunDualVth(base, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("selectivemt: dual-vth on %s: %w", spec.Module.Name, err)
+	}
+	conv, err := core.RunConventionalSMT(base, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("selectivemt: conventional SMT on %s: %w", spec.Module.Name, err)
+	}
+	imp, err := core.RunImprovedSMT(base, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("selectivemt: improved SMT on %s: %w", spec.Module.Name, err)
+	}
+	return &Comparison{Circuit: spec.Module.Name, Dual: dual, Conv: conv, Improved: imp}, nil
+}
+
+// AreaPct returns a technique's area normalized to Dual-Vth = 100%.
+func (c *Comparison) AreaPct(r *TechniqueResult) float64 {
+	return 100 * r.AreaUm2 / c.Dual.AreaUm2
+}
+
+// LeakagePct returns a technique's standby leakage normalized to
+// Dual-Vth = 100%.
+func (c *Comparison) LeakagePct(r *TechniqueResult) float64 {
+	return 100 * r.StandbyLeakMW / c.Dual.StandbyLeakMW
+}
+
+// Format renders the comparison in the paper's Table-1 layout.
+func (c *Comparison) Format() string {
+	t := report.New(fmt.Sprintf("Circuit %s", c.Circuit),
+		"Metric", "Dual-Vth", "Con.-SMT", "Imp.-SMT")
+	t.AddPct("Area", 100, c.AreaPct(c.Conv), c.AreaPct(c.Improved))
+	t.AddPct("Leakage", 100, c.LeakagePct(c.Conv), c.LeakagePct(c.Improved))
+	return t.String()
+}
+
+// Table1 regenerates the paper's Table 1: both circuits, three techniques.
+func (e *Environment) Table1() ([]*Comparison, error) {
+	var out []*Comparison
+	for _, spec := range []CircuitSpec{CircuitA(), CircuitB()} {
+		cmp, err := e.Compare(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+// FormatTable1 renders a set of comparisons as one table.
+func FormatTable1(comps []*Comparison) string {
+	t := report.New("Table 1: Comparison of three techniques",
+		"Circuit", "Metric", "Dual-Vth", "Con.-SMT", "Imp.-SMT")
+	for _, c := range comps {
+		t.Add(c.Circuit, "Area", "100.00%",
+			fmt.Sprintf("%.2f%%", c.AreaPct(c.Conv)),
+			fmt.Sprintf("%.2f%%", c.AreaPct(c.Improved)))
+		t.Add(c.Circuit, "Leakage", "100.00%",
+			fmt.Sprintf("%.2f%%", c.LeakagePct(c.Conv)),
+			fmt.Sprintf("%.2f%%", c.LeakagePct(c.Improved)))
+	}
+	return t.String()
+}
+
+// WriteLibrary writes the environment's library in Liberty format.
+func (e *Environment) WriteLibrary(w io.Writer) error {
+	return liberty.WriteLiberty(w, e.Lib)
+}
+
+// LoadVerilog parses a structural Verilog netlist against the library.
+func (e *Environment) LoadVerilog(r io.Reader) (*Design, error) {
+	return verilog.Parse(r, e.Lib)
+}
+
+// WriteVerilog writes a design as structural Verilog.
+func WriteVerilog(w io.Writer, d *Design) error { return verilog.Write(w, d) }
+
+// Synthesize maps and places a circuit, returning the all-LVT base design
+// the techniques start from. The config's clock period is derived if unset.
+func (e *Environment) Synthesize(spec CircuitSpec, cfg *Config) (*Design, error) {
+	return core.PrepareBase(spec.Module, cfg)
+}
+
+// RunDualVth runs the baseline technique on a clone of base.
+func RunDualVth(base *Design, cfg *Config) (*TechniqueResult, error) {
+	return core.RunDualVth(base, cfg)
+}
+
+// RunConventionalSMT runs the conventional Selective-MT technique.
+func RunConventionalSMT(base *Design, cfg *Config) (*TechniqueResult, error) {
+	return core.RunConventionalSMT(base, cfg)
+}
+
+// RunImprovedSMT runs the paper's improved Selective-MT flow.
+func RunImprovedSMT(base *Design, cfg *Config) (*TechniqueResult, error) {
+	return core.RunImprovedSMT(base, cfg)
+}

@@ -1,0 +1,141 @@
+package selectivemt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"selectivemt/internal/sim"
+)
+
+func testEnv(t *testing.T) *Environment {
+	t.Helper()
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestNewEnvironment(t *testing.T) {
+	env := testEnv(t)
+	if env.Proc == nil || env.Lib == nil {
+		t.Fatal("environment incomplete")
+	}
+	if len(env.Lib.Cells) < 150 {
+		t.Errorf("library suspiciously small: %d cells", len(env.Lib.Cells))
+	}
+}
+
+func TestCompareSmallCircuit(t *testing.T) {
+	env := testEnv(t)
+	cmp, err := env.Compare(SmallTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orderings that define the paper's result.
+	if !(cmp.Improved.StandbyLeakMW < cmp.Conv.StandbyLeakMW) {
+		t.Errorf("improved leak %v not below conventional %v",
+			cmp.Improved.StandbyLeakMW, cmp.Conv.StandbyLeakMW)
+	}
+	if !(cmp.Dual.AreaUm2 < cmp.Improved.AreaUm2 && cmp.Improved.AreaUm2 < cmp.Conv.AreaUm2) {
+		t.Errorf("area ordering broken: %v / %v / %v",
+			cmp.Dual.AreaUm2, cmp.Improved.AreaUm2, cmp.Conv.AreaUm2)
+	}
+	if cmp.AreaPct(cmp.Dual) != 100 || cmp.LeakagePct(cmp.Dual) != 100 {
+		t.Error("normalization wrong")
+	}
+	// All three remain logically equivalent.
+	eq, why, err := sim.Equivalent(cmp.Dual.Design, cmp.Improved.Design, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("dual vs improved differ: %s", why)
+	}
+}
+
+func TestComparisonFormat(t *testing.T) {
+	env := testEnv(t)
+	cmp, err := env.Compare(SmallTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cmp.Format()
+	for _, want := range []string{"Dual-Vth", "Con.-SMT", "Imp.-SMT", "Area", "Leakage", "100.00%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q:\n%s", want, s)
+		}
+	}
+	tbl := FormatTable1([]*Comparison{cmp})
+	if !strings.Contains(tbl, "Table 1") || !strings.Contains(tbl, cmp.Circuit) {
+		t.Errorf("FormatTable1 wrong:\n%s", tbl)
+	}
+}
+
+func TestWriteLibraryAndVerilogRoundTrip(t *testing.T) {
+	env := testEnv(t)
+	var lbuf bytes.Buffer
+	if err := env.WriteLibrary(&lbuf); err != nil {
+		t.Fatal(err)
+	}
+	if lbuf.Len() < 10000 {
+		t.Errorf("library file suspiciously small: %d bytes", lbuf.Len())
+	}
+
+	cfg := env.NewConfig()
+	cfg.ClockSlack = SmallTest().ClockSlack
+	base, err := env.Synthesize(SmallTest(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vbuf bytes.Buffer
+	if err := WriteVerilog(&vbuf, base); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := env.LoadVerilog(bytes.NewReader(vbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumInstances() != base.NumInstances() {
+		t.Errorf("verilog round trip lost instances: %d vs %d",
+			d2.NumInstances(), base.NumInstances())
+	}
+	eq, why, err := sim.Equivalent(base, d2, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("verilog round trip changed logic: %s", why)
+	}
+}
+
+func TestIndividualTechniqueRunners(t *testing.T) {
+	env := testEnv(t)
+	cfg := env.NewConfig()
+	cfg.ClockSlack = SmallTest().ClockSlack
+	base, err := env.Synthesize(SmallTest(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := RunDualVth(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.Technique != "Dual-Vth" || dual.AreaUm2 <= 0 {
+		t.Error("dual result malformed")
+	}
+	imp, err := RunImprovedSMT(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Counts.Switches == 0 || imp.Counts.MT == 0 {
+		t.Error("improved flow built no gating structure")
+	}
+	// base must not have been mutated by either run (they clone).
+	for _, inst := range base.Instances() {
+		if inst.Cell.IsMT() {
+			t.Fatal("technique run mutated the base design")
+		}
+	}
+}
