@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"selectivemt/internal/core"
+	"selectivemt/internal/engine"
 	"selectivemt/internal/gen"
 	"selectivemt/internal/liberty"
 	"selectivemt/internal/sim"
@@ -185,6 +186,95 @@ func BenchmarkFig4FlowStages(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(res.Stages)), "stages")
 	b.ReportMetric(res.WNSNs*1000, "wns-ps")
+}
+
+// BenchmarkCompareSequential and BenchmarkCompareParallel time the
+// three-technique comparison on the small circuit with the same fresh,
+// cache-free config per iteration, so the pair isolates the engine's
+// worker-pool speedup (parallel should be bounded by the slowest
+// technique instead of the sum of all three).
+func BenchmarkCompareSequential(b *testing.B) {
+	env := benchEnv(b)
+	spec := SmallTest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := env.NewConfig()
+		cfg.ClockSlack = spec.ClockSlack
+		cfg.Cache = nil
+		if _, err := env.CompareWithConfig(spec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompareParallel(b *testing.B) {
+	env := benchEnv(b)
+	spec := SmallTest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := env.NewConfig()
+		cfg.ClockSlack = spec.ClockSlack
+		cfg.Cache = nil
+		if _, err := env.CompareParallelWithConfig(spec, cfg, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActivityUncached and BenchmarkActivityCached time the random-
+// vector activity estimation directly versus through the shared analysis
+// cache (where every iteration after the first replays the memoized
+// per-net statistics onto the design).
+func BenchmarkActivityUncached(b *testing.B) {
+	env := benchEnv(b)
+	cfg := env.NewConfig()
+	spec := SmallTest()
+	cfg.ClockSlack = spec.ClockSlack
+	base, err := env.Synthesize(spec, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.EstimateActivity(base, cfg.ActivityCycles, cfg.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkActivityCached(b *testing.B) {
+	env := benchEnv(b)
+	cfg := env.NewConfig()
+	spec := SmallTest()
+	cfg.ClockSlack = spec.ClockSlack
+	base, err := env.Synthesize(spec, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := engine.NewAnalysisCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Activity(base, cfg.ActivityCycles, cfg.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunBatchTable1 runs the full Table-1 batch (both circuits,
+// all techniques) through the engine, the production-shaped workload.
+func BenchmarkRunBatchTable1(b *testing.B) {
+	env := benchEnv(b)
+	specs := []CircuitSpec{CircuitA(), CircuitB()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comps, err := env.RunBatch(specs, BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if comps[0] == nil || comps[1] == nil {
+			b.Fatal("batch lost a comparison")
+		}
+	}
 }
 
 // BenchmarkAblationBounceLimit sweeps the VGND bounce cap — the designer

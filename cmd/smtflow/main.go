@@ -2,9 +2,13 @@
 // benchmark circuit or an external Verilog netlist, printing stage-by-stage
 // reports and optionally writing the final netlist, SPEF and library.
 //
+// Techniques run as jobs on the flow engine's worker pool: -technique all
+// runs all three concurrently (bounded by -jobs) and prints the paper's
+// comparison alongside the per-technique reports.
+//
 // Usage:
 //
-//	smtflow -circuit a|b|small [-technique improved|conventional|dual]
+//	smtflow -circuit a|b|small [-technique improved|conventional|dual|all] [-jobs N]
 //	smtflow -verilog design.v -sdc design.sdc
 //	smtflow -circuit a -out-verilog out.v -out-spef vgnd.spef
 package main
@@ -29,7 +33,8 @@ func main() {
 	circuit := flag.String("circuit", "small", "benchmark circuit: a, b or small")
 	verilogIn := flag.String("verilog", "", "structural Verilog netlist to run instead of a benchmark")
 	sdcIn := flag.String("sdc", "", "SDC constraints for -verilog input")
-	technique := flag.String("technique", "improved", "improved, conventional or dual")
+	technique := flag.String("technique", "improved", "improved, conventional, dual or all")
+	jobs := flag.Int("jobs", 0, "max concurrent technique jobs (0 = GOMAXPROCS)")
 	outVerilog := flag.String("out-verilog", "", "write the final netlist here")
 	outSpef := flag.String("out-spef", "", "write the VGND parasitics here")
 	outDef := flag.String("out-def", "", "write the final placement here (DEF)")
@@ -92,6 +97,8 @@ func main() {
 		}
 	}
 
+	// Run the selected technique(s); "all" goes through the flow
+	// engine's worker pool (bounded by -jobs).
 	var res *selectivemt.TechniqueResult
 	switch *technique {
 	case "improved":
@@ -100,32 +107,27 @@ func main() {
 		res, err = selectivemt.RunConventionalSMT(base, cfg)
 	case "dual":
 		res, err = selectivemt.RunDualVth(base, cfg)
+	case "all":
+		var cmp *selectivemt.Comparison
+		cmp, err = env.CompareBase(base, cfg, *jobs)
+		if err == nil {
+			for _, r := range []*selectivemt.TechniqueResult{cmp.Dual, cmp.Conv, cmp.Improved} {
+				printResult(base, r)
+			}
+			fmt.Println(cmp.Format())
+			res = cmp.Improved
+			if *outVerilog != "" || *outDef != "" || *outSpef != "" || *inrush > 0 {
+				fmt.Printf("(output files and -inrush use the %s result)\n", res.Technique)
+			}
+		}
 	default:
 		log.Fatalf("unknown technique %q", *technique)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("%s on %s @ %.3f ns\n", res.Technique, base.Name, res.ClockPeriodNs)
-	fmt.Printf("  area    %.1f µm²\n", res.AreaUm2)
-	fmt.Printf("  standby %.6f mW   dynamic %.3f mW\n", res.StandbyLeakMW, res.DynamicMW)
-	fmt.Printf("  WNS     %.4f ns   worst hold %.4f ns\n", res.WNSNs, res.WorstHoldNs)
-	c := res.Counts
-	fmt.Printf("  cells: MT=%d HVT=%d LVT=%d FF=%d switches=%d holders=%d mtebuf=%d ckbuf=%d holdbuf=%d\n",
-		c.MT, c.HVT, c.LVT, c.Flops, c.Switches, c.Holders, c.MTEBuffers, c.ClockBuffers, c.HoldBuffers)
-	if len(res.Clusters) > 0 {
-		total := 0
-		for _, cl := range res.Clusters {
-			total += len(cl.Cells)
-		}
-		fmt.Printf("  clusters: %d (avg %.1f cells/switch)  naive single-switch bounce: %.3f V  reopt resized: %d  wakeup: %.3f ns\n",
-			len(res.Clusters), float64(total)/float64(len(res.Clusters)),
-			res.InitialSingleSwitchBounceV, res.ReoptResized, res.WakeupNs)
-	}
-	fmt.Println("  stages:")
-	for _, s := range res.Stages {
-		fmt.Printf("    %-40s area=%10.1f leak=%10.6f wns=%8.4f\n", s.Name, s.AreaUm2, s.LeakMW, s.WNSNs)
+	if *technique != "all" {
+		printResult(base, res)
 	}
 
 	if *inrush > 0 && len(res.Clusters) > 0 {
@@ -170,5 +172,32 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("wrote %s (%d VGND nets)\n", *outSpef, len(trees))
+	}
+}
+
+func printResult(base *netlist.Design, res *selectivemt.TechniqueResult) {
+	fmt.Printf("%s on %s @ %.3f ns\n", res.Technique, base.Name, res.ClockPeriodNs)
+	fmt.Printf("  area    %.1f µm²\n", res.AreaUm2)
+	fmt.Printf("  standby %.6f mW   dynamic %.3f mW\n", res.StandbyLeakMW, res.DynamicMW)
+	fmt.Printf("  WNS     %.4f ns   worst hold %.4f ns\n", res.WNSNs, res.WorstHoldNs)
+	c := res.Counts
+	fmt.Printf("  cells: MT=%d HVT=%d LVT=%d FF=%d switches=%d holders=%d mtebuf=%d ckbuf=%d holdbuf=%d\n",
+		c.MT, c.HVT, c.LVT, c.Flops, c.Switches, c.Holders, c.MTEBuffers, c.ClockBuffers, c.HoldBuffers)
+	if len(res.Clusters) > 0 {
+		total := 0
+		for _, cl := range res.Clusters {
+			total += len(cl.Cells)
+		}
+		fmt.Printf("  clusters: %d (avg %.1f cells/switch)  naive single-switch bounce: %.3f V  reopt resized: %d  wakeup: %.3f ns  holders inserted: %d\n",
+			len(res.Clusters), float64(total)/float64(len(res.Clusters)),
+			res.InitialSingleSwitchBounceV, res.ReoptResized, res.WakeupNs, res.HoldersInserted)
+	}
+	fmt.Println("  stages:")
+	for _, s := range res.Stages {
+		fmt.Printf("    %-40s area=%10.1f leak=%10.6f wns=%8.4f", s.Name, s.AreaUm2, s.LeakMW, s.WNSNs)
+		if s.Inserted > 0 {
+			fmt.Printf(" inserted=%d", s.Inserted)
+		}
+		fmt.Println()
 	}
 }

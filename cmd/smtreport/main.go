@@ -2,21 +2,28 @@
 // class, state-dependent standby leakage (optionally minimized over the
 // standby input vector), and setup/hold timing.
 //
+// Several benchmark circuits can be analyzed in one run; they are
+// synthesized and reported concurrently on the flow engine's worker pool
+// (-jobs bounds it) and printed in argument order.
+//
 // Usage:
 //
 //	smtreport -verilog design.v -sdc design.sdc [-optimize-vector]
-//	smtreport -circuit a
+//	smtreport -circuit a,b,small [-jobs N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
+	"strings"
 
 	"selectivemt"
 	"selectivemt/internal/core"
+	"selectivemt/internal/engine"
 	"selectivemt/internal/netlist"
 	"selectivemt/internal/parasitics"
 	"selectivemt/internal/place"
@@ -30,8 +37,9 @@ import (
 func main() {
 	verilogIn := flag.String("verilog", "", "structural Verilog netlist to analyze")
 	sdcIn := flag.String("sdc", "", "SDC constraints (clock) for the netlist")
-	circuit := flag.String("circuit", "", "analyze a generated benchmark instead: a, b or small")
+	circuit := flag.String("circuit", "", "analyze generated benchmarks instead: comma-separated list of a, b, small")
 	optVector := flag.Bool("optimize-vector", false, "search for the minimum-leakage standby input vector")
+	jobs := flag.Int("jobs", 0, "max concurrently analyzed circuits (0 = GOMAXPROCS)")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -39,16 +47,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := env.NewConfig()
 
-	var d *netlist.Design
 	switch {
 	case *verilogIn != "":
+		cfg := env.NewConfig()
 		f, err := os.Open(*verilogIn)
 		if err != nil {
 			log.Fatal(err)
 		}
-		d, err = verilog.Parse(f, env.Lib)
+		d, err := verilog.Parse(f, env.Lib)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
@@ -69,26 +76,62 @@ func main() {
 		if _, err := place.Place(d, cfg.PlaceOpts); err != nil {
 			log.Fatal(err)
 		}
-	case *circuit != "":
-		var spec selectivemt.CircuitSpec
-		switch *circuit {
-		case "a":
-			spec = selectivemt.CircuitA()
-		case "b":
-			spec = selectivemt.CircuitB()
-		case "small":
-			spec = selectivemt.SmallTest()
-		default:
-			log.Fatalf("unknown circuit %q", *circuit)
-		}
-		cfg.ClockSlack = spec.ClockSlack
-		d, err = env.Synthesize(spec, cfg)
+		out, err := reportDesign(env, d, cfg, *optVector)
 		if err != nil {
 			log.Fatal(err)
+		}
+		fmt.Print(out)
+	case *circuit != "":
+		var names []string
+		for _, n := range strings.Split(*circuit, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			log.Fatalf("smtreport: -circuit %q lists no circuits", *circuit)
+		}
+		// Resolve every name before scheduling, so one typo fails fast
+		// instead of discarding siblings' finished analyses.
+		specs := make([]selectivemt.CircuitSpec, len(names))
+		for i, name := range names {
+			switch name {
+			case "a":
+				specs[i] = selectivemt.CircuitA()
+			case "b":
+				specs[i] = selectivemt.CircuitB()
+			case "small":
+				specs[i] = selectivemt.SmallTest()
+			default:
+				log.Fatalf("smtreport: unknown circuit %q", name)
+			}
+		}
+		outs, err := engine.Map(context.Background(), len(specs), *jobs,
+			func(_ context.Context, i int) (string, error) {
+				spec := specs[i]
+				cfg := env.NewConfig()
+				cfg.ClockSlack = spec.ClockSlack
+				d, err := env.Synthesize(spec, cfg)
+				if err != nil {
+					return "", err
+				}
+				return reportDesign(env, d, cfg, *optVector)
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, out := range outs {
+			fmt.Print(out)
 		}
 	default:
 		log.Fatal("smtreport: need -verilog or -circuit")
 	}
+}
+
+// reportDesign renders the full analysis of one design. It only reads the
+// design, so independent designs report concurrently.
+func reportDesign(env *selectivemt.Environment, d *netlist.Design, cfg *selectivemt.Config, optVector bool) (string, error) {
+	var out strings.Builder
 
 	// Area by cell base.
 	type row struct {
@@ -117,14 +160,14 @@ func main() {
 	for _, r := range rows {
 		t.Add(r.base, r.count, r.area, fmt.Sprintf("%.1f%%", 100*r.area/d.TotalArea()))
 	}
-	fmt.Println(t.String())
+	fmt.Fprintln(&out, t.String())
 
 	// Leakage.
 	gated := core.IsGatedMT
 	holder := core.HolderOn
 	rep, err := power.Standby(d, power.StandbyOptions{Gated: gated, HolderOn: holder})
 	if err != nil {
-		log.Fatal(err)
+		return "", err
 	}
 	lt := report.New("Standby leakage (all-zeros standby vector)", "source", "mW")
 	var cats []string
@@ -136,26 +179,26 @@ func main() {
 		lt.Add(c, fmt.Sprintf("%.3e", rep.Breakdown[power.Category(c)]))
 	}
 	lt.Add("TOTAL", fmt.Sprintf("%.3e", rep.StandbyLeakMW))
-	fmt.Println(lt.String())
+	fmt.Fprintln(&out, lt.String())
 
-	if *optVector {
+	if optVector {
 		vec, leak, err := power.OptimizeStandbyVector(d,
 			power.StandbyOptions{Gated: gated, HolderOn: holder}, 4, 1)
 		if err != nil {
-			log.Fatal(err)
+			return "", err
 		}
-		fmt.Printf("optimized standby vector: %.3e mW (%.1f%% below all-zeros)\n",
+		fmt.Fprintf(&out, "optimized standby vector: %.3e mW (%.1f%% below all-zeros)\n",
 			leak, 100*(1-leak/rep.StandbyLeakMW))
 		var names []string
 		for n := range vec {
 			names = append(names, n)
 		}
 		sort.Strings(names)
-		fmt.Print("  vector:")
+		fmt.Fprint(&out, "  vector:")
 		for _, n := range names {
-			fmt.Printf(" %s=%s", n, vec[n])
+			fmt.Fprintf(&out, " %s=%s", n, vec[n])
 		}
-		fmt.Println()
+		fmt.Fprintln(&out)
 	}
 
 	// Timing.
@@ -169,12 +212,13 @@ func main() {
 		}
 		timing, err := sta.Analyze(d, stCfg)
 		if err != nil {
-			log.Fatal(err)
+			return "", err
 		}
-		fmt.Printf("Timing @ %.3f ns: WNS %.4f ns, TNS %.4f ns, worst hold %.4f ns\n",
+		fmt.Fprintf(&out, "Timing @ %.3f ns: WNS %.4f ns, TNS %.4f ns, worst hold %.4f ns\n",
 			cfg.ClockPeriodNs, timing.WNS, timing.TNS, timing.WorstHold)
 		for i, p := range timing.WorstPaths(3) {
-			fmt.Printf("  path %d: slack %.4f ns, %d stages\n", i+1, p.SlackNs, len(p.Steps))
+			fmt.Fprintf(&out, "  path %d: slack %.4f ns, %d stages\n", i+1, p.SlackNs, len(p.Steps))
 		}
 	}
+	return out.String(), nil
 }

@@ -3,9 +3,12 @@
 // improved Selective-MT techniques on circuits A and B, normalized to the
 // Dual-Vth baseline.
 //
+// Circuits and techniques run concurrently on the flow engine's worker
+// pool; -jobs bounds the pool (1 forces a sequential run).
+//
 // Usage:
 //
-//	table1 [-circuit a|b|both] [-csv] [-detail]
+//	table1 [-circuit a|b|both] [-jobs N] [-detail]
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"selectivemt"
 	"selectivemt/internal/power"
@@ -21,6 +25,7 @@ import (
 func main() {
 	circuit := flag.String("circuit", "both", "which circuit to run: a, b or both")
 	detail := flag.Bool("detail", false, "print per-technique detail (counts, clusters, stages)")
+	jobs := flag.Int("jobs", 0, "max concurrent flow jobs (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -40,14 +45,23 @@ func main() {
 		log.Fatalf("unknown -circuit %q", *circuit)
 	}
 
-	var comps []*selectivemt.Comparison
-	for _, spec := range specs {
-		fmt.Fprintf(os.Stderr, "running %s (3 techniques)...\n", spec.Module.Name)
-		cmp, err := env.Compare(spec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		comps = append(comps, cmp)
+	// All circuits and techniques run as one job graph on the engine's
+	// worker pool, sharing the environment's analysis cache.
+	comps, err := env.RunBatch(specs, selectivemt.BatchOptions{
+		Jobs: *jobs,
+		Progress: func(ev selectivemt.BatchEvent) {
+			switch ev.State {
+			case selectivemt.JobRunning:
+				fmt.Fprintf(os.Stderr, "running %s/%s...\n", ev.Circuit, ev.Task)
+			case selectivemt.JobDone:
+				fmt.Fprintf(os.Stderr, "done    %s/%s (%v)\n", ev.Circuit, ev.Task, ev.Elapsed.Round(time.Millisecond))
+			case selectivemt.JobFailed, selectivemt.JobSkipped:
+				fmt.Fprintf(os.Stderr, "%-7s %s/%s: %v\n", ev.State, ev.Circuit, ev.Task, ev.Err)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println(selectivemt.FormatTable1(comps))
 	fmt.Println("Paper reference:  A: 164.84/133.18 area, 14.58/9.42 leakage;" +
@@ -72,14 +86,20 @@ func main() {
 					for _, cl := range r.Clusters {
 						total += len(cl.Cells)
 					}
-					fmt.Printf("  clusters: %d (avg %.1f cells/switch), single-switch bounce %.4fV, reopt resized %d, wakeup %.3fns\n",
+					fmt.Printf("  clusters: %d (avg %.1f cells/switch), single-switch bounce %.4fV, reopt resized %d, wakeup %.3fns, holders inserted %d\n",
 						len(r.Clusters), float64(total)/float64(len(r.Clusters)),
-						r.InitialSingleSwitchBounceV, r.ReoptResized, r.WakeupNs)
+						r.InitialSingleSwitchBounceV, r.ReoptResized, r.WakeupNs, r.HoldersInserted)
 				}
 				for _, s := range r.Stages {
-					fmt.Printf("  stage %-36s area=%9.0f leak=%9.6f wns=%7.3f\n", s.Name, s.AreaUm2, s.LeakMW, s.WNSNs)
+					fmt.Printf("  stage %-36s area=%9.0f leak=%9.6f wns=%7.3f", s.Name, s.AreaUm2, s.LeakMW, s.WNSNs)
+					if s.Inserted > 0 {
+						fmt.Printf(" inserted=%d", s.Inserted)
+					}
+					fmt.Println()
 				}
 			}
 		}
+		hits, misses, entries := env.CacheStats()
+		fmt.Printf("\nanalysis cache: %d hits / %d misses (%d entries)\n", hits, misses, entries)
 	}
 }

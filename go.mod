@@ -1,0 +1,3 @@
+module selectivemt
+
+go 1.24

@@ -6,6 +6,7 @@ import (
 	"selectivemt/internal/cts"
 	"selectivemt/internal/dualvth"
 	"selectivemt/internal/eco"
+	"selectivemt/internal/engine"
 	"selectivemt/internal/gen"
 	"selectivemt/internal/liberty"
 	"selectivemt/internal/logic"
@@ -40,6 +41,12 @@ type Config struct {
 	Seed           int64
 	// StandbyInputs is the primary-input vector held in standby.
 	StandbyInputs map[string]logic.Value
+
+	// Cache, when set, memoizes deterministic per-design analyses
+	// (activity estimation, pre-route STA, the min-period probe) across
+	// techniques, circuits and repeated runs. Safe to share between
+	// concurrent flows; nil disables caching.
+	Cache *engine.AnalysisCache
 }
 
 // DefaultConfig builds a configuration for the process/library pair.
@@ -74,6 +81,37 @@ func (c *Config) staConfig(ex parasitics.Extractor, clk func(*netlist.Instance) 
 	}
 }
 
+// estimateActivity runs the config's activity estimation, through the
+// shared cache when one is attached.
+func (c *Config) estimateActivity(d *netlist.Design) (*sim.Activity, error) {
+	if c.Cache != nil {
+		return c.Cache.Activity(d, c.ActivityCycles, c.Seed)
+	}
+	return sim.EstimateActivity(d, c.ActivityCycles, c.Seed)
+}
+
+// analyzePre runs pre-route STA (estimate extractor, no clock-arrival
+// override), through the shared cache when one is attached.
+func (c *Config) analyzePre(d *netlist.Design, cfg sta.Config) (engine.TimingSummary, error) {
+	if c.Cache != nil {
+		return c.Cache.AnalyzePre(d, cfg)
+	}
+	t, err := sta.Analyze(d, cfg)
+	if err != nil {
+		return engine.TimingSummary{}, err
+	}
+	return engine.TimingSummary{WNSNs: t.WNS, TNSNs: t.TNS, WorstHoldNs: t.WorstHold}, nil
+}
+
+// minPeriod runs the pre-route minimum-period probe, through the shared
+// cache when one is attached.
+func (c *Config) minPeriod(d *netlist.Design, cfg sta.Config) (float64, error) {
+	if c.Cache != nil {
+		return c.Cache.MinPeriod(d, cfg)
+	}
+	return sta.MinPeriod(d, cfg)
+}
+
 // assignOpts returns the assignment options with a slack reserve for what
 // the pre-route estimate cannot see (post-route wire RC, clock skew): the
 // assignment must not consume every picosecond of the budget.
@@ -91,6 +129,9 @@ type StageReport struct {
 	AreaUm2 float64
 	LeakMW  float64 // standby leakage at that stage
 	WNSNs   float64
+	// Inserted counts the instances the stage added (holders, buffers),
+	// when the stage inserts any.
+	Inserted int
 }
 
 // Counts tallies the instance population of a finished design.
@@ -125,6 +166,9 @@ type TechniqueResult struct {
 	// everything" structure would suffer (improved flow only) — the
 	// motivation for the clustering step.
 	InitialSingleSwitchBounceV float64
+	// HoldersInserted counts the level holders added by the improved
+	// flow's VGND-conversion stage.
+	HoldersInserted int
 	// ReoptResized counts switches resized by the post-route pass.
 	ReoptResized int
 	// WakeupNs is the worst cluster wake-up estimate.
@@ -154,7 +198,7 @@ func PrepareBase(mod *gen.Module, cfg *Config) (*netlist.Design, error) {
 		}
 		probe := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
 		probe.ClockPeriodNs = 1000
-		pmin, err := sta.MinPeriod(d, probe)
+		pmin, err := cfg.minPeriod(d, probe)
 		if err != nil {
 			return nil, err
 		}
@@ -190,10 +234,11 @@ func RunConventionalSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, er
 	}
 	res.gatedFn, res.holderFn = IsGatedMT, HolderOn
 	res.stage(d, "HVT+MT(embedded) assignment", nil, cfg)
-	if _, err := BuildMTE(d, cfg.MTEMaxFanout, cfg.PlaceOpts); err != nil {
+	nbuf, err := BuildMTE(d, cfg.MTEMaxFanout, cfg.PlaceOpts)
+	if err != nil {
 		return nil, err
 	}
-	res.stage(d, "MTE network", nil, cfg)
+	res.stage(d, "MTE network", nil, cfg).Inserted = nbuf
 	if err := finishFlow(d, cfg, res, IsGatedMT, HolderOn); err != nil {
 		return nil, err
 	}
@@ -224,8 +269,8 @@ func RunImprovedSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, error)
 	if err != nil {
 		return nil, err
 	}
-	_ = holders
-	res.stage(d, "VGND conversion + holders", nil, cfg)
+	res.HoldersInserted = len(holders)
+	res.stage(d, "VGND conversion + holders", nil, cfg).Inserted = len(holders)
 
 	// Collect the MT population and its currents.
 	var mtCells []*netlist.Instance
@@ -234,7 +279,7 @@ func RunImprovedSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, error)
 			mtCells = append(mtCells, inst)
 		}
 	}
-	act, err := sim.EstimateActivity(d, cfg.ActivityCycles, cfg.Seed)
+	act, err := cfg.estimateActivity(d)
 	if err != nil {
 		return nil, err
 	}
@@ -268,10 +313,11 @@ func RunImprovedSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, error)
 	res.stage(d, "switch-structure construction", clusters, cfg)
 
 	// Stage 5: MTE buffering.
-	if _, err := BuildMTE(d, cfg.MTEMaxFanout, cfg.PlaceOpts); err != nil {
+	nbuf, err := BuildMTE(d, cfg.MTEMaxFanout, cfg.PlaceOpts)
+	if err != nil {
 		return nil, err
 	}
-	res.stage(d, "MTE network", clusters, cfg)
+	res.stage(d, "MTE network", clusters, cfg).Inserted = nbuf
 
 	// Stages 6-7 (CTS, post-route reopt, ECO, sign-off) are shared.
 	if err := finishFlow(d, cfg, res, IsGatedMT, HolderOn); err != nil {
@@ -315,7 +361,7 @@ func finishFlow(d *netlist.Design, cfg *Config, res *TechniqueResult,
 		return err
 	}
 	res.Counts.HoldBuffers = ecoRes.BuffersInserted
-	res.stage(d, "hold ECO", res.Clusters, cfg)
+	res.stage(d, "hold ECO", res.Clusters, cfg).Inserted = ecoRes.BuffersInserted
 	return measure(d, cfg, res)
 }
 
@@ -346,7 +392,7 @@ func measure(d *netlist.Design, cfg *Config, res *TechniqueResult) error {
 	res.StandbyLeakMW = rep.StandbyLeakMW
 	res.Breakdown = rep.Breakdown
 
-	act, err := sim.EstimateActivity(d, cfg.ActivityCycles, cfg.Seed)
+	act, err := cfg.estimateActivity(d)
 	if err != nil {
 		return err
 	}
@@ -390,12 +436,14 @@ func countPopulation(d *netlist.Design, prev Counts) Counts {
 }
 
 // stage appends a stage report with current vitals (best-effort WNS using
-// the cheap extractor; leakage with the technique's gating once known).
-func (r *TechniqueResult) stage(d *netlist.Design, name string, clusters []*vgnd.Cluster, cfg *Config) {
+// the cheap extractor, cached when a shared cache is attached; leakage
+// with the technique's gating once known) and returns it for the caller
+// to annotate.
+func (r *TechniqueResult) stage(d *netlist.Design, name string, clusters []*vgnd.Cluster, cfg *Config) *StageReport {
 	sr := StageReport{Name: name, AreaUm2: d.TotalArea()}
 	pre := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
-	if t, err := sta.Analyze(d, pre); err == nil {
-		sr.WNSNs = t.WNS
+	if ts, err := cfg.analyzePre(d, pre); err == nil {
+		sr.WNSNs = ts.WNSNs
 	}
 	if rep, err := power.Standby(d, power.StandbyOptions{
 		Inputs: cfg.StandbyInputs, Gated: r.gatedFn, HolderOn: r.holderFn,
@@ -403,6 +451,7 @@ func (r *TechniqueResult) stage(d *netlist.Design, name string, clusters []*vgnd
 		sr.LeakMW = rep.StandbyLeakMW
 	}
 	r.Stages = append(r.Stages, sr)
+	return &r.Stages[len(r.Stages)-1]
 }
 
 // Validate runs the structural check appropriate to the technique's stage.

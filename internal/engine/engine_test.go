@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunDeterministicOrdering(t *testing.T) {
+	const n = 40
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (any, error) {
+			return i * i, nil
+		}}
+	}
+	res, err := Run(context.Background(), jobs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].State != Done || res[i].Value.(int) != i*i {
+			t.Fatalf("result %d out of order: %+v", i, res[i])
+		}
+	}
+}
+
+func TestRunRespectsDependencies(t *testing.T) {
+	var order []int
+	var mu sync.Mutex
+	record := func(i int) func(context.Context) (any, error) {
+		return func(context.Context) (any, error) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return i, nil
+		}
+	}
+	// Diamond: 0 → {1, 2} → 3.
+	jobs := []Job{
+		{Name: "root", Run: record(0)},
+		{Name: "left", Deps: []int{0}, Run: record(1)},
+		{Name: "right", Deps: []int{0}, Run: record(2)},
+		{Name: "join", Deps: []int{1, 2}, Run: record(3)},
+	}
+	if _, err := Run(context.Background(), jobs, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int, len(order))
+	for p, i := range order {
+		pos[i] = p
+	}
+	if pos[0] > pos[1] || pos[0] > pos[2] || pos[3] < pos[1] || pos[3] < pos[2] {
+		t.Fatalf("dependency order violated: %v", order)
+	}
+}
+
+func TestRunFailureSkipsDependents(t *testing.T) {
+	boom := errors.New("boom")
+	ran3 := false
+	jobs := []Job{
+		{Name: "ok", Run: func(context.Context) (any, error) { return 1, nil }},
+		{Name: "bad", Run: func(context.Context) (any, error) { return nil, boom }},
+		{Name: "child", Deps: []int{1}, Run: func(context.Context) (any, error) { return 2, nil }},
+		{Name: "grandchild", Deps: []int{2}, Run: func(context.Context) (any, error) { ran3 = true; return 3, nil }},
+	}
+	res, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("aggregated error should wrap the job error, got %v", err)
+	}
+	if res[0].State != Done {
+		t.Error("independent job should still run")
+	}
+	if res[1].State != Failed {
+		t.Errorf("bad job state = %v", res[1].State)
+	}
+	if res[2].State != Skipped || res[3].State != Skipped || ran3 {
+		t.Errorf("dependents not skipped: %v / %v", res[2].State, res[3].State)
+	}
+	if !strings.Contains(res[3].Err.Error(), "child") {
+		t.Errorf("skip error should name the failed dependency chain: %v", res[3].Err)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var ranLater atomic.Bool
+	jobs := []Job{
+		{Name: "blocker", Run: func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return nil, nil
+		}},
+		{Name: "later", Deps: []int{0}, Run: func(context.Context) (any, error) {
+			ranLater.Store(true)
+			return nil, nil
+		}},
+	}
+	done := make(chan struct{})
+	var res []Result
+	var err error
+	go func() {
+		res, err = Run(ctx, jobs, Options{Workers: 1})
+		close(done)
+	}()
+	<-started
+	cancel()
+	close(release)
+	<-done
+	if err == nil {
+		t.Fatal("canceled run should report an error")
+	}
+	if ranLater.Load() {
+		t.Error("job scheduled after cancel should not run")
+	}
+	if res[1].State != Skipped {
+		t.Errorf("pending job state = %v, want Skipped", res[1].State)
+	}
+}
+
+func TestRunRejectsCycles(t *testing.T) {
+	jobs := []Job{
+		{Name: "a", Deps: []int{1}, Run: func(context.Context) (any, error) { return nil, nil }},
+		{Name: "b", Deps: []int{0}, Run: func(context.Context) (any, error) { return nil, nil }},
+	}
+	if _, err := Run(context.Background(), jobs, Options{}); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestRunProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	events := map[string][]State{}
+	jobs := []Job{
+		{Name: "a", Run: func(context.Context) (any, error) { return nil, nil }},
+		{Name: "b", Deps: []int{0}, Run: func(context.Context) (any, error) { return nil, errors.New("x") }},
+		{Name: "c", Deps: []int{1}, Run: func(context.Context) (any, error) { return nil, nil }},
+	}
+	_, _ = Run(context.Background(), jobs, Options{Workers: 2, Progress: func(ev Event) {
+		mu.Lock()
+		events[ev.Name] = append(events[ev.Name], ev.State)
+		mu.Unlock()
+	}})
+	want := map[string][]State{
+		"a": {Running, Done},
+		"b": {Running, Failed},
+		"c": {Skipped},
+	}
+	for name, states := range want {
+		got := events[name]
+		if len(got) != len(states) {
+			t.Fatalf("job %s events = %v, want %v", name, got, states)
+		}
+		for i := range states {
+			if got[i] != states[i] {
+				t.Fatalf("job %s events = %v, want %v", name, got, states)
+			}
+		}
+	}
+}
+
+func TestRunWorkerBound(t *testing.T) {
+	var cur, peak atomic.Int64
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (any, error) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil, nil
+		}}
+	}
+	if _, err := Run(context.Background(), jobs, Options{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("concurrency peaked at %d with 3 workers", p)
+	}
+}
+
+func TestMap(t *testing.T) {
+	vals, err := Map(context.Background(), 10, 4, func(_ context.Context, i int) (int, error) {
+		if i == 7 {
+			return 0, errors.New("seven")
+		}
+		return 2 * i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "seven") {
+		t.Fatalf("error not aggregated: %v", err)
+	}
+	for i, v := range vals {
+		if i != 7 && v != 2*i {
+			t.Errorf("vals[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a content hash of the design: ports, nets with
+// their endpoint order, instances with cell bindings and placement, and
+// the core region. Two designs with equal fingerprints are analyzed
+// identically by the deterministic engines (simulation, STA, extraction),
+// so the hash is a safe memoization key for per-design results — in
+// particular, Clone preserves it. The library is identified by pointer:
+// fingerprints are only comparable within one process.
+//
+// The hash reflects the design at call time; it is recomputed on every
+// call, so mutate-then-refingerprint is safe.
+func (d *Design) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "design %s lib %p core %v\n", d.Name, d.Lib, d.Core)
+	for _, name := range d.portOrder {
+		p, ok := d.ports[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(h, "port %s %d %t %v %t %s\n",
+			p.Name, p.Dir, p.IsClock, p.Pos, p.Placed, p.Net.Name)
+	}
+	for _, name := range d.instOrder {
+		inst, ok := d.insts[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(h, "inst %s %s %v %t %t\n",
+			inst.Name, inst.Cell.Name, inst.Pos, inst.Placed, inst.Fixed)
+	}
+	// Endpoint order matters: extraction and timing walk sinks in stored
+	// order, so two designs that differ only there are not interchangeable.
+	for _, name := range d.netOrder {
+		n, ok := d.nets[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(h, "net %s %t%t%t %s", n.Name, n.IsClock, n.IsMTE, n.IsVGND, n.Driver)
+		for _, s := range n.Sinks {
+			fmt.Fprintf(h, " %s", s)
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

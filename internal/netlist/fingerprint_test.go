@@ -1,0 +1,47 @@
+package netlist
+
+import (
+	"testing"
+
+	"selectivemt/internal/geom"
+)
+
+func TestFingerprintCloneInvariant(t *testing.T) {
+	d, _, _ := buildChain(t)
+	fp := d.Fingerprint()
+	if fp == "" || fp != d.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	c := d.Clone()
+	if c.Fingerprint() != fp {
+		t.Error("clone changed the fingerprint")
+	}
+}
+
+func TestFingerprintSeesMutations(t *testing.T) {
+	d, inv, _ := buildChain(t)
+	fp := d.Fingerprint()
+
+	// Cell swap changes it.
+	hvt := lib(t).Cell("INV_X1_H")
+	if err := d.ReplaceCell(inv, hvt); err != nil {
+		t.Fatal(err)
+	}
+	fp2 := d.Fingerprint()
+	if fp2 == fp {
+		t.Error("cell swap did not change the fingerprint")
+	}
+
+	// Placement move changes it.
+	inv.Pos = geom.Point{X: 42, Y: 7}
+	inv.Placed = true
+	if d.Fingerprint() == fp2 {
+		t.Error("placement move did not change the fingerprint")
+	}
+
+	// Two structurally different designs differ.
+	e, _, _ := buildChain(t)
+	if e.Fingerprint() != fp {
+		t.Error("identical rebuild should reproduce the fingerprint")
+	}
+}

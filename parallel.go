@@ -1,0 +1,188 @@
+package selectivemt
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"selectivemt/internal/core"
+	"selectivemt/internal/engine"
+)
+
+// This file is the concurrent face of the workflow: the three techniques
+// of a comparison — and the circuits of a batch — run as a job graph on
+// internal/engine's worker pool, sharing the environment's analysis
+// cache. Results are deterministic: same Config/Seed produce the same
+// Comparison whether run sequentially (Compare) or concurrently
+// (CompareParallel, RunBatch).
+
+// JobState mirrors the engine's job lifecycle for batch progress events.
+type JobState = engine.State
+
+// Job lifecycle states reported in BatchEvent.State.
+const (
+	JobRunning = engine.Running
+	JobDone    = engine.Done
+	JobFailed  = engine.Failed
+	JobSkipped = engine.Skipped
+)
+
+// BatchEvent is one per-job progress notification from RunBatch.
+type BatchEvent struct {
+	// Circuit is the circuit's module name; Task is "prepare" or the
+	// technique name.
+	Circuit string
+	Task    string
+	State   JobState
+	Err     error
+	Elapsed time.Duration
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// Jobs bounds the number of concurrently running flow jobs across
+	// all circuits and techniques; <= 0 means GOMAXPROCS.
+	Jobs int
+	// Context, when set, cancels jobs not yet started; nil means
+	// context.Background(). Running jobs finish their technique.
+	Context context.Context
+	// Configure, when set, adjusts a circuit's config before its jobs
+	// are scheduled (the config already carries the spec's clock slack).
+	Configure func(spec CircuitSpec, cfg *Config)
+	// Progress, when set, receives one event per job state change. It is
+	// called from one scheduler goroutine at a time.
+	Progress func(BatchEvent)
+}
+
+// CompareParallel runs all three techniques on the circuit concurrently
+// with default options, producing the same result as Compare.
+func (e *Environment) CompareParallel(spec CircuitSpec) (*Comparison, error) {
+	cfg := e.NewConfig()
+	cfg.ClockSlack = spec.ClockSlack
+	return e.CompareParallelWithConfig(spec, cfg, 0)
+}
+
+// CompareParallelWithConfig runs all three techniques concurrently with
+// an explicit config on at most workers goroutines (<= 0 → GOMAXPROCS).
+func (e *Environment) CompareParallelWithConfig(spec CircuitSpec, cfg *Config, workers int) (*Comparison, error) {
+	base, err := core.PrepareBase(spec.Module, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("selectivemt: prepare %s: %w", spec.Module.Name, err)
+	}
+	return e.CompareBase(base, cfg, workers)
+}
+
+// CompareBase runs the three techniques concurrently on an already
+// prepared base design (Synthesize, or an imported netlist after
+// placement with the clock period fixed on cfg). The base is only read;
+// each technique works on its own clone.
+func (e *Environment) CompareBase(base *Design, cfg *Config, workers int) (*Comparison, error) {
+	jobs := []engine.Job{
+		{Name: "Dual-Vth", Run: func(context.Context) (any, error) { return core.RunDualVth(base, cfg) }},
+		{Name: "Conventional-SMT", Run: func(context.Context) (any, error) { return core.RunConventionalSMT(base, cfg) }},
+		{Name: "Improved-SMT", Run: func(context.Context) (any, error) { return core.RunImprovedSMT(base, cfg) }},
+	}
+	res, err := engine.Run(context.Background(), jobs, engine.Options{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("selectivemt: compare %s: %w", base.Name, err)
+	}
+	return &Comparison{
+		Circuit:  base.Name,
+		Dual:     res[0].Value.(*TechniqueResult),
+		Conv:     res[1].Value.(*TechniqueResult),
+		Improved: res[2].Value.(*TechniqueResult),
+	}, nil
+}
+
+// RunBatch runs the full three-technique comparison over every circuit
+// of the batch as one job graph: each circuit contributes a prepare job
+// plus three technique jobs depending on it, all drawing from one
+// bounded worker pool and one shared analysis cache.
+//
+// The returned slice has one entry per spec, in spec order; an entry is
+// nil when any of its circuit's jobs failed or was skipped. The error
+// aggregates every job error (nil when the whole batch succeeded), so a
+// partial batch returns both the surviving comparisons and the error.
+func (e *Environment) RunBatch(specs []CircuitSpec, opts BatchOptions) ([]*Comparison, error) {
+	n := len(specs)
+	cfgs := make([]*Config, n)
+	bases := make([]*Design, n)
+	jobs := make([]engine.Job, 0, 4*n)
+	techniques := []struct {
+		name string
+		run  func(*Design, *Config) (*TechniqueResult, error)
+	}{
+		{"Dual-Vth", core.RunDualVth},
+		{"Conventional-SMT", core.RunConventionalSMT},
+		{"Improved-SMT", core.RunImprovedSMT},
+	}
+	for i, spec := range specs {
+		i, spec := i, spec
+		cfg := e.NewConfig()
+		cfg.ClockSlack = spec.ClockSlack
+		if opts.Configure != nil {
+			opts.Configure(spec, cfg)
+		}
+		cfgs[i] = cfg
+		prep := len(jobs)
+		jobs = append(jobs, engine.Job{
+			Name: spec.Module.Name + "/prepare",
+			Run: func(context.Context) (any, error) {
+				b, err := core.PrepareBase(spec.Module, cfgs[i])
+				if err != nil {
+					return nil, err
+				}
+				bases[i] = b
+				return b, nil
+			},
+		})
+		for _, t := range techniques {
+			t := t
+			jobs = append(jobs, engine.Job{
+				Name: spec.Module.Name + "/" + t.name,
+				Deps: []int{prep},
+				Run: func(context.Context) (any, error) {
+					return t.run(bases[i], cfgs[i])
+				},
+			})
+		}
+	}
+
+	var progress func(engine.Event)
+	if opts.Progress != nil {
+		progress = func(ev engine.Event) {
+			circuit, task, _ := strings.Cut(ev.Name, "/")
+			opts.Progress(BatchEvent{
+				Circuit: circuit, Task: task,
+				State: ev.State, Err: ev.Err, Elapsed: ev.Elapsed,
+			})
+		}
+	}
+	res, err := engine.Run(opts.Context, jobs, engine.Options{Workers: opts.Jobs, Progress: progress})
+	if err != nil && res == nil {
+		return nil, err
+	}
+
+	comps := make([]*Comparison, n)
+	for i := range specs {
+		j := 4 * i
+		if res[j+1].State != engine.Done || res[j+2].State != engine.Done || res[j+3].State != engine.Done {
+			continue
+		}
+		comps[i] = &Comparison{
+			Circuit:  specs[i].Module.Name,
+			Dual:     res[j+1].Value.(*TechniqueResult),
+			Conv:     res[j+2].Value.(*TechniqueResult),
+			Improved: res[j+3].Value.(*TechniqueResult),
+		}
+	}
+	return comps, err
+}
+
+// Table1Parallel regenerates the paper's Table 1 through the batch
+// engine: both circuits and all techniques run concurrently. Like
+// RunBatch, it returns surviving comparisons alongside any error.
+func (e *Environment) Table1Parallel(jobs int) ([]*Comparison, error) {
+	return e.RunBatch([]CircuitSpec{CircuitA(), CircuitB()}, BatchOptions{Jobs: jobs})
+}

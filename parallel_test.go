@@ -1,0 +1,138 @@
+package selectivemt
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCompareParallelMatchesSequential is the determinism-under-
+// concurrency contract: with the same Config/Seed, the sequential
+// Compare and the engine-backed CompareParallel must produce
+// byte-identical FormatTable1 output, across repeated runs.
+func TestCompareParallelMatchesSequential(t *testing.T) {
+	env := testEnv(t)
+	spec := SmallTest()
+
+	var outputs []string
+	for run := 0; run < 2; run++ {
+		seq, err := env.Compare(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := env.CompareParallel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, FormatTable1([]*Comparison{seq}), FormatTable1([]*Comparison{par}))
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("run %d diverged:\n%s\nvs\n%s", i, outputs[i], outputs[0])
+		}
+	}
+}
+
+// TestCompareParallelUncachedDeterminism repeats the contract with
+// caching disabled, so cache rehydration cannot mask an ordering bug in
+// the flow itself.
+func TestCompareParallelUncachedDeterminism(t *testing.T) {
+	env := testEnv(t)
+	spec := SmallTest()
+	var outputs []string
+	for run := 0; run < 2; run++ {
+		cfg := env.NewConfig()
+		cfg.ClockSlack = spec.ClockSlack
+		cfg.Cache = nil
+		cmp, err := env.CompareParallelWithConfig(spec, cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, FormatTable1([]*Comparison{cmp}))
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("uncached parallel runs diverged:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	env := testEnv(t)
+	specs := []CircuitSpec{SmallTest(), SmallTest()}
+
+	var mu sync.Mutex
+	events := map[string]int{}
+	comps, err := env.RunBatch(specs, BatchOptions{
+		Jobs: 4,
+		Progress: func(ev BatchEvent) {
+			mu.Lock()
+			events[ev.Task+"/"+ev.State.String()]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 || comps[0] == nil || comps[1] == nil {
+		t.Fatalf("batch lost comparisons: %v", comps)
+	}
+	// Identical specs must produce identical tables — and exercise the
+	// shared cache (the second circuit replays the first's analyses).
+	a := FormatTable1([]*Comparison{comps[0]})
+	b := FormatTable1([]*Comparison{comps[1]})
+	if a != b {
+		t.Fatalf("identical specs diverged:\n%s\nvs\n%s", a, b)
+	}
+	hits, _, _ := env.CacheStats()
+	if hits == 0 {
+		t.Error("duplicate circuits produced no cache hits")
+	}
+	for _, task := range []string{"prepare", "Dual-Vth", "Conventional-SMT", "Improved-SMT"} {
+		if events[task+"/done"] != 2 {
+			t.Errorf("task %s: %d done events, want 2 (events: %v)", task, events[task+"/done"], events)
+		}
+	}
+}
+
+func TestRunBatchPartialFailure(t *testing.T) {
+	env := testEnv(t)
+	specs := []CircuitSpec{SmallTest(), SmallTest()}
+	broken := 0
+	comps, err := env.RunBatch(specs, BatchOptions{
+		Jobs: 2,
+		Configure: func(spec CircuitSpec, cfg *Config) {
+			if broken == 0 {
+				// A nil library makes the circuit's prepare job fail
+				// (the engine converts even a panic into a job error),
+				// which must skip its three technique jobs.
+				cfg.Lib = nil
+			}
+			broken++
+		},
+	})
+	if err == nil {
+		t.Fatal("broken circuit should surface an aggregated error")
+	}
+	if !strings.Contains(err.Error(), "prepare") {
+		t.Errorf("error should name the failing job: %v", err)
+	}
+	if comps[0] != nil {
+		t.Error("failed circuit should have a nil comparison")
+	}
+	if comps[1] == nil {
+		t.Error("healthy circuit should survive a sibling's failure")
+	}
+}
+
+func TestRunBatchCancellation(t *testing.T) {
+	env := testEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before the batch starts: every job must be skipped
+	comps, err := env.RunBatch([]CircuitSpec{SmallTest()}, BatchOptions{Jobs: 2, Context: ctx})
+	if err == nil {
+		t.Fatal("canceled batch should report an error")
+	}
+	if comps[0] != nil {
+		t.Error("canceled batch should not produce comparisons")
+	}
+}

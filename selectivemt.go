@@ -21,6 +21,7 @@ import (
 	"io"
 
 	"selectivemt/internal/core"
+	"selectivemt/internal/engine"
 	"selectivemt/internal/gen"
 	"selectivemt/internal/liberty"
 	"selectivemt/internal/netlist"
@@ -32,10 +33,14 @@ import (
 // Re-exported workflow types. The aliases keep one set of concrete types
 // across the facade and the internal engines.
 type (
-	// Environment bundles a process and its characterized library.
+	// Environment bundles a process and its characterized library, plus
+	// a shared analysis cache that every config minted by NewConfig
+	// reuses (see CacheStats).
 	Environment struct {
 		Proc *tech.Process
 		Lib  *liberty.Library
+
+		cache *engine.AnalysisCache
 	}
 	// Config is the flow configuration (clock, rules, engine options).
 	Config = core.Config
@@ -54,11 +59,35 @@ func NewEnvironment() (*Environment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Environment{Proc: proc, Lib: lib}, nil
+	return &Environment{Proc: proc, Lib: lib, cache: engine.NewAnalysisCache()}, nil
 }
 
-// NewConfig returns the default flow configuration for this environment.
-func (e *Environment) NewConfig() *Config { return core.DefaultConfig(e.Proc, e.Lib) }
+// NewConfig returns the default flow configuration for this environment,
+// wired to the environment's shared analysis cache. Set Config.Cache to
+// nil to opt a run out of caching.
+func (e *Environment) NewConfig() *Config {
+	cfg := core.DefaultConfig(e.Proc, e.Lib)
+	cfg.Cache = e.cache
+	return cfg
+}
+
+// CacheStats reports the shared analysis cache's lifetime hits, misses
+// and current entry count (zeros for a hand-built Environment).
+func (e *Environment) CacheStats() (hits, misses uint64, entries int) {
+	if e.cache == nil {
+		return 0, 0, 0
+	}
+	hits, misses = e.cache.Stats()
+	return hits, misses, e.cache.Len()
+}
+
+// ResetCache drops every cached analysis (useful between unrelated
+// workloads when memory matters).
+func (e *Environment) ResetCache() {
+	if e.cache != nil {
+		e.cache.Reset()
+	}
+}
 
 // CircuitA returns the datapath-heavy evaluation circuit (tight clock).
 func CircuitA() CircuitSpec { return gen.CircuitA() }
