@@ -15,7 +15,10 @@ import (
 	"selectivemt/internal/engine"
 	"selectivemt/internal/gen"
 	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/parasitics"
 	"selectivemt/internal/sim"
+	"selectivemt/internal/sta"
 )
 
 func benchEnv(b *testing.B) *Environment {
@@ -186,6 +189,103 @@ func BenchmarkFig4FlowStages(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(res.Stages)), "stages")
 	b.ReportMetric(res.WNSNs*1000, "wns-ps")
+}
+
+// BenchmarkIncrementalVsFull times the shape of the optimization hot
+// loop — batches of cell swaps each followed by a re-time — on the
+// largest generated circuit (Circuit A, ~800 instances), single-threaded.
+// The "full" variant re-analyzes the whole design after every batch the
+// way the pre-incremental loops did; the "incremental" variant updates
+// one persistent sta.Incremental graph. The speedup is the point: the
+// pass loop must no longer scale with full-design re-analysis.
+func BenchmarkIncrementalVsFull(b *testing.B) {
+	env := benchEnv(b)
+	spec := CircuitA()
+	cfg := env.NewConfig()
+	cfg.ClockSlack = spec.ClockSlack
+	base, err := env.Synthesize(spec, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stCfg := sta.Config{
+		ClockPeriodNs: cfg.ClockPeriodNs,
+		ClockPort:     "clk",
+		InputSlewNs:   0.03,
+		InputDelayNs:  0.1,
+		Extractor:     &parasitics.EstimateExtractor{Proc: env.Proc},
+	}
+	// The swap schedule: every 5th comb cell with an HVT variant, toggled
+	// in batches of 4 — the cadence of the assignment loop's later passes
+	// and of critical-cell reverts.
+	schedule := func(d *netlist.Design) []*netlist.Instance {
+		var swaps []*netlist.Instance
+		i := 0
+		for _, inst := range d.Instances() {
+			if inst.Cell.Kind != liberty.KindComb {
+				continue
+			}
+			if i++; i%5 != 0 {
+				continue
+			}
+			if env.Lib.Variant(inst.Cell, liberty.FlavorHVT) != nil {
+				swaps = append(swaps, inst)
+			}
+		}
+		return swaps
+	}
+	const batch = 4
+	toggle := func(d *netlist.Design, inst *netlist.Instance) {
+		f := liberty.FlavorHVT
+		if inst.Cell.Flavor == liberty.FlavorHVT {
+			f = liberty.FlavorLVT
+		}
+		if err := d.ReplaceCell(inst, env.Lib.Variant(inst.Cell, f)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := base.Clone()
+			swaps := schedule(d)
+			b.StartTimer()
+			if _, err := sta.Analyze(d, stCfg); err != nil {
+				b.Fatal(err)
+			}
+			for at := 0; at < len(swaps); at += batch {
+				for _, inst := range swaps[at:min(at+batch, len(swaps))] {
+					toggle(d, inst)
+				}
+				if _, err := sta.Analyze(d, stCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		var st sta.IncrementalStats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := base.Clone()
+			swaps := schedule(d)
+			b.StartTimer()
+			inc, err := sta.NewIncremental(d, stCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for at := 0; at < len(swaps); at += batch {
+				for _, inst := range swaps[at:min(at+batch, len(swaps))] {
+					toggle(d, inst)
+				}
+				if _, err := inc.Update(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st = inc.Stats()
+		}
+		b.ReportMetric(float64(st.NetsRetimed), "nets-retimed")
+		b.ReportMetric(float64(st.SwapUpdates), "updates")
+	})
 }
 
 // BenchmarkCompareSequential and BenchmarkCompareParallel time the

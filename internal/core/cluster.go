@@ -218,6 +218,7 @@ func InsertSwitches(d *netlist.Design, clusters []*vgnd.Cluster, placeOpts place
 			return err
 		}
 		vnet.IsVGND = true
+		d.NoteNetChanged(vnet) // flag flip changes extraction (trunk topology)
 		if err := d.Connect(sw, "VGND", vnet); err != nil {
 			return err
 		}

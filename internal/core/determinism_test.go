@@ -2,9 +2,13 @@ package core
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"selectivemt/internal/gen"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/parasitics"
+	"selectivemt/internal/sta"
 	"selectivemt/internal/verilog"
 )
 
@@ -39,6 +43,48 @@ func TestFlowDeterministic(t *testing.T) {
 	}
 	if v1 != v2 {
 		t.Fatal("final netlists differ between identical runs")
+	}
+}
+
+// TestMeasuredTimingMatchesFreshAnalysis covers the incremental path at
+// flow level: the flows now ride the incremental timer through the
+// assignment and ECO loops, and measure() reuses the ECO's final timing
+// when the design revision proves the netlist untouched. The reported
+// numbers must still be bit-identical to a from-scratch post-route
+// Analyze of the finished design.
+func TestMeasuredTimingMatchesFreshAnalysis(t *testing.T) {
+	l := lib(t)
+	cfg := DefaultConfig(sharedProc, l)
+	cfg.ClockSlack = 1.12
+	base, err := PrepareBase(gen.SmallTest().Module, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func(*netlist.Design, *Config) (*TechniqueResult, error){
+		"dual-vth":     RunDualVth,
+		"conventional": RunConventionalSMT,
+		"improved":     RunImprovedSMT,
+	} {
+		res, err := run(base, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ctsArr := func(*netlist.Instance) float64 { return 0 }
+		if res.CTS != nil {
+			ctsArr = res.CTS.Arrival
+		}
+		post := cfg.staConfig(&parasitics.SteinerExtractor{Proc: cfg.Proc,
+			TrunkNets: func(n *netlist.Net) bool { return n.IsVGND }}, ctsArr)
+		fresh, err := sta.Analyze(res.Design, post)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Float64bits(res.WNSNs) != math.Float64bits(fresh.WNS) {
+			t.Errorf("%s: reported WNS %v != fresh analysis %v", name, res.WNSNs, fresh.WNS)
+		}
+		if math.Float64bits(res.WorstHoldNs) != math.Float64bits(fresh.WorstHold) {
+			t.Errorf("%s: reported WorstHold %v != fresh analysis %v", name, res.WorstHoldNs, fresh.WorstHold)
+		}
 	}
 }
 

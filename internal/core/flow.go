@@ -177,6 +177,10 @@ type TechniqueResult struct {
 	// gating predicates used for standby measurement (set per technique).
 	gatedFn  func(*netlist.Instance) bool
 	holderFn func(*netlist.Net) bool
+	// ecoTiming is the post-route analysis the hold ECO finished with;
+	// measure reuses it (instead of re-analyzing) while the design
+	// revision proves the netlist untouched since.
+	ecoTiming *sta.Result
 }
 
 // PrepareBase maps a generic module with low-Vth cells and places it —
@@ -219,6 +223,7 @@ func RunDualVth(base *netlist.Design, cfg *Config) (*TechniqueResult, error) {
 	if err := finishFlow(d, cfg, res, nil, nil); err != nil {
 		return nil, err
 	}
+	res.ecoTiming = nil // measurement done: release the timing maps
 	return res, nil
 }
 
@@ -242,6 +247,7 @@ func RunConventionalSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, er
 	if err := finishFlow(d, cfg, res, IsGatedMT, HolderOn); err != nil {
 		return nil, err
 	}
+	res.ecoTiming = nil // measurement done: release the timing maps
 	return res, nil
 }
 
@@ -339,6 +345,7 @@ func RunImprovedSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, error)
 			res.WakeupNs = w.TimeNs
 		}
 	}
+	res.ecoTiming = nil // measurement done: release the timing maps
 	return res, nil
 }
 
@@ -361,11 +368,19 @@ func finishFlow(d *netlist.Design, cfg *Config, res *TechniqueResult,
 		return err
 	}
 	res.Counts.HoldBuffers = ecoRes.BuffersInserted
+	res.ecoTiming = ecoRes.Timing
 	res.stage(d, "hold ECO", res.Clusters, cfg).Inserted = ecoRes.BuffersInserted
 	return measure(d, cfg, res)
 }
 
-// measure computes the final area/leakage/timing numbers.
+// measure computes the final area/leakage/timing numbers. When the hold
+// ECO's final analysis is still current — same design object, unchanged
+// change-journal revision, and an analysis config matching the post-route
+// one this function builds — it is reused instead of re-running a full
+// post-route STA. (The config check covers the scalar fields and the
+// extractor's type and process; the clock-arrival closure cannot be
+// compared, which finishFlow — the sole ecoTiming writer — guarantees by
+// construction.)
 func measure(d *netlist.Design, cfg *Config, res *TechniqueResult) error {
 	ctsArr := func(*netlist.Instance) float64 { return 0 }
 	if res.CTS != nil {
@@ -373,9 +388,14 @@ func measure(d *netlist.Design, cfg *Config, res *TechniqueResult) error {
 	}
 	post := cfg.staConfig(&parasitics.SteinerExtractor{Proc: cfg.Proc,
 		TrunkNets: func(n *netlist.Net) bool { return n.IsVGND }}, ctsArr)
-	timing, err := sta.Analyze(d, post)
-	if err != nil {
-		return err
+	timing := res.ecoTiming
+	if timing == nil || timing.Design() != d || timing.Revision != d.Revision() ||
+		!configCompatible(timing.Config, post) {
+		var err error
+		timing, err = sta.Analyze(d, post)
+		if err != nil {
+			return err
+		}
 	}
 	res.WNSNs = timing.WNS
 	res.WorstHoldNs = timing.WorstHold
@@ -403,6 +423,25 @@ func measure(d *netlist.Design, cfg *Config, res *TechniqueResult) error {
 	res.DynamicMW = dyn
 	res.Counts = countPopulation(d, res.Counts)
 	return nil
+}
+
+// configCompatible reports whether a prior analysis ran under a config
+// whose observable scalar fields and extractor (type + process) match the
+// one measure would use. prior comes back from sta.Analyze normalized, so
+// slew fields are compared only when the fresh config pins them.
+func configCompatible(prior, fresh sta.Config) bool {
+	se, ok := prior.Extractor.(*parasitics.SteinerExtractor)
+	if !ok {
+		return false
+	}
+	fe := fresh.Extractor.(*parasitics.SteinerExtractor)
+	return se.Proc == fe.Proc &&
+		prior.ClockPeriodNs == fresh.ClockPeriodNs &&
+		prior.ClockPort == fresh.ClockPort &&
+		prior.InputDelayNs == fresh.InputDelayNs &&
+		prior.OutputDelayNs == fresh.OutputDelayNs &&
+		(fresh.InputSlewNs <= 0 || prior.InputSlewNs == fresh.InputSlewNs) &&
+		(fresh.ClockSlewNs <= 0 || prior.ClockSlewNs == fresh.ClockSlewNs)
 }
 
 func countPopulation(d *netlist.Design, prev Counts) Counts {

@@ -128,6 +128,7 @@ func BuildMTE(d *netlist.Design, maxFanout int, placeOpts place.Options) (int, e
 	}
 	mteNet := port.Net
 	mteNet.IsMTE = true
+	d.NoteNetChanged(mteNet)
 	for _, inst := range d.Instances() {
 		p := mtePin(inst)
 		if p == "" || inst.Conns[p] != nil {

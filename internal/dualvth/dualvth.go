@@ -45,13 +45,21 @@ type Result struct {
 // violating timing. The target is FlavorHVT for the Dual-Vth baseline; the
 // SMT flow passes the same engine different targets per criticality class.
 func Assign(d *netlist.Design, cfg sta.Config, opts Options) (*Result, error) {
-	return assignFlavor(d, cfg, opts, liberty.FlavorHVT, liberty.FlavorLVT)
+	inc, err := sta.NewIncremental(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return assignFlavor(d, inc, opts, liberty.FlavorHVT, liberty.FlavorLVT)
 }
 
 // assignFlavor greedily moves cells to target; when over-committed it
 // reverts critical cells to revertTo (LVT for the baseline; the MT flavor
 // in the SMT flows, so criticals stay gateable rather than leaky).
-func assignFlavor(d *netlist.Design, cfg sta.Config, opts Options,
+//
+// Timing rides the caller's incremental graph: each pass re-times only
+// the cones dirtied by the previous swap batch instead of re-walking the
+// whole design, and a pass that changed nothing costs nothing.
+func assignFlavor(d *netlist.Design, inc *sta.Incremental, opts Options,
 	target, revertTo liberty.Flavor) (*Result, error) {
 	if opts.MaxPasses <= 0 {
 		opts.MaxPasses = 12
@@ -62,7 +70,7 @@ func assignFlavor(d *netlist.Design, cfg sta.Config, opts Options,
 	res := &Result{}
 	for pass := 0; pass < opts.MaxPasses; pass++ {
 		res.Passes = pass + 1
-		timing, err := sta.Analyze(d, cfg)
+		timing, err := inc.Update()
 		if err != nil {
 			return nil, err
 		}
@@ -86,8 +94,10 @@ func assignFlavor(d *netlist.Design, cfg sta.Config, opts Options,
 			break
 		}
 	}
-	// Final verification pass.
-	timing, err := sta.Analyze(d, cfg)
+	// Final verification pass: when the loop just exited with fresh
+	// timing and zero swaps the design revision is unchanged and this is
+	// a free no-op rather than a redundant full re-analysis.
+	timing, err := inc.Update()
 	if err != nil {
 		return nil, err
 	}
@@ -96,23 +106,30 @@ func assignFlavor(d *netlist.Design, cfg sta.Config, opts Options,
 		if _, err := revertCritical(d, timing, opts, revertTo); err != nil {
 			return nil, err
 		}
-		timing, err = sta.Analyze(d, cfg)
+		timing, err = inc.Update()
 		if err != nil {
 			return nil, err
 		}
 		res.Timing = timing
 	}
+	res.Swapped, res.Kept = countAssigned(d, opts, target)
+	return res, nil
+}
+
+// countAssigned tallies the swappable population: cells ending at the
+// target flavor versus cells kept off it.
+func countAssigned(d *netlist.Design, opts Options, target liberty.Flavor) (swapped, kept int) {
 	for _, inst := range d.Instances() {
 		if !swappable(inst, opts) {
 			continue
 		}
 		if inst.Cell.Flavor == target {
-			res.Swapped++
+			swapped++
 		} else {
-			res.Kept++
+			kept++
 		}
 	}
-	return res, nil
+	return swapped, kept
 }
 
 func swappable(inst *netlist.Instance, opts Options) bool {
@@ -259,7 +276,11 @@ func AssignMixed(d *netlist.Design, cfg sta.Config, opts Options, mtFlavor liber
 			return nil, err
 		}
 	}
-	res, err := assignFlavor(d, cfg, opts, liberty.FlavorHVT, mtFlavor)
+	inc, err := sta.NewIncremental(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := assignFlavor(d, inc, opts, liberty.FlavorHVT, mtFlavor)
 	if err != nil {
 		return nil, err
 	}
@@ -274,11 +295,15 @@ func AssignMixed(d *netlist.Design, cfg sta.Config, opts Options, mtFlavor liber
 		if n == 0 {
 			break
 		}
-		timing, err = sta.Analyze(d, cfg)
+		timing, err = inc.Update()
 		if err != nil {
 			return nil, err
 		}
 		res.Timing = timing
 	}
+	// The revert loop rebinds cells after assignFlavor tallied its
+	// counts: recount so Swapped/Kept describe the design actually
+	// returned, not the pre-revert one.
+	res.Swapped, res.Kept = countAssigned(d, opts, liberty.FlavorHVT)
 	return res, nil
 }

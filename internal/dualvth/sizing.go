@@ -24,9 +24,13 @@ func RecoverSizing(d *netlist.Design, cfg sta.Config, opts Options) (int, error)
 	if opts.SafetyFactor <= 0 {
 		opts.SafetyFactor = 1.5
 	}
+	inc, err := sta.NewIncremental(d, cfg)
+	if err != nil {
+		return 0, err
+	}
 	downsized := 0
 	for pass := 0; pass < opts.MaxPasses; pass++ {
-		timing, err := sta.Analyze(d, cfg)
+		timing, err := inc.Update()
 		if err != nil {
 			return downsized, err
 		}
@@ -74,8 +78,8 @@ func RecoverSizing(d *netlist.Design, cfg sta.Config, opts Options) (int, error)
 			break
 		}
 	}
-	// Final guard.
-	timing, err := sta.Analyze(d, cfg)
+	// Final guard: free when the loop exited with fresh timing.
+	timing, err := inc.Update()
 	if err != nil {
 		return downsized, err
 	}

@@ -43,10 +43,16 @@ func FixHold(d *netlist.Design, cfg sta.Config, opts Options) (*Result, error) {
 	if buf == nil {
 		return nil, fmt.Errorf("eco: library lacks %q", opts.BufName)
 	}
+	// One persistent timing graph for the whole loop: each pass re-times
+	// only the endpoints whose D nets grew padding, not the whole design.
+	inc, err := sta.NewIncremental(d, cfg)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	for pass := 0; pass < opts.MaxPasses; pass++ {
 		res.Passes = pass + 1
-		timing, err := sta.Analyze(d, cfg)
+		timing, err := inc.Update()
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +87,7 @@ func FixHold(d *netlist.Design, cfg sta.Config, opts Options) (*Result, error) {
 			}
 		}
 	}
-	timing, err := sta.Analyze(d, cfg)
+	timing, err := inc.Update()
 	if err != nil {
 		return nil, err
 	}

@@ -25,7 +25,9 @@ func (d *Design) ReplaceCell(inst *Instance, newCell *liberty.Cell) error {
 			return fmt.Errorf("netlist: ReplaceCell(%s): pin %q direction differs", inst.Name, pin)
 		}
 	}
+	old := inst.Cell
 	inst.Cell = newCell
+	d.record(Change{Kind: ChangeCellReplaced, Inst: inst, OldCell: old})
 	return nil
 }
 
@@ -68,6 +70,7 @@ func (d *Design) InsertBuffer(net *Net, bufCell *liberty.Cell, sinks []PinRef) (
 	if err := d.Connect(buf, out.Name, newNet); err != nil {
 		return nil, err
 	}
+	portsMoved := false
 	for _, s := range sinks {
 		if s.Inst != nil {
 			if err := d.Disconnect(s.Inst, s.Pin); err != nil {
@@ -86,7 +89,14 @@ func (d *Design) InsertBuffer(net *Net, bufCell *liberty.Cell, sinks []PinRef) (
 			}
 			s.Port.Net = newNet
 			newNet.Sinks = append(newNet.Sinks, PinRef{Port: s.Port})
+			portsMoved = true
 		}
+	}
+	if portsMoved {
+		// Port loads bypass Connect/Disconnect; journal the rewiring of
+		// both endpoints once for the whole batch.
+		d.record(Change{Kind: ChangeSinksMoved, Net: net})
+		d.record(Change{Kind: ChangeSinksMoved, Net: newNet})
 	}
 	return buf, nil
 }
@@ -170,6 +180,9 @@ func (d *Design) TopoOrder() ([]*Instance, error) {
 }
 
 // Clone returns a deep copy of the design sharing the (immutable) library.
+// The clone starts with an empty change journal (construction entries are
+// dropped): observers of the original cannot follow it into the copy, and
+// observers of the copy start from its post-clone revision.
 func (d *Design) Clone() *Design {
 	c := New(d.Name, d.Lib)
 	c.Core = d.Core
@@ -228,5 +241,9 @@ func (d *Design) Clone() *Design {
 			// Port sinks were added by the port loop above.
 		}
 	}
+	// Drop the construction entries recorded above: nobody can have
+	// observed a revision of the clone before it existed.
+	c.journal = nil
+	c.journalBase = c.rev
 	return c
 }

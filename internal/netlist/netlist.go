@@ -116,6 +116,14 @@ type Design struct {
 	Core geom.Rect
 
 	anon int // counter for generated names
+
+	// Change journal (see journal.go): rev counts every mutation made
+	// through the Design API; journal retains the tail of those edits so
+	// incremental observers (the STA timer) can re-derive exactly what
+	// went stale since the revision they last saw.
+	rev         uint64
+	journalBase uint64
+	journal     []Change
 }
 
 // New creates an empty design bound to lib.
@@ -196,6 +204,7 @@ func (d *Design) AddPort(name string, dir Dir) (*Port, error) {
 	}
 	d.ports[name] = p
 	d.portOrder = append(d.portOrder, name)
+	d.record(Change{Kind: ChangePortAdded, Net: net})
 	return p, nil
 }
 
@@ -214,6 +223,7 @@ func (d *Design) ensureNet(name string) (*Net, error) {
 	n := &Net{Name: name}
 	d.nets[name] = n
 	d.netOrder = append(d.netOrder, name)
+	d.record(Change{Kind: ChangeNetAdded, Net: n})
 	return n, nil
 }
 
@@ -240,6 +250,7 @@ func (d *Design) AddInstance(name string, cell *liberty.Cell) (*Instance, error)
 	inst := &Instance{Name: name, Cell: cell, Conns: make(map[string]*Net)}
 	d.insts[name] = inst
 	d.instOrder = append(d.instOrder, name)
+	d.record(Change{Kind: ChangeInstanceAdded, Inst: inst})
 	return inst, nil
 }
 
@@ -274,6 +285,7 @@ func (d *Design) Connect(inst *Instance, pin string, net *Net) error {
 		net.Sinks = append(net.Sinks, ref)
 	}
 	inst.Conns[pin] = net
+	d.record(Change{Kind: ChangeConnected, Inst: inst, Pin: pin, Net: net})
 	return nil
 }
 
@@ -295,6 +307,7 @@ func (d *Design) Disconnect(inst *Instance, pin string) error {
 		}
 	}
 	delete(inst.Conns, pin)
+	d.record(Change{Kind: ChangeDisconnected, Inst: inst, Pin: pin, Net: net})
 	return nil
 }
 
@@ -309,6 +322,7 @@ func (d *Design) RemoveInstance(inst *Instance) error {
 		}
 	}
 	delete(d.insts, inst.Name)
+	d.record(Change{Kind: ChangeInstanceRemoved, Inst: inst})
 	return nil
 }
 
@@ -329,6 +343,7 @@ func (d *Design) RemoveNet(net *Net) error {
 		return fmt.Errorf("netlist: net %q still connected", net.Name)
 	}
 	delete(d.nets, net.Name)
+	d.record(Change{Kind: ChangeNetRemoved, Net: net})
 	return nil
 }
 

@@ -97,6 +97,9 @@ func Place(d *netlist.Design, opts Options) (*Result, error) {
 
 	ov := globalIterations(d, insts, core, opts, rng)
 	legalize(d, insts, core, opts)
+	// Global placement moved (nearly) every instance: one bulk-edit mark
+	// beats journaling thousands of individual moves.
+	d.NoteBulkEdit()
 	return &Result{Core: core, Rows: rows, HPWL: HPWL(d), Overflow: ov}, nil
 }
 
@@ -386,6 +389,7 @@ func PlaceNear(d *netlist.Design, inst *netlist.Instance, target geom.Point, opt
 	if core.Empty() || core.Area() == 0 {
 		inst.Pos = target
 		inst.Placed = true
+		d.NotePlacement(inst)
 		return
 	}
 	t := core.Clamp(target)
@@ -394,4 +398,5 @@ func PlaceNear(d *netlist.Design, inst *netlist.Instance, target geom.Point, opt
 	x := math.Round(t.X/opts.SitePitchUm) * opts.SitePitchUm
 	inst.Pos = core.Clamp(geom.Pt(x, y))
 	inst.Placed = true
+	d.NotePlacement(inst)
 }

@@ -1,0 +1,561 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"selectivemt/internal/gen"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/place"
+	"selectivemt/internal/synth"
+)
+
+// requireExactMatch asserts that the incremental result equals a fresh
+// full Analyze of the same design bit for bit: presence and value of
+// every per-net quantity, the endpoint scalars, and the hold list. This
+// is the oracle check the whole incremental engine is held to — exact,
+// not epsilon.
+func requireExactMatch(t *testing.T, d *netlist.Design, got, want *Result) {
+	t.Helper()
+	sameF := func(a, b float64) bool {
+		return math.Float64bits(a) == math.Float64bits(b)
+	}
+	type m struct {
+		name     string
+		got, wnt map[*netlist.Net]float64
+	}
+	for _, mm := range []m{
+		{"ArrivalMax", got.ArrivalMax, want.ArrivalMax},
+		{"ArrivalMin", got.ArrivalMin, want.ArrivalMin},
+		{"SlewMax", got.SlewMax, want.SlewMax},
+		{"RequiredMax", got.RequiredMax, want.RequiredMax},
+	} {
+		if len(mm.got) != len(mm.wnt) {
+			t.Errorf("%s: %d entries incremental vs %d full (stale or missing nets)",
+				mm.name, len(mm.got), len(mm.wnt))
+		}
+		for _, n := range d.Nets() {
+			gv, gok := mm.got[n]
+			wv, wok := mm.wnt[n]
+			if gok != wok {
+				t.Errorf("%s[%s]: presence %v vs %v", mm.name, n.Name, gok, wok)
+				continue
+			}
+			if gok && !sameF(gv, wv) {
+				t.Errorf("%s[%s] = %v incremental, %v full (Δ=%g)",
+					mm.name, n.Name, gv, wv, gv-wv)
+			}
+		}
+	}
+	if len(got.RC) != len(want.RC) {
+		t.Errorf("RC: %d entries incremental vs %d full", len(got.RC), len(want.RC))
+	}
+	for _, n := range d.Nets() {
+		grc, wrc := got.RC[n], want.RC[n]
+		if (grc == nil) != (wrc == nil) {
+			t.Errorf("RC[%s]: presence differs", n.Name)
+			continue
+		}
+		if grc != nil && !sameF(grc.TotalCap(), wrc.TotalCap()) {
+			t.Errorf("RC[%s]: total cap %v vs %v", n.Name, grc.TotalCap(), wrc.TotalCap())
+		}
+	}
+	if !sameF(got.WNS, want.WNS) {
+		t.Errorf("WNS %v incremental, %v full", got.WNS, want.WNS)
+	}
+	if !sameF(got.TNS, want.TNS) {
+		t.Errorf("TNS %v incremental, %v full", got.TNS, want.TNS)
+	}
+	if !sameF(got.WorstHold, want.WorstHold) {
+		t.Errorf("WorstHold %v incremental, %v full", got.WorstHold, want.WorstHold)
+	}
+	if len(got.HoldViolations) != len(want.HoldViolations) {
+		t.Fatalf("hold violations: %d incremental vs %d full",
+			len(got.HoldViolations), len(want.HoldViolations))
+	}
+	for i := range got.HoldViolations {
+		if got.HoldViolations[i] != want.HoldViolations[i] {
+			t.Errorf("hold violation %d: %s vs %s", i,
+				got.HoldViolations[i].Name, want.HoldViolations[i].Name)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+// synthSmall maps and places the SmallTest module — a realistic multi-
+// level circuit (~120 gates) for the property tests.
+func synthSmall(t *testing.T) *netlist.Design {
+	t.Helper()
+	l := lib(t)
+	d, err := synth.Map(gen.SmallTest().Module, l, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := place.Place(d, place.DefaultOptions(sharedProc.RowHeightUm, sharedProc.SitePitchUm)); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// swappableFlavors are the targets the random walk rebinds cells across —
+// the same moves the dual-Vth/MT assignment loops make.
+var swappableFlavors = []liberty.Flavor{
+	liberty.FlavorLVT, liberty.FlavorHVT, liberty.FlavorMTConv, liberty.FlavorMTNoVGND,
+}
+
+// TestIncrementalMatchesFullAfterSwaps is the core property test: after
+// every randomized batch of cell swaps and reverts, the incremental
+// result must equal a from-scratch Analyze exactly.
+func TestIncrementalMatchesFullAfterSwaps(t *testing.T) {
+	l := lib(t)
+	d := synthSmall(t)
+	c := cfg(t, 3)
+	inc, err := NewIncremental(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Analyze(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExactMatch(t, d, inc.Result(), full)
+
+	var cands []*netlist.Instance
+	for _, inst := range d.Instances() {
+		if inst.Cell.Kind == liberty.KindComb || inst.Cell.Kind == liberty.KindFF {
+			cands = append(cands, inst)
+		}
+	}
+	if len(cands) < 20 {
+		t.Fatalf("only %d swappable instances; circuit too small for the property", len(cands))
+	}
+	rng := rand.New(rand.NewSource(20050307))
+	for round := 0; round < 12; round++ {
+		// A batch of 1..8 random swaps (some rounds degenerate to
+		// no-ops when no variant exists — that exercises the clean path).
+		batch := 1 + rng.Intn(8)
+		swapped := 0
+		for i := 0; i < batch; i++ {
+			inst := cands[rng.Intn(len(cands))]
+			f := swappableFlavors[rng.Intn(len(swappableFlavors))]
+			v := l.Variant(inst.Cell, f)
+			if v == nil || v == inst.Cell {
+				continue
+			}
+			if err := d.ReplaceCell(inst, v); err != nil {
+				t.Fatal(err)
+			}
+			swapped++
+		}
+		got, err := inc.Update()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Analyze(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireExactMatch(t, d, got, want)
+		if swapped > 0 && got.Revision != d.Revision() {
+			t.Fatalf("round %d: result revision %d, design at %d", round, got.Revision, d.Revision())
+		}
+	}
+	st := inc.Stats()
+	if st.SwapUpdates == 0 {
+		t.Error("property walk never exercised the incremental swap path")
+	}
+	if st.FullBuilds != 1 {
+		t.Errorf("swaps alone forced %d full rebuilds, want only the initial one", st.FullBuilds)
+	}
+}
+
+// TestIncrementalDirtyConeIsSparse pins down the point of the engine: a
+// single swap must re-time only its cone, not the whole design.
+func TestIncrementalDirtyConeIsSparse(t *testing.T) {
+	l := lib(t)
+	d := synthSmall(t)
+	inc, err := NewIncremental(d, cfg(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv *netlist.Instance
+	for _, inst := range d.Instances() {
+		if inst.Cell.Kind == liberty.KindComb && l.Variant(inst.Cell, liberty.FlavorHVT) != nil {
+			inv = inst
+			break
+		}
+	}
+	if inv == nil {
+		t.Fatal("no swappable comb cell")
+	}
+	if err := d.ReplaceCell(inv, l.Variant(inv.Cell, liberty.FlavorHVT)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if n := inc.Stats().NetsRetimed; n >= d.NumNets()/2 {
+		t.Errorf("one swap re-timed %d of %d nets; the dirty cone is not sparse", n, d.NumNets())
+	}
+}
+
+// TestIncrementalStructuralEdits covers the ECO shape: buffer insertion
+// in front of flop D pins (instance+net adds, sink moves, placement) and
+// instance removal, all while holding exact equality with the oracle.
+func TestIncrementalStructuralEdits(t *testing.T) {
+	l := lib(t)
+	d := synthSmall(t)
+	c := cfg(t, 3)
+	inc, err := NewIncremental(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := place.DefaultOptions(sharedProc.RowHeightUm, sharedProc.SitePitchUm)
+	buf := l.Cell("BUF_X1_H")
+	if buf == nil {
+		t.Fatal("no BUF_X1_H in library")
+	}
+	inserted := 0
+	for _, inst := range d.Instances() {
+		if !inst.Cell.IsSequential() || inst.Conns["D"] == nil {
+			continue
+		}
+		b, err := d.InsertBuffer(inst.Conns["D"], buf, []netlist.PinRef{{Inst: inst, Pin: "D"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		place.PlaceNear(d, b, inst.Pos, po)
+		inserted++
+		if inserted == 3 {
+			break
+		}
+	}
+	if inserted == 0 {
+		t.Fatal("no flop D pins to buffer")
+	}
+	got, err := inc.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExactMatch(t, d, got, want)
+	if inc.Stats().StructuralUpdates != 1 {
+		t.Errorf("structural updates = %d, want 1", inc.Stats().StructuralUpdates)
+	}
+	if inc.Stats().FullBuilds != 1 {
+		t.Errorf("structural edit forced a full rebuild (%d builds); it must stay incremental",
+			inc.Stats().FullBuilds)
+	}
+
+	// Remove one inserted buffer again: disconnect, rewire, delete.
+	var b *netlist.Instance
+	for _, inst := range d.Instances() {
+		if inst.Cell == buf {
+			b = inst
+			break
+		}
+	}
+	in, out := b.Conns["A"], b.Conns["Z"]
+	sink := out.Sinks[0]
+	if err := d.Disconnect(sink.Inst, sink.Pin); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveInstance(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(sink.Inst, sink.Pin, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveNet(out); err != nil {
+		t.Fatal(err)
+	}
+	got, err = inc.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = Analyze(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExactMatch(t, d, got, want)
+}
+
+// TestIncrementalRandomMixedEdits interleaves swaps, buffer insertions
+// and placement moves in one random walk — the closest approximation of
+// a whole optimization flow hammering one graph.
+func TestIncrementalRandomMixedEdits(t *testing.T) {
+	l := lib(t)
+	d := synthSmall(t)
+	c := cfg(t, 3)
+	inc, err := NewIncremental(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := place.DefaultOptions(sharedProc.RowHeightUm, sharedProc.SitePitchUm)
+	buf := l.Cell("BUF_X1_L")
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 8; round++ {
+		insts := d.Instances()
+		for i := 0; i < 3; i++ {
+			inst := insts[rng.Intn(len(insts))]
+			switch rng.Intn(3) {
+			case 0: // swap
+				f := swappableFlavors[rng.Intn(len(swappableFlavors))]
+				if v := l.Variant(inst.Cell, f); v != nil && v != inst.Cell {
+					if err := d.ReplaceCell(inst, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 1: // buffer a random sink of the instance's output
+				out := inst.OutputNet()
+				if out == nil || len(out.Sinks) == 0 || out.Sinks[0].Inst == nil {
+					continue
+				}
+				b, err := d.InsertBuffer(out, buf, []netlist.PinRef{out.Sinks[0]})
+				if err != nil {
+					t.Fatal(err)
+				}
+				place.PlaceNear(d, b, inst.Pos, po)
+			case 2: // nudge placement
+				place.PlaceNear(d, inst, inst.Pos, po)
+			}
+		}
+		got, err := inc.Update()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Analyze(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireExactMatch(t, d, got, want)
+	}
+}
+
+// TestIncrementalJournalLossFallsBack proves a bulk edit (or any lost
+// history) silently degrades to a correct full rebuild.
+func TestIncrementalJournalLossFallsBack(t *testing.T) {
+	d := buildPipe(t, 10, liberty.FlavorLVT)
+	c := cfg(t, 2)
+	inc, err := NewIncremental(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-band surgery: move a cell without telling the journal, then
+	// declare the bulk edit.
+	inv := d.Instance("inv_1")
+	if inv == nil {
+		for _, i := range d.Instances() {
+			if i.Cell.Kind == liberty.KindComb {
+				inv = i
+				break
+			}
+		}
+	}
+	inv.Pos.X += 40
+	d.NoteBulkEdit()
+	got, err := inc.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExactMatch(t, d, got, want)
+	if inc.Stats().FullBuilds != 2 {
+		t.Errorf("full builds = %d, want 2 (initial + fallback)", inc.Stats().FullBuilds)
+	}
+}
+
+// TestIncrementalNoopUpdateIsFree covers the redundant-re-analysis
+// satellite: an Update with a clean journal must not re-time anything.
+func TestIncrementalNoopUpdateIsFree(t *testing.T) {
+	d := buildPipe(t, 10, liberty.FlavorLVT)
+	inc, err := NewIncremental(d, cfg(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := inc.Result()
+	r2, err := inc.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("clean update must return the same live result")
+	}
+	st := inc.Stats()
+	if st.NoopUpdates != 1 || st.NetsRetimed != 0 {
+		t.Errorf("clean update did work: %+v", st)
+	}
+}
+
+// TestSetPeriodMatchesAnalyze: re-solving one graph at a new period must
+// equal a from-scratch Analyze at that period, exactly.
+func TestSetPeriodMatchesAnalyze(t *testing.T) {
+	d := synthSmall(t)
+	c := cfg(t, 3)
+	inc, err := NewIncremental(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range []float64{5, 1.7, 0.9, 3} {
+		got, err := inc.SetPeriod(T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2 := c
+		c2.ClockPeriodNs = T
+		want, err := Analyze(d, c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireExactMatch(t, d, got, want)
+	}
+}
+
+// TestMinPeriodSearchAgreesWithClosedForm: the bisection on one shared
+// graph must land within tolerance of the exact linear-model answer.
+func TestMinPeriodSearchAgreesWithClosedForm(t *testing.T) {
+	d := buildPipe(t, 20, liberty.FlavorLVT)
+	c := cfg(t, 10)
+	exact, err := MinPeriod(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-4
+	search, err := MinPeriodSearch(d, c, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(search-exact) > 2*tol {
+		t.Fatalf("MinPeriodSearch=%v vs MinPeriod=%v (|Δ|=%g > %g)",
+			search, exact, math.Abs(search-exact), 2*tol)
+	}
+	// The search result must itself be feasible.
+	c.ClockPeriodNs = search + tol
+	r, err := Analyze(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WNS < 0 {
+		t.Fatalf("period %v from the search is infeasible: WNS=%v", search, r.WNS)
+	}
+}
+
+// TestWorstPathsAndCriticalsOnDegenerateNets is the edge-case half of the
+// coverage satellite: designs with disconnected (undriven, sink-less) and
+// constant-like nets must not break path extraction or the critical-cell
+// query.
+func TestWorstPathsAndCriticalsOnDegenerateNets(t *testing.T) {
+	l := lib(t)
+	d := netlist.New("degenerate", l)
+	if _, err := d.AddPort("in", netlist.DirInput); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("clk", netlist.DirInput); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("out", netlist.DirOutput); err != nil {
+		t.Fatal(err)
+	}
+	// g1 computes from the live input and a floating (undriven) net: the
+	// NAND still propagates the constrained arc.
+	floating, err := d.AddNet("floating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := d.AddInstance("g1", l.Cell("NAND2_X1_L"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConnect := func(inst *netlist.Instance, pin string, n *netlist.Net) {
+		t.Helper()
+		if err := d.Connect(inst, pin, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustConnect(g1, "A", d.NetByName("in"))
+	mustConnect(g1, "B", floating)
+	mustConnect(g1, "ZN", d.NetByName("out"))
+	// g2 is fed ONLY by the undriven net — a constant-like cone with no
+	// constrained arrival — and drives a dangling net with no sinks.
+	dangling, err := d.AddNet("dangling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := d.AddInstance("g2", l.Cell("INV_X1_L"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConnect(g2, "A", floating)
+	mustConnect(g2, "ZN", dangling)
+
+	r, err := Analyze(d, cfg(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.ArrivalMax[dangling]; ok {
+		t.Error("a cone fed only by an undriven net must stay unconstrained")
+	}
+	// The floating net has constrained fanout (through g1), so the
+	// backward pass still assigns it a required time; with no arrival its
+	// slack degenerates to that required time rather than +Inf.
+	if _, ok := r.ArrivalMax[floating]; ok {
+		t.Error("an undriven net must not acquire an arrival")
+	}
+	if s := r.Slack(floating); math.IsInf(s, 1) || math.IsNaN(s) {
+		t.Errorf("floating net with constrained fanout: slack = %v, want finite", s)
+	}
+	if s := r.InstSlack(g2); !math.IsInf(s, 1) {
+		t.Errorf("constant-cone instance slack = %v, want +Inf", s)
+	}
+
+	// WorstPaths must terminate and return only the constrained endpoint.
+	paths := r.WorstPaths(5)
+	if len(paths) != 1 {
+		t.Fatalf("WorstPaths returned %d paths, want 1 (only `out` is constrained)", len(paths))
+	}
+	if len(paths[0].Steps) == 0 || paths[0].Steps[len(paths[0].Steps)-1].Net != d.NetByName("out") {
+		t.Fatal("worst path does not end at the output port net")
+	}
+
+	// CriticalInstances with a huge margin must flag only instances with
+	// finite slack: g2 (infinite slack) stays exempt no matter the margin.
+	crit := r.CriticalInstances(1e9)
+	for _, inst := range crit {
+		if inst == g2 {
+			t.Fatal("CriticalInstances flagged an unconstrained instance")
+		}
+	}
+	if len(crit) == 0 {
+		t.Fatal("the constrained gate should be inside a 1e9 margin")
+	}
+
+	// The incremental engine agrees on the degenerate design, including
+	// across a swap of the constant-cone gate.
+	inc, err := NewIncremental(d, cfg(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExactMatch(t, d, inc.Result(), r)
+	if err := d.ReplaceCell(g2, l.Cell("INV_X1_H")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inc.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(d, cfg(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExactMatch(t, d, got, want)
+}

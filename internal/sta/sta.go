@@ -52,8 +52,17 @@ type Result struct {
 	// HoldViolations lists flops with negative hold slack.
 	HoldViolations []*netlist.Instance
 
+	// Revision is the design's change-journal revision this result
+	// reflects (netlist.Design.Revision at analysis time). A caller
+	// holding a Result can compare it against the design's current
+	// revision to detect staleness without re-analyzing.
+	Revision uint64
+
 	design *netlist.Design
 }
+
+// Design returns the design the result was computed on.
+func (r *Result) Design() *netlist.Design { return r.design }
 
 // Slack returns the setup slack of a net (required - arrival); +Inf for
 // nets with no constrained fanout cone.
@@ -74,19 +83,28 @@ func (r *Result) InstSlack(inst *netlist.Instance) float64 {
 	return r.Slack(out)
 }
 
-// Analyze runs full setup and hold analysis.
-func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
+// normalizeConfig validates a timing config and fills slew defaults.
+func normalizeConfig(cfg Config) (Config, error) {
 	if cfg.ClockPeriodNs <= 0 {
-		return nil, fmt.Errorf("sta: clock period %v must be positive", cfg.ClockPeriodNs)
+		return cfg, fmt.Errorf("sta: clock period %v must be positive", cfg.ClockPeriodNs)
 	}
 	if cfg.Extractor == nil {
-		return nil, fmt.Errorf("sta: no parasitic extractor")
+		return cfg, fmt.Errorf("sta: no parasitic extractor")
 	}
 	if cfg.InputSlewNs <= 0 {
 		cfg.InputSlewNs = 0.05
 	}
 	if cfg.ClockSlewNs <= 0 {
 		cfg.ClockSlewNs = 0.04
+	}
+	return cfg, nil
+}
+
+// Analyze runs full setup and hold analysis.
+func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	order, err := d.TopoOrder()
 	if err != nil {
@@ -104,94 +122,167 @@ func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
 	for _, n := range d.Nets() {
 		r.RC[n] = cfg.Extractor.Extract(n)
 	}
+	propagateArrival(r, order)
+	propagateRequired(r, order)
+	endpointChecks(r)
+	r.Revision = d.Revision()
+	return r, nil
+}
 
-	clkArr := func(inst *netlist.Instance) float64 {
-		if cfg.ClockArrival != nil {
-			return cfg.ClockArrival(inst)
-		}
-		return 0
+// clkArr returns a flop's clock insertion delay under the result's config.
+func (r *Result) clkArr(inst *netlist.Instance) float64 {
+	if r.Config.ClockArrival != nil {
+		return r.Config.ClockArrival(inst)
 	}
+	return 0
+}
 
-	// --- forward propagation (max and min together) ---
-	// Sources: primary inputs and flop Q outputs.
-	for _, p := range d.Ports() {
-		if p.Dir != netlist.DirInput {
+// portArrival returns the arrival/slew a primary-input port seeds on its
+// net, and ok=false for ports that are not data sources (outputs, the
+// clock).
+func portArrival(r *Result, p *netlist.Port) (arr, slew float64, ok bool) {
+	if p.Dir != netlist.DirInput || p.Name == r.Config.ClockPort {
+		return 0, 0, false
+	}
+	return r.Config.InputDelayNs, r.Config.InputSlewNs, true
+}
+
+// seqArrival computes a flop's Q arrival and slew from the clock edge.
+// ok=false when the flop has no output net.
+func seqArrival(r *Result, inst *netlist.Instance) (q *netlist.Net, arr, slew float64, ok bool) {
+	q = inst.OutputNet()
+	if q == nil {
+		return nil, 0, 0, false
+	}
+	arc := inst.Cell.Arc("CK", "Q")
+	load := r.RC[q].TotalCap()
+	var dq, sq float64
+	if arc != nil {
+		dq = arc.WorstDelay(r.Config.ClockSlewNs, load)
+		sq = arc.WorstSlew(r.Config.ClockSlewNs, load)
+	}
+	return q, r.clkArr(inst) + dq, sq, true
+}
+
+// combArrival computes a combinational instance's output arrival window
+// and worst slew from its (already computed) fanin arrivals. ok=false
+// when the instance has no output net or no constrained fanin.
+func combArrival(r *Result, inst *netlist.Instance) (out *netlist.Net, amax, amin, smax float64, ok bool) {
+	out = inst.OutputNet()
+	if out == nil {
+		return nil, 0, 0, 0, false // switches, holders
+	}
+	load := r.RC[out].TotalCap()
+	amax = math.Inf(-1)
+	amin = math.Inf(1)
+	smax = 0.0
+	for _, arc := range inst.Cell.Arcs {
+		inNet := inst.Conns[arc.From]
+		if inNet == nil {
 			continue
 		}
-		if p.Name == cfg.ClockPort {
-			continue // the clock is not a data arrival
+		inArrMax, ok := r.ArrivalMax[inNet]
+		if !ok {
+			continue // unconstrained input
 		}
-		r.ArrivalMax[p.Net] = cfg.InputDelayNs
-		r.ArrivalMin[p.Net] = cfg.InputDelayNs
-		r.SlewMax[p.Net] = cfg.InputSlewNs
+		inArrMin := r.ArrivalMin[inNet]
+		inSlew := r.SlewMax[inNet]
+		wireMax, wireMin := sinkWireDelay(r.RC[inNet], inNet, inst, arc.From)
+		dm := arc.WorstDelay(inSlew, load)
+		amax = math.Max(amax, inArrMax+wireMax+dm)
+		amin = math.Min(amin, inArrMin+wireMin+dm)
+		smax = math.Max(smax, arc.WorstSlew(inSlew, load))
+	}
+	if math.IsInf(amax, -1) {
+		return out, 0, 0, 0, false // no constrained fanin: leave unconstrained
+	}
+	return out, amax, amin, smax, true
+}
+
+// propagateArrival runs the forward pass (max and min together) over the
+// whole design. Sources: primary inputs and flop Q outputs.
+func propagateArrival(r *Result, order []*netlist.Instance) {
+	d := r.design
+	for _, p := range d.Ports() {
+		if arr, slew, ok := portArrival(r, p); ok {
+			r.ArrivalMax[p.Net] = arr
+			r.ArrivalMin[p.Net] = arr
+			r.SlewMax[p.Net] = slew
+		}
 	}
 	for _, inst := range d.Instances() {
 		if !inst.Cell.IsSequential() {
 			continue
 		}
-		q := inst.OutputNet()
-		if q == nil {
-			continue
+		if q, arr, slew, ok := seqArrival(r, inst); ok {
+			r.ArrivalMax[q] = arr
+			r.ArrivalMin[q] = arr
+			r.SlewMax[q] = slew
 		}
-		arc := inst.Cell.Arc("CK", "Q")
-		load := r.RC[q].TotalCap()
-		var dq, sq float64
-		if arc != nil {
-			dq = arc.WorstDelay(cfg.ClockSlewNs, load)
-			sq = arc.WorstSlew(cfg.ClockSlewNs, load)
-		}
-		r.ArrivalMax[q] = clkArr(inst) + dq
-		r.ArrivalMin[q] = clkArr(inst) + dq
-		r.SlewMax[q] = sq
 	}
 	// Combinational instances in topological order.
 	for _, inst := range order {
 		if inst.Cell.IsSequential() {
 			continue
 		}
-		out := inst.OutputNet()
-		if out == nil {
-			continue // switches, holders
+		if out, amax, amin, smax, ok := combArrival(r, inst); ok {
+			r.ArrivalMax[out] = amax
+			r.ArrivalMin[out] = amin
+			r.SlewMax[out] = smax
 		}
-		load := r.RC[out].TotalCap()
-		amax := math.Inf(-1)
-		amin := math.Inf(1)
-		smax := 0.0
-		for _, arc := range inst.Cell.Arcs {
-			inNet := inst.Conns[arc.From]
-			if inNet == nil {
-				continue
-			}
-			inArrMax, ok := r.ArrivalMax[inNet]
-			if !ok {
-				continue // unconstrained input
-			}
-			inArrMin := r.ArrivalMin[inNet]
-			inSlew := r.SlewMax[inNet]
-			wireMax, wireMin := sinkWireDelay(r.RC[inNet], inNet, inst, arc.From)
-			dm := arc.WorstDelay(inSlew, load)
-			amax = math.Max(amax, inArrMax+wireMax+dm)
-			amin = math.Min(amin, inArrMin+wireMin+dm)
-			smax = math.Max(smax, arc.WorstSlew(inSlew, load))
-		}
-		if math.IsInf(amax, -1) {
-			continue // no constrained fanin: leave unconstrained
-		}
-		r.ArrivalMax[out] = amax
-		r.ArrivalMin[out] = amin
-		r.SlewMax[out] = smax
 	}
+}
 
-	// --- required times (backward) and endpoint slacks ---
-	T := cfg.ClockPeriodNs
-	r.WNS = math.Inf(1)
-	r.WorstHold = math.Inf(1)
+// outputPortRequired is the required time an output port imposes on its
+// net. Shared by the full backward pass, the incremental recompute and
+// the endpoint checks so the three always agree bit for bit.
+func outputPortRequired(r *Result) float64 {
+	return r.Config.ClockPeriodNs - r.Config.OutputDelayNs
+}
+
+// flopSetupRequired is the required time a flop's setup check imposes on
+// its D net.
+func flopSetupRequired(r *Result, inst *netlist.Instance) float64 {
+	return r.Config.ClockPeriodNs + r.clkArr(inst) - inst.Cell.SetupNs
+}
+
+// backwardCands visits every required-time candidate a combinational
+// instance pushes onto its fanin nets: req(output) minus the arc delay at
+// the output load minus the input wire delay. It is the single source of
+// the backward-pass arithmetic for both the full pass and the incremental
+// recompute.
+func backwardCands(r *Result, inst *netlist.Instance, visit func(inNet *netlist.Net, cand float64)) {
+	out := inst.OutputNet()
+	if out == nil {
+		return
+	}
+	req, ok := r.RequiredMax[out]
+	if !ok {
+		return
+	}
+	load := r.RC[out].TotalCap()
+	for _, arc := range inst.Cell.Arcs {
+		inNet := inst.Conns[arc.From]
+		if inNet == nil {
+			continue
+		}
+		inSlew := r.SlewMax[inNet]
+		wireMax, _ := sinkWireDelay(r.RC[inNet], inNet, inst, arc.From)
+		visit(inNet, req-arc.WorstDelay(inSlew, load)-wireMax)
+	}
+}
+
+// propagateRequired runs the backward pass: endpoint required times, then
+// propagation against the topological order. RequiredMax must be empty on
+// entry.
+func propagateRequired(r *Result, order []*netlist.Instance) {
+	d := r.design
 	// Initialize endpoint requireds.
 	for _, p := range d.Ports() {
 		if p.Dir != netlist.DirOutput {
 			continue
 		}
-		setRequired(r, p.Net, T-cfg.OutputDelayNs)
+		setRequired(r, p.Net, outputPortRequired(r))
 	}
 	for _, inst := range d.Instances() {
 		if !inst.Cell.IsSequential() {
@@ -201,19 +292,7 @@ func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
 		if dNet == nil {
 			continue
 		}
-		lat := clkArr(inst)
-		setRequired(r, dNet, T+lat-inst.Cell.SetupNs)
-		// Hold check at this flop.
-		if am, ok := r.ArrivalMin[dNet]; ok {
-			wireMin := minWireDelayTo(r.RC[dNet], dNet, inst, "D")
-			hs := am + wireMin - lat - inst.Cell.HoldNs
-			if hs < r.WorstHold {
-				r.WorstHold = hs
-			}
-			if hs < 0 {
-				r.HoldViolations = append(r.HoldViolations, inst)
-			}
-		}
+		setRequired(r, dNet, flopSetupRequired(r, inst))
 	}
 	// Propagate requireds backward through the topological order.
 	for i := len(order) - 1; i >= 0; i-- {
@@ -221,27 +300,23 @@ func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
 		if inst.Cell.IsSequential() {
 			continue
 		}
-		out := inst.OutputNet()
-		if out == nil {
-			continue
-		}
-		req, ok := r.RequiredMax[out]
-		if !ok {
-			continue
-		}
-		load := r.RC[out].TotalCap()
-		for _, arc := range inst.Cell.Arcs {
-			inNet := inst.Conns[arc.From]
-			if inNet == nil {
-				continue
-			}
-			inSlew := r.SlewMax[inNet]
-			wireMax, _ := sinkWireDelay(r.RC[inNet], inNet, inst, arc.From)
-			cand := req - arc.WorstDelay(inSlew, load) - wireMax
+		backwardCands(r, inst, func(inNet *netlist.Net, cand float64) {
 			setRequired(r, inNet, cand)
-		}
+		})
 	}
-	// Setup WNS/TNS over endpoints.
+}
+
+// endpointChecks recomputes WNS/TNS, the worst hold slack and the hold
+// violation list from the current arrival maps. It scans endpoints in the
+// design's deterministic iteration order, so repeated recomputation (the
+// incremental timer runs it after every update) accumulates TNS in exactly
+// the order a from-scratch Analyze would.
+func endpointChecks(r *Result) {
+	d := r.design
+	T := r.Config.ClockPeriodNs
+	r.WNS = math.Inf(1)
+	r.WorstHold = math.Inf(1)
+	r.HoldViolations = nil
 	r.TNS = 0
 	check := func(n *netlist.Net, req float64) {
 		arr, ok := r.ArrivalMax[n]
@@ -258,13 +333,28 @@ func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
 	}
 	for _, p := range d.Ports() {
 		if p.Dir == netlist.DirOutput {
-			check(p.Net, T-cfg.OutputDelayNs)
+			check(p.Net, outputPortRequired(r))
 		}
 	}
 	for _, inst := range d.Instances() {
-		if inst.Cell.IsSequential() {
-			if dNet := inst.Conns["D"]; dNet != nil {
-				check(dNet, T+clkArr(inst)-inst.Cell.SetupNs)
+		if !inst.Cell.IsSequential() {
+			continue
+		}
+		dNet := inst.Conns["D"]
+		if dNet == nil {
+			continue
+		}
+		lat := r.clkArr(inst)
+		check(dNet, flopSetupRequired(r, inst))
+		// Hold check at this flop.
+		if am, ok := r.ArrivalMin[dNet]; ok {
+			wireMin := minWireDelayTo(r.RC[dNet], dNet, inst, "D")
+			hs := am + wireMin - lat - inst.Cell.HoldNs
+			if hs < r.WorstHold {
+				r.WorstHold = hs
+			}
+			if hs < 0 {
+				r.HoldViolations = append(r.HoldViolations, inst)
 			}
 		}
 	}
@@ -274,7 +364,6 @@ func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
 	if math.IsInf(r.WorstHold, 1) {
 		r.WorstHold = 0
 	}
-	return r, nil
 }
 
 func setRequired(r *Result, n *netlist.Net, req float64) {
