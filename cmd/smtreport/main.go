@@ -1,6 +1,7 @@
 // Command smtreport analyzes a netlist without modifying it: area by cell
 // class, state-dependent standby leakage (optionally minimized over the
-// standby input vector), and setup/hold timing.
+// standby input vector), setup/hold timing, and — with -corners — the
+// per-corner slack/leakage sign-off table.
 //
 // Several benchmark circuits can be analyzed in one run; they are
 // synthesized and reported concurrently on the flow engine's worker pool
@@ -8,8 +9,8 @@
 //
 // Usage:
 //
-//	smtreport -verilog design.v -sdc design.sdc [-optimize-vector]
-//	smtreport -circuit a,b,small [-jobs N]
+//	smtreport -verilog design.v -sdc design.sdc [-optimize-vector] [-corners all]
+//	smtreport -circuit a,b,small [-jobs N] [-corners typ,slow,fast-hot,fast-cold]
 package main
 
 import (
@@ -18,19 +19,12 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"strings"
 
 	"selectivemt"
-	"selectivemt/internal/core"
 	"selectivemt/internal/engine"
-	"selectivemt/internal/netlist"
-	"selectivemt/internal/parasitics"
 	"selectivemt/internal/place"
-	"selectivemt/internal/power"
-	"selectivemt/internal/report"
 	"selectivemt/internal/sdc"
-	"selectivemt/internal/sta"
 	"selectivemt/internal/verilog"
 )
 
@@ -40,9 +34,14 @@ func main() {
 	circuit := flag.String("circuit", "", "analyze generated benchmarks instead: comma-separated list of a, b, small")
 	optVector := flag.Bool("optimize-vector", false, "search for the minimum-leakage standby input vector")
 	jobs := flag.Int("jobs", 0, "max concurrently analyzed circuits (0 = GOMAXPROCS)")
+	cornersFlag := flag.String("corners", "", "PVT corners to analyze: all, or comma-separated typ,slow,fast-hot,fast-cold")
 	flag.Parse()
 	log.SetFlags(0)
 
+	corners, err := selectivemt.ParseCorners(*cornersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	env, err := selectivemt.NewEnvironment()
 	if err != nil {
 		log.Fatal(err)
@@ -51,6 +50,7 @@ func main() {
 	switch {
 	case *verilogIn != "":
 		cfg := env.NewConfig()
+		cfg.Corners = corners
 		f, err := os.Open(*verilogIn)
 		if err != nil {
 			log.Fatal(err)
@@ -76,7 +76,7 @@ func main() {
 		if _, err := place.Place(d, cfg.PlaceOpts); err != nil {
 			log.Fatal(err)
 		}
-		out, err := reportDesign(env, d, cfg, *optVector)
+		out, err := env.ReportDesign(d, cfg, *optVector)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -111,11 +111,12 @@ func main() {
 				spec := specs[i]
 				cfg := env.NewConfig()
 				cfg.ClockSlack = spec.ClockSlack
+				cfg.Corners = corners
 				d, err := env.Synthesize(spec, cfg)
 				if err != nil {
 					return "", err
 				}
-				return reportDesign(env, d, cfg, *optVector)
+				return env.ReportDesign(d, cfg, *optVector)
 			})
 		if err != nil {
 			log.Fatal(err)
@@ -126,99 +127,4 @@ func main() {
 	default:
 		log.Fatal("smtreport: need -verilog or -circuit")
 	}
-}
-
-// reportDesign renders the full analysis of one design. It only reads the
-// design, so independent designs report concurrently.
-func reportDesign(env *selectivemt.Environment, d *netlist.Design, cfg *selectivemt.Config, optVector bool) (string, error) {
-	var out strings.Builder
-
-	// Area by cell base.
-	type row struct {
-		base  string
-		count int
-		area  float64
-	}
-	byBase := map[string]*row{}
-	for _, inst := range d.Instances() {
-		r := byBase[inst.Cell.Base]
-		if r == nil {
-			r = &row{base: inst.Cell.Base}
-			byBase[inst.Cell.Base] = r
-		}
-		r.count++
-		r.area += inst.Cell.AreaUm2
-	}
-	var rows []*row
-	for _, r := range byBase {
-		rows = append(rows, r)
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].area > rows[j].area })
-	t := report.New(fmt.Sprintf("Area report: %s (total %.1f µm², %d instances)",
-		d.Name, d.TotalArea(), d.NumInstances()),
-		"cell", "count", "area µm²", "share")
-	for _, r := range rows {
-		t.Add(r.base, r.count, r.area, fmt.Sprintf("%.1f%%", 100*r.area/d.TotalArea()))
-	}
-	fmt.Fprintln(&out, t.String())
-
-	// Leakage.
-	gated := core.IsGatedMT
-	holder := core.HolderOn
-	rep, err := power.Standby(d, power.StandbyOptions{Gated: gated, HolderOn: holder})
-	if err != nil {
-		return "", err
-	}
-	lt := report.New("Standby leakage (all-zeros standby vector)", "source", "mW")
-	var cats []string
-	for c := range rep.Breakdown {
-		cats = append(cats, string(c))
-	}
-	sort.Strings(cats)
-	for _, c := range cats {
-		lt.Add(c, fmt.Sprintf("%.3e", rep.Breakdown[power.Category(c)]))
-	}
-	lt.Add("TOTAL", fmt.Sprintf("%.3e", rep.StandbyLeakMW))
-	fmt.Fprintln(&out, lt.String())
-
-	if optVector {
-		vec, leak, err := power.OptimizeStandbyVector(d,
-			power.StandbyOptions{Gated: gated, HolderOn: holder}, 4, 1)
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&out, "optimized standby vector: %.3e mW (%.1f%% below all-zeros)\n",
-			leak, 100*(1-leak/rep.StandbyLeakMW))
-		var names []string
-		for n := range vec {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		fmt.Fprint(&out, "  vector:")
-		for _, n := range names {
-			fmt.Fprintf(&out, " %s=%s", n, vec[n])
-		}
-		fmt.Fprintln(&out)
-	}
-
-	// Timing.
-	if cfg.ClockPeriodNs > 0 {
-		stCfg := sta.Config{
-			ClockPeriodNs: cfg.ClockPeriodNs,
-			ClockPort:     cfg.ClockPort,
-			InputSlewNs:   0.03,
-			InputDelayNs:  0.1,
-			Extractor:     &parasitics.EstimateExtractor{Proc: env.Proc},
-		}
-		timing, err := sta.Analyze(d, stCfg)
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&out, "Timing @ %.3f ns: WNS %.4f ns, TNS %.4f ns, worst hold %.4f ns\n",
-			cfg.ClockPeriodNs, timing.WNS, timing.TNS, timing.WorstHold)
-		for i, p := range timing.WorstPaths(3) {
-			fmt.Fprintf(&out, "  path %d: slack %.4f ns, %d stages\n", i+1, p.SlackNs, len(p.Steps))
-		}
-	}
-	return out.String(), nil
 }

@@ -6,9 +6,16 @@
 // Circuits and techniques run concurrently on the flow engine's worker
 // pool; -jobs bounds the pool (1 forces a sequential run).
 //
+// With -corners, every technique's finished design is additionally
+// signed off across the listed PVT corners — per-corner setup/hold slack
+// and standby leakage, hold re-fixed at the binding fast corner on a
+// sign-off clone — and one sign-off table per technique follows Table 1.
+// The Table-1 numbers themselves are measured at the typical corner and
+// are identical with or without -corners.
+//
 // Usage:
 //
-//	table1 [-circuit a|b|both] [-jobs N] [-detail]
+//	table1 [-circuit a|b|both] [-jobs N] [-detail] [-corners all|typ,slow,fast-hot,fast-cold]
 package main
 
 import (
@@ -26,9 +33,14 @@ func main() {
 	circuit := flag.String("circuit", "both", "which circuit to run: a, b or both")
 	detail := flag.Bool("detail", false, "print per-technique detail (counts, clusters, stages)")
 	jobs := flag.Int("jobs", 0, "max concurrent flow jobs (0 = GOMAXPROCS, 1 = sequential)")
+	cornersFlag := flag.String("corners", "", "PVT sign-off corners: all, or comma-separated typ,slow,fast-hot,fast-cold")
 	flag.Parse()
 	log.SetFlags(0)
 
+	corners, err := selectivemt.ParseCorners(*cornersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	env, err := selectivemt.NewEnvironment()
 	if err != nil {
 		log.Fatal(err)
@@ -49,6 +61,9 @@ func main() {
 	// worker pool, sharing the environment's analysis cache.
 	comps, err := env.RunBatch(specs, selectivemt.BatchOptions{
 		Jobs: *jobs,
+		Configure: func(_ selectivemt.CircuitSpec, cfg *selectivemt.Config) {
+			cfg.Corners = corners
+		},
 		Progress: func(ev selectivemt.BatchEvent) {
 			switch ev.State {
 			case selectivemt.JobRunning:
@@ -66,6 +81,10 @@ func main() {
 	fmt.Println(selectivemt.FormatTable1(comps))
 	fmt.Println("Paper reference:  A: 164.84/133.18 area, 14.58/9.42 leakage;" +
 		"  B: 142.22/115.65 area, 19.42/12.21 leakage (% of Dual-Vth)")
+	if len(corners) > 0 {
+		fmt.Println()
+		fmt.Print(selectivemt.FormatCornerReports(comps))
+	}
 
 	if *detail {
 		for _, cmp := range comps {

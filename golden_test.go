@@ -1,0 +1,161 @@
+package selectivemt
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/place"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update. Goldens pin the report *formatting* — every input
+// below is synthetic or hand-built, so a diff means the rendering
+// changed, not the flow numbers.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden.\n--- want\n%s\n--- got\n%s\n(re-run with -update if the change is intended)",
+			name, want, got)
+	}
+}
+
+// syntheticComparisons builds fixed-number Comparisons so the Table-1
+// golden is independent of the flow (whose absolute numbers are allowed
+// to move when the physics does).
+func syntheticComparisons() []*Comparison {
+	mk := func(area, leak float64) *TechniqueResult {
+		return &TechniqueResult{AreaUm2: area, StandbyLeakMW: leak}
+	}
+	return []*Comparison{
+		{
+			Circuit:  "circuit_a",
+			Dual:     mk(10000, 2.0e-2),
+			Conv:     mk(16484, 2.916e-3),
+			Improved: mk(13318, 1.884e-3),
+		},
+		{
+			Circuit:  "circuit_b",
+			Dual:     mk(20000, 5.0e-2),
+			Conv:     mk(28444, 9.71e-3),
+			Improved: mk(23130, 6.105e-3),
+		},
+	}
+}
+
+func TestFormatTable1Golden(t *testing.T) {
+	checkGolden(t, "table1", FormatTable1(syntheticComparisons()))
+}
+
+func TestComparisonFormatGolden(t *testing.T) {
+	checkGolden(t, "comparison", syntheticComparisons()[0].Format())
+}
+
+func TestCornerReportFormatGolden(t *testing.T) {
+	rep := &CornerReport{
+		Circuit:   "circuit_a",
+		Technique: "Improved-SMT",
+		Corners: []CornerMetrics{
+			{Corner: CornerTyp, SetupWNSNs: 0.4019, SetupTNSNs: 0, HoldWNSNs: 0.0201, StandbyLeakMW: 7.508e-4},
+			{Corner: CornerSlow, SetupWNSNs: -0.8122, SetupTNSNs: -2.6306, HoldWNSNs: 0.0327, StandbyLeakMW: 7.933e-4},
+			{Corner: CornerFastHot, SetupWNSNs: 1.2886, SetupTNSNs: 0, HoldWNSNs: 0.0054, StandbyLeakMW: 2.269e-3},
+			{Corner: CornerFastCold, SetupWNSNs: 1.2936, SetupTNSNs: 0, HoldWNSNs: 0.0168, StandbyLeakMW: 9.227e-5},
+		},
+		BindingSetup:    CornerSlow,
+		BindingHold:     CornerFastHot,
+		BindingLeakage:  CornerFastHot,
+		HoldFixedAt:     CornerFastHot,
+		HoldFixed:       true,
+		HoldBuffers:     4,
+		HoldBeforeFixNs: -5.893e-3,
+	}
+	checkGolden(t, "corner_report", rep.Format())
+}
+
+// goldenDesign hand-builds a five-instance design — one of each cell
+// class the report distinguishes — so the smtreport rendering is pinned
+// without running the (numerically free-moving) flow.
+func goldenDesign(t *testing.T, env *Environment) *Design {
+	t.Helper()
+	d := netlist.New("golden", env.Lib)
+	mustPort := func(name string, dir netlist.Dir) {
+		if _, err := d.AddPort(name, dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPort("a", netlist.DirInput)
+	mustPort("clk", netlist.DirInput)
+	mustPort("z", netlist.DirOutput)
+	if p := d.PortByName("clk"); p != nil {
+		p.IsClock = true
+		p.Net.IsClock = true
+	}
+	n1, err := d.AddNet("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := d.AddNet("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(name, cell string, conns map[string]*netlist.Net) {
+		c := env.Lib.Cell(cell)
+		if c == nil {
+			t.Fatalf("no cell %s", cell)
+		}
+		inst, err := d.AddInstance(name, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pin := range []string{"A", "B", "D", "CK", "ZN", "Z", "Q"} {
+			if net, ok := conns[pin]; ok {
+				if err := d.Connect(inst, pin, net); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	aNet := d.NetByName("a")
+	clkNet := d.NetByName("clk")
+	zNet := d.NetByName("z")
+	add("inv1", "INV_X1_L", map[string]*netlist.Net{"A": aNet, "ZN": n1})
+	add("ff1", "DFF_X1_L", map[string]*netlist.Net{"D": n1, "CK": clkNet, "Q": q1})
+	add("nand1", "NAND2_X1_H", map[string]*netlist.Net{"A": q1, "B": aNet, "ZN": zNet})
+	if _, err := place.Place(d, place.DefaultOptions(env.Proc.RowHeightUm, env.Proc.SitePitchUm)); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestReportDesignGolden(t *testing.T) {
+	env, err := NewEnvironment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := goldenDesign(t, env)
+	cfg := env.NewConfig()
+	cfg.ClockPeriodNs = 1.0
+	cfg.Corners = AllCorners()
+	out, err := env.ReportDesign(d, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "smtreport", out)
+}

@@ -10,6 +10,7 @@ import (
 	"selectivemt/internal/gen"
 	"selectivemt/internal/liberty"
 	"selectivemt/internal/logic"
+	"selectivemt/internal/mcmm"
 	"selectivemt/internal/netlist"
 	"selectivemt/internal/parasitics"
 	"selectivemt/internal/place"
@@ -47,14 +48,33 @@ type Config struct {
 	// techniques, circuits and repeated runs. Safe to share between
 	// concurrent flows; nil disables caching.
 	Cache *engine.AnalysisCache
+
+	// Corners, when non-empty, turns on multi-corner sign-off: each
+	// technique's finished design is cloned into a sign-off netlist, the
+	// hold ECO re-targets the binding fast corner on that clone, and the
+	// per-corner slack/leakage report is attached as
+	// TechniqueResult.CornerReport. The flow's own optimization — and
+	// therefore Table 1 — still runs entirely at the typical corner.
+	Corners []tech.Corner
+	// CornerSet caches the per-corner derated libraries. Shared across
+	// flows (it locks internally); built on demand when nil.
+	CornerSet *mcmm.Set
+	// SignoffJobs bounds the corner-parallel sign-off fan-out: 1 forces a
+	// sequential corner loop, <= 0 means GOMAXPROCS.
+	SignoffJobs int
 }
 
-// DefaultConfig builds a configuration for the process/library pair.
+// DefaultConfig builds a configuration for the process/library pair. The
+// corner set is wired here (characterization inside it is lazy and
+// shared), so the three techniques of a comparison never re-derate the
+// library independently; Environment.NewConfig overrides it with the
+// environment-wide set.
 func DefaultConfig(proc *tech.Process, lib *liberty.Library) *Config {
 	po := place.DefaultOptions(proc.RowHeightUm, proc.SitePitchUm)
 	return &Config{
 		Proc:           proc,
 		Lib:            lib,
+		CornerSet:      mcmm.NewSet(proc, lib),
 		ClockPort:      "clk",
 		ClockSlack:     1.1,
 		Rules:          vgnd.DefaultRules(proc, lib),
@@ -174,6 +194,12 @@ type TechniqueResult struct {
 	// WakeupNs is the worst cluster wake-up estimate.
 	WakeupNs float64
 
+	// CornerReport is the multi-corner sign-off outcome (Config.Corners);
+	// nil for single-corner runs. It is measured on a clone of Design
+	// with hold re-fixed at the binding fast corner, so the typical-corner
+	// Table-1 numbers above are untouched by it.
+	CornerReport *mcmm.Report
+
 	// gating predicates used for standby measurement (set per technique).
 	gatedFn  func(*netlist.Instance) bool
 	holderFn func(*netlist.Net) bool
@@ -223,6 +249,9 @@ func RunDualVth(base *netlist.Design, cfg *Config) (*TechniqueResult, error) {
 	if err := finishFlow(d, cfg, res, nil, nil); err != nil {
 		return nil, err
 	}
+	if err := signoffCorners(res, cfg); err != nil {
+		return nil, err
+	}
 	res.ecoTiming = nil // measurement done: release the timing maps
 	return res, nil
 }
@@ -245,6 +274,9 @@ func RunConventionalSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, er
 	}
 	res.stage(d, "MTE network", nil, cfg).Inserted = nbuf
 	if err := finishFlow(d, cfg, res, IsGatedMT, HolderOn); err != nil {
+		return nil, err
+	}
+	if err := signoffCorners(res, cfg); err != nil {
 		return nil, err
 	}
 	res.ecoTiming = nil // measurement done: release the timing maps
@@ -344,6 +376,9 @@ func RunImprovedSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, error)
 		if w := vgnd.Wakeup(cl, cfg.Proc); w.TimeNs > res.WakeupNs {
 			res.WakeupNs = w.TimeNs
 		}
+	}
+	if err := signoffCorners(res, cfg); err != nil {
+		return nil, err
 	}
 	res.ecoTiming = nil // measurement done: release the timing maps
 	return res, nil

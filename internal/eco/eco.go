@@ -25,22 +25,31 @@ func DefaultOptions(placeOpts place.Options) Options {
 	return Options{BufName: "BUF_X1_H", MaxPasses: 8, PlaceOpts: placeOpts}
 }
 
+// Insertion records one padding batch: Count buffers inserted in front of
+// the named flop's D pin. The Result's Insertions list them in application
+// order, so replaying them — same flops, same counts, same order — on a
+// structurally identical design reproduces the ECO's netlist surgery
+// exactly (the multi-corner sign-off uses this to mirror a binding-corner
+// hold fix into every other corner view).
+type Insertion struct {
+	Flop  string
+	Count int
+}
+
 // Result reports the ECO outcome.
 type Result struct {
 	BuffersInserted int
 	Passes          int
 	Timing          *sta.Result
+	Insertions      []Insertion
 }
 
 // FixHold inserts delay buffers at violating flop D inputs until hold is
 // clean or MaxPasses is exhausted. Buffers are placed next to the flop so
 // the added wire does not disturb setup estimates elsewhere.
 func FixHold(d *netlist.Design, cfg sta.Config, opts Options) (*Result, error) {
-	if opts.MaxPasses <= 0 {
-		opts.MaxPasses = 8
-	}
-	buf := d.Lib.Cell(opts.BufName)
-	if buf == nil {
+	if d.Lib.Cell(opts.BufName) == nil {
+		// Fail on the cheap lookup before paying for the full analysis.
 		return nil, fmt.Errorf("eco: library lacks %q", opts.BufName)
 	}
 	// One persistent timing graph for the whole loop: each pass re-times
@@ -48,6 +57,22 @@ func FixHold(d *netlist.Design, cfg sta.Config, opts Options) (*Result, error) {
 	inc, err := sta.NewIncremental(d, cfg)
 	if err != nil {
 		return nil, err
+	}
+	return FixHoldWith(inc, opts)
+}
+
+// FixHoldWith runs the hold-fix loop on an already built timing graph —
+// the caller keeps the (updated) graph for later queries, which is how a
+// multi-corner session fixes hold at one corner without discarding that
+// corner's persistent timer.
+func FixHoldWith(inc *sta.Incremental, opts Options) (*Result, error) {
+	d := inc.Design()
+	if opts.MaxPasses <= 0 {
+		opts.MaxPasses = 8
+	}
+	buf := d.Lib.Cell(opts.BufName)
+	if buf == nil {
+		return nil, fmt.Errorf("eco: library lacks %q", opts.BufName)
 	}
 	res := &Result{}
 	for pass := 0; pass < opts.MaxPasses; pass++ {
@@ -76,15 +101,11 @@ func FixHold(d *netlist.Design, cfg sta.Config, opts Options) (*Result, error) {
 			if n > 24 {
 				n = 24
 			}
-			for i := 0; i < n; i++ {
-				b, err := d.InsertBuffer(ff.Conns["D"], buf, []netlist.PinRef{{Inst: ff, Pin: "D"}})
-				if err != nil {
-					return nil, fmt.Errorf("eco: buffering %s.D: %w", ff.Name, err)
-				}
-				place.PlaceNear(d, b, ff.Pos, opts.PlaceOpts)
-				b.Fixed = true
-				res.BuffersInserted++
+			if err := insertPadding(d, ff, buf, n, opts); err != nil {
+				return nil, err
 			}
+			res.BuffersInserted += n
+			res.Insertions = append(res.Insertions, Insertion{Flop: ff.Name, Count: n})
 		}
 	}
 	timing, err := inc.Update()
@@ -93,6 +114,50 @@ func FixHold(d *netlist.Design, cfg sta.Config, opts Options) (*Result, error) {
 	}
 	res.Timing = timing
 	return res, nil
+}
+
+// insertPadding inserts n delay buffers in front of ff's D pin — the
+// single netlist-surgery primitive both the hold-fix loop and Replay go
+// through, so a recorded fix and its replay cannot diverge.
+func insertPadding(d *netlist.Design, ff *netlist.Instance, buf *liberty.Cell, n int, opts Options) error {
+	for i := 0; i < n; i++ {
+		dNet := ff.Conns["D"]
+		if dNet == nil {
+			return fmt.Errorf("eco: flop %s has no D net", ff.Name)
+		}
+		b, err := d.InsertBuffer(dNet, buf, []netlist.PinRef{{Inst: ff, Pin: "D"}})
+		if err != nil {
+			return fmt.Errorf("eco: buffering %s.D: %w", ff.Name, err)
+		}
+		place.PlaceNear(d, b, ff.Pos, opts.PlaceOpts)
+		b.Fixed = true
+	}
+	return nil
+}
+
+// Replay reapplies a recorded insertion sequence to a structurally
+// identical design (same flop names, same name counter): the replayed
+// buffers come out identical name for name and net for net, which is
+// how the multi-corner sign-off mirrors a binding-corner hold fix into
+// every other corner view.
+func Replay(d *netlist.Design, log []Insertion, opts Options) error {
+	if len(log) == 0 {
+		return nil
+	}
+	buf := d.Lib.Cell(opts.BufName)
+	if buf == nil {
+		return fmt.Errorf("eco: library %s lacks %q", d.Lib.Name, opts.BufName)
+	}
+	for _, rec := range log {
+		ff := d.Instance(rec.Flop)
+		if ff == nil {
+			return fmt.Errorf("eco: replay: flop %s missing", rec.Flop)
+		}
+		if err := insertPadding(d, ff, buf, rec.Count, opts); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // holdSlackAt recomputes one flop's hold slack from the analysis.

@@ -77,6 +77,17 @@ func runCompute(compute func() (any, error)) (val any, err error) {
 	return compute()
 }
 
+// Memo returns the memoized value for an arbitrary caller-composed key,
+// computing it at most once even under concurrent callers (the same
+// in-flight deduplication the built-in analyses use). Callers own the key
+// namespace: prefix keys with a unique tag so independent subsystems —
+// the multi-corner sign-off keys its entries by (fingerprint, corner) —
+// cannot collide with the built-in "act|"/"sta|"/"minp|" entries. The
+// compute function must be deterministic; errors are cached like values.
+func (c *AnalysisCache) Memo(key string, compute func() (any, error)) (any, error) {
+	return c.do(key, compute)
+}
+
 // Stats reports lifetime hit/miss counts.
 func (c *AnalysisCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()

@@ -1,0 +1,98 @@
+package liberty
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"selectivemt/internal/tech"
+)
+
+// TestParseRejectsBadAxes pins the parser hardening the fuzz targets
+// motivated: tables with empty, non-finite or unsorted axes must fail to
+// parse instead of panicking later inside the first NLDM lookup.
+func TestParseRejectsBadAxes(t *testing.T) {
+	template := `library (l) { cell (c) { pin (Z) { direction : output; timing () {
+		related_pin : "A";
+		cell_rise (t) { index_1 (%s); index_2 ("0.1"); values (%s); }
+	} } } }`
+	cases := []struct{ name, index1, values string }{
+		{"empty axis", `("")`, `("")`},
+		{"nan axis", `("0.01, nan")`, `("1", "2")`},
+		{"inf axis", `("0.01, +inf")`, `("1", "2")`},
+		{"descending axis", `("0.2, 0.1")`, `("1", "2")`},
+		{"duplicate axis", `("0.1, 0.1")`, `("1", "2")`},
+	}
+	for _, tc := range cases {
+		src := fmt.Sprintf(template, tc.index1, tc.values)
+		if _, err := ParseLiberty(strings.NewReader(src), tech.Default130()); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// FuzzParseLiberty throws arbitrary text at the Liberty parser: it must
+// either error or return a library whose every cell is safe to query —
+// and never panic. The corpus is seeded with the writer's own output on
+// a generated library (what libgen emits) plus grammar corner cases.
+func FuzzParseLiberty(f *testing.F) {
+	proc := tech.Default130()
+	opts := DefaultBuildOptions(proc)
+	opts.Drives = []int{1}
+	lib, err := Generate(proc, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed with a compact subset covering every cell shape the writer
+	// emits (comb, MT variants, flop, switch, holder): the full library
+	// is ~850 KB, which would starve the mutator of executions.
+	sub := NewLibrary(lib.Name, proc)
+	sub.BounceLimitV = lib.BounceLimitV
+	for _, name := range []string{
+		"INV_X1_L", "NAND2_X1_H", "AOI21_X1_M", "XOR2_X1_MV",
+		"DFF_X1_H", "CKBUF_X2_H", "SLEEPSW_X1_S", "HOLDER_X1_S",
+	} {
+		c := lib.Cell(name)
+		if c == nil {
+			f.Fatalf("seed cell %s missing", name)
+		}
+		if err := sub.Add(c); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var seed strings.Builder
+	if err := WriteLiberty(&seed, sub); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("library (l) { }\n")
+	f.Add("library (l) { cell (c) { area : 1.0; pin (A) { direction : input; } } }\n")
+	f.Add(`library (l) { cell (c) { leakage_power () { when : "A"; value : 1; } } }`)
+	f.Add("library (l) { cell (c) { pin (Z) { timing () { related_pin : \"A\"; " +
+		"cell_rise (t) { index_1 (\"0.1\"); index_2 (\"0.1\"); values (\"1.0\"); } } } } }\n")
+	f.Add("library (l) { /* comment */ smt_bounce_limit : 0.06; }\n")
+	f.Add("library (l) { cell (c) { pin (Z) { timing () { related_pin : \"A\"; " +
+		"cell_rise (t) { index_1 (\"0.01, nan\"); index_2 (\"0.1\"); values (\"1, 2\"); } } } } }\n")
+	f.Add("library (l) { cell (c) { pin (Z) { timing () { related_pin : \"A\"; " +
+		"cell_rise (t) { index_1 (\"0.2, 0.1\"); index_2 (\"0.1\"); values (\"1, 2\"); } } } } }\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := ParseLiberty(strings.NewReader(src), proc)
+		if err != nil {
+			return
+		}
+		// Everything a parsed library hands downstream must be usable:
+		// arc lookups (a parsed-but-empty table would panic here), pin
+		// queries and the leakage model.
+		for _, name := range lib.CellNames() {
+			c := lib.Cell(name)
+			for _, arc := range c.Arcs {
+				_ = arc.WorstDelay(0.05, 0.01)
+				_ = arc.WorstSlew(0.05, 0.01)
+			}
+			_ = c.Output()
+			_ = c.Inputs()
+			_ = c.LeakageAt(nil)
+		}
+	})
+}

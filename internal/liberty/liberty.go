@@ -122,6 +122,11 @@ func bracket(axis []float64, x float64) (lo, hi int, frac float64) {
 		return n - 1, n - 1, 0
 	}
 	idx := sort.SearchFloat64s(axis, x)
+	if idx >= n {
+		// Unreachable for the sorted finite axes the builder and parser
+		// guarantee; a NaN query would otherwise index past the axis.
+		return n - 1, n - 1, 0
+	}
 	lo, hi = idx-1, idx
 	frac = (x - axis[lo]) / (axis[hi] - axis[lo])
 	return lo, hi, frac

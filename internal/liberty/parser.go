@@ -3,6 +3,7 @@ package liberty
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -221,6 +222,24 @@ func parseTable(g *group) (*Table, error) {
 			return nil, e
 		}
 		t.Val = append(t.Val, row)
+	}
+	if len(t.Slew) == 0 || len(t.Load) == 0 {
+		// An empty axis would parse "successfully" and then panic inside
+		// the first Lookup; reject it here where the file is to blame.
+		return nil, fmt.Errorf("table %s: empty index axis", g.name)
+	}
+	// Lookup's bracketing binary-searches the axes, so they must be
+	// finite and strictly ascending — a NaN or out-of-order entry would
+	// otherwise send the search past the end of the axis.
+	for _, axis := range [][]float64{t.Slew, t.Load} {
+		for i, v := range axis {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("table %s: non-finite axis value %v", g.name, v)
+			}
+			if i > 0 && v <= axis[i-1] {
+				return nil, fmt.Errorf("table %s: axis not strictly ascending at %v", g.name, v)
+			}
+		}
 	}
 	if len(t.Val) != len(t.Slew) {
 		return nil, fmt.Errorf("table %s: %d rows, want %d", g.name, len(t.Val), len(t.Slew))

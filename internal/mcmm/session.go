@@ -1,0 +1,178 @@
+package mcmm
+
+import (
+	"fmt"
+
+	"selectivemt/internal/eco"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/sta"
+	"selectivemt/internal/tech"
+)
+
+// Session is a multi-corner analysis session over one finished design.
+// Construction clones the design into a sign-off netlist (the primary,
+// bound to the typical library) plus one derated view per non-typical
+// corner; every view keeps the original's instance, net and port names,
+// so results correspond cell for cell. Each corner lazily gets one
+// persistent sta.Incremental graph that survives across queries and
+// follows netlist surgery (the binding-corner hold fix) incrementally.
+//
+// The session never touches the design it was built from — sign-off is
+// a measurement discipline, not an optimization pass — which is what
+// keeps single-corner results (Table 1) byte-identical whether or not a
+// multi-corner report is attached.
+//
+// Sessions are safe for the corner-parallel access pattern used here:
+// distinct corners may be queried concurrently (each corner owns its
+// slot), but a single corner must not be queried from two goroutines at
+// once, and FixHoldAt must be called with no concurrent queries.
+type Session struct {
+	set     *Set
+	primary *netlist.Design // sign-off netlist, typical library
+
+	corners []tech.Corner
+	chars   []*Characterization
+	cfgs    []sta.Config
+	views   []*netlist.Design
+	incs    []*sta.Incremental
+}
+
+// NewSession builds the per-corner views of d. mkCfg maps a corner's
+// characterization to the timing config its analyses run under (the
+// caller chooses extractor, clock arrivals and their derating). The
+// typical corner's view is the primary itself.
+func NewSession(d *netlist.Design, set *Set, corners []tech.Corner,
+	mkCfg func(*Characterization) sta.Config) (*Session, error) {
+	if set == nil {
+		return nil, fmt.Errorf("mcmm: nil characterization set")
+	}
+	if len(corners) == 0 {
+		corners = Corners()
+	}
+	s := &Session{
+		set:     set,
+		primary: d.Clone(),
+		corners: append([]tech.Corner(nil), corners...),
+		chars:   make([]*Characterization, len(corners)),
+		cfgs:    make([]sta.Config, len(corners)),
+		views:   make([]*netlist.Design, len(corners)),
+		incs:    make([]*sta.Incremental, len(corners)),
+	}
+	seen := make(map[tech.Corner]bool, len(corners))
+	for i, c := range s.corners {
+		if seen[c] {
+			return nil, fmt.Errorf("mcmm: corner %s listed twice", c)
+		}
+		seen[c] = true
+		ch, err := set.At(c)
+		if err != nil {
+			return nil, err
+		}
+		s.chars[i] = ch
+		s.cfgs[i] = mkCfg(ch)
+		if c == tech.CornerTyp {
+			s.views[i] = s.primary
+			continue
+		}
+		v := s.primary.Clone()
+		if err := Rebind(v, ch.Lib); err != nil {
+			return nil, err
+		}
+		s.views[i] = v
+	}
+	return s, nil
+}
+
+// Corners returns the session's corners in analysis order.
+func (s *Session) Corners() []tech.Corner {
+	return append([]tech.Corner(nil), s.corners...)
+}
+
+// Primary returns the sign-off netlist (typical library). It reflects
+// any binding-corner hold fix the session has applied.
+func (s *Session) Primary() *netlist.Design { return s.primary }
+
+// View returns the corner's design view, or nil if the corner is not
+// part of the session.
+func (s *Session) View(c tech.Corner) *netlist.Design {
+	if i := s.index(c); i >= 0 {
+		return s.views[i]
+	}
+	return nil
+}
+
+func (s *Session) index(c tech.Corner) int {
+	for i, sc := range s.corners {
+		if sc == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// ensure lazily builds the corner's persistent timing graph. Each corner
+// writes only its own slot, so distinct corners are safe concurrently.
+func (s *Session) ensure(i int) (*sta.Incremental, error) {
+	if s.incs[i] == nil {
+		inc, err := sta.NewIncremental(s.views[i], s.cfgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("mcmm: timing at %s: %w", s.corners[i], err)
+		}
+		s.incs[i] = inc
+	}
+	return s.incs[i], nil
+}
+
+// TimingAt brings the corner's persistent graph up to date and returns
+// its (live) result.
+func (s *Session) TimingAt(c tech.Corner) (*sta.Result, error) {
+	i := s.index(c)
+	if i < 0 {
+		return nil, fmt.Errorf("mcmm: corner %s not in session", c)
+	}
+	inc, err := s.ensure(i)
+	if err != nil {
+		return nil, err
+	}
+	return inc.Update()
+}
+
+// FixHoldAt runs the hold ECO against the given corner's timing and
+// mirrors the inserted buffers into every other view and the primary, so
+// all views remain structurally identical (same instance and net names).
+// The corner's persistent graph is reused by the ECO loop; the other
+// corners' graphs pick the edits up incrementally on their next query.
+func (s *Session) FixHoldAt(c tech.Corner, opts eco.Options) (*eco.Result, error) {
+	i := s.index(c)
+	if i < 0 {
+		return nil, fmt.Errorf("mcmm: corner %s not in session", c)
+	}
+	inc, err := s.ensure(i)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eco.FixHoldWith(inc, opts)
+	if err != nil {
+		return nil, fmt.Errorf("mcmm: hold fix at %s: %w", c, err)
+	}
+	// eco.Replay goes through the same insertion primitive the fix
+	// itself used, and auto-generated names depend only on the design's
+	// name counter plus insertion order — both identical across views —
+	// so the mirrored netlists come out identical name for name.
+	for j, v := range s.views {
+		if j == i {
+			continue
+		}
+		if err := eco.Replay(v, res.Insertions, opts); err != nil {
+			return nil, fmt.Errorf("mcmm: mirroring hold fix into %s view: %w", s.corners[j], err)
+		}
+	}
+	if s.index(tech.CornerTyp) < 0 {
+		// The primary is not among the views; mirror into it too so
+		// Primary() and the fingerprint reflect the fixed netlist.
+		if err := eco.Replay(s.primary, res.Insertions, opts); err != nil {
+			return nil, fmt.Errorf("mcmm: mirroring hold fix into primary: %w", err)
+		}
+	}
+	return res, nil
+}

@@ -87,6 +87,11 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Sci renders a value in the scientific notation the leakage and slack
+// tables use, so every report (smtreport, corner sign-off) formats power
+// numbers identically.
+func Sci(v float64) string { return fmt.Sprintf("%.3e", v) }
+
 // CSV renders the table as comma-separated values (quotes cells that need
 // them).
 func (t *Table) CSV() string {

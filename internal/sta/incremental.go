@@ -66,6 +66,9 @@ func NewIncremental(d *netlist.Design, cfg Config) (*Incremental, error) {
 // Result returns the current (live) analysis result.
 func (inc *Incremental) Result() *Result { return inc.res }
 
+// Design returns the design the timer follows.
+func (inc *Incremental) Design() *netlist.Design { return inc.d }
+
 // Stats returns the update counters.
 func (inc *Incremental) Stats() IncrementalStats { return inc.stats }
 

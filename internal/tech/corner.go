@@ -36,9 +36,19 @@ func (c Corner) String() string {
 	return fmt.Sprintf("corner(%d)", int(c))
 }
 
+// Wire-resistance derates per corner: metal resistivity rises with
+// temperature, so the hot corners (125 °C) see more wire resistance and
+// the cold corner (−40 °C) less. Capacitance is geometric and stays put.
+const (
+	wireDerateHot  = 1.06
+	wireDerateCold = 0.82
+)
+
 // AtCorner returns a copy of the process shifted to the corner: ±10%
-// supply, ∓8% threshold, and the corner's junction temperature. The
-// returned process is independent of the receiver.
+// supply, ∓8% threshold, the corner's junction temperature, and the
+// temperature-dependent wire-resistance derate. The typical corner is
+// bit-identical to the receiver. The returned process is independent of
+// the receiver.
 func (p *Process) AtCorner(c Corner) *Process {
 	q := *p
 	switch c {
@@ -50,18 +60,36 @@ func (p *Process) AtCorner(c Corner) *Process {
 		q.VthLowV = p.VthLowV * 1.08
 		q.VthHighV = p.VthHighV * 1.08
 		q.TempK = 398.15 // 125 °C: carriers slower when hot
+		q.WireResPerUm = p.WireResPerUm * wireDerateHot
 	case CornerFastHot:
 		q.Name = p.Name + "_ff_hot"
 		q.Vdd = p.Vdd * 1.1
 		q.VthLowV = p.VthLowV * 0.92
 		q.VthHighV = p.VthHighV * 0.92
 		q.TempK = 398.15
+		q.WireResPerUm = p.WireResPerUm * wireDerateHot
 	case CornerFastCold:
 		q.Name = p.Name + "_ff_cold"
 		q.Vdd = p.Vdd * 1.1
 		q.VthLowV = p.VthLowV * 0.92
 		q.VthHighV = p.VthHighV * 0.92
 		q.TempK = 233.15 // −40 °C
+		q.WireResPerUm = p.WireResPerUm * wireDerateCold
 	}
 	return &q
+}
+
+// Corners returns the canonical sign-off corner list in analysis order.
+func Corners() []Corner {
+	return []Corner{CornerTyp, CornerSlow, CornerFastHot, CornerFastCold}
+}
+
+// ParseCorner resolves a corner name as printed by Corner.String.
+func ParseCorner(name string) (Corner, error) {
+	for _, c := range Corners() {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("tech: unknown corner %q (want typ, slow, fast-hot or fast-cold)", name)
 }

@@ -19,11 +19,13 @@ package selectivemt
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"selectivemt/internal/core"
 	"selectivemt/internal/engine"
 	"selectivemt/internal/gen"
 	"selectivemt/internal/liberty"
+	"selectivemt/internal/mcmm"
 	"selectivemt/internal/netlist"
 	"selectivemt/internal/report"
 	"selectivemt/internal/tech"
@@ -40,7 +42,9 @@ type (
 		Proc *tech.Process
 		Lib  *liberty.Library
 
-		cache *engine.AnalysisCache
+		cache       *engine.AnalysisCache
+		corners     *mcmm.Set
+		cornersOnce sync.Once
 	}
 	// Config is the flow configuration (clock, rules, engine options).
 	Config = core.Config
@@ -59,16 +63,35 @@ func NewEnvironment() (*Environment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Environment{Proc: proc, Lib: lib, cache: engine.NewAnalysisCache()}, nil
+	return &Environment{
+		Proc:    proc,
+		Lib:     lib,
+		cache:   engine.NewAnalysisCache(),
+		corners: mcmm.NewSet(proc, lib),
+	}, nil
 }
 
 // NewConfig returns the default flow configuration for this environment,
-// wired to the environment's shared analysis cache. Set Config.Cache to
-// nil to opt a run out of caching.
+// wired to the environment's shared analysis cache and corner
+// characterization set. Set Config.Cache to nil to opt a run out of
+// caching.
 func (e *Environment) NewConfig() *Config {
 	cfg := core.DefaultConfig(e.Proc, e.Lib)
 	cfg.Cache = e.cache
+	cfg.CornerSet = e.cornerSet()
 	return cfg
+}
+
+// cornerSet returns the environment's shared per-corner characterization
+// set, creating it (once, concurrency-safe) for hand-built environments
+// that skipped NewEnvironment.
+func (e *Environment) cornerSet() *mcmm.Set {
+	e.cornersOnce.Do(func() {
+		if e.corners == nil {
+			e.corners = mcmm.NewSet(e.Proc, e.Lib)
+		}
+	})
+	return e.corners
 }
 
 // CacheStats reports the shared analysis cache's lifetime hits, misses
