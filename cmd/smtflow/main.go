@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"selectivemt"
 	"selectivemt/internal/core"
@@ -42,6 +43,9 @@ func main() {
 	flag.Parse()
 	log.SetFlags(0)
 
+	if *jobs < 0 {
+		log.Fatalf("smtflow: -jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *jobs)
+	}
 	env, err := selectivemt.NewEnvironment()
 	if err != nil {
 		log.Fatal(err)
@@ -79,16 +83,9 @@ func main() {
 			log.Fatal("smtflow: -verilog input needs -sdc with create_clock")
 		}
 	} else {
-		var spec selectivemt.CircuitSpec
-		switch *circuit {
-		case "a":
-			spec = selectivemt.CircuitA()
-		case "b":
-			spec = selectivemt.CircuitB()
-		case "small":
-			spec = selectivemt.SmallTest()
-		default:
-			log.Fatalf("unknown circuit %q", *circuit)
+		spec, err := selectivemt.BenchmarkCircuit(*circuit)
+		if err != nil {
+			log.Fatal(err)
 		}
 		cfg.ClockSlack = spec.ClockSlack
 		base, err = env.Synthesize(spec, cfg)

@@ -30,16 +30,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var spec selectivemt.CircuitSpec
-	switch *circuit {
-	case "a":
-		spec = selectivemt.CircuitA()
-	case "b":
-		spec = selectivemt.CircuitB()
-	case "small":
-		spec = selectivemt.SmallTest()
-	default:
-		log.Fatalf("unknown circuit %q", *circuit)
+	spec, err := selectivemt.BenchmarkCircuit(*circuit)
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg := env.NewConfig()
 	cfg.ClockSlack = spec.ClockSlack

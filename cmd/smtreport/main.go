@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"selectivemt"
@@ -38,6 +39,9 @@ func main() {
 	flag.Parse()
 	log.SetFlags(0)
 
+	if *jobs < 0 {
+		log.Fatalf("smtreport: -jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *jobs)
+	}
 	corners, err := selectivemt.ParseCorners(*cornersFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -95,16 +99,11 @@ func main() {
 		// instead of discarding siblings' finished analyses.
 		specs := make([]selectivemt.CircuitSpec, len(names))
 		for i, name := range names {
-			switch name {
-			case "a":
-				specs[i] = selectivemt.CircuitA()
-			case "b":
-				specs[i] = selectivemt.CircuitB()
-			case "small":
-				specs[i] = selectivemt.SmallTest()
-			default:
-				log.Fatalf("smtreport: unknown circuit %q", name)
+			spec, err := selectivemt.BenchmarkCircuit(name)
+			if err != nil {
+				log.Fatal(err)
 			}
+			specs[i] = spec
 		}
 		outs, err := engine.Map(context.Background(), len(specs), *jobs,
 			func(_ context.Context, i int) (string, error) {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"selectivemt"
@@ -30,13 +31,16 @@ import (
 )
 
 func main() {
-	circuit := flag.String("circuit", "both", "which circuit to run: a, b or both")
+	circuit := flag.String("circuit", "both", "which circuit to run: a, b, small or both")
 	detail := flag.Bool("detail", false, "print per-technique detail (counts, clusters, stages)")
 	jobs := flag.Int("jobs", 0, "max concurrent flow jobs (0 = GOMAXPROCS, 1 = sequential)")
 	cornersFlag := flag.String("corners", "", "PVT sign-off corners: all, or comma-separated typ,slow,fast-hot,fast-cold")
 	flag.Parse()
 	log.SetFlags(0)
 
+	if *jobs < 0 {
+		log.Fatalf("table1: -jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *jobs)
+	}
 	corners, err := selectivemt.ParseCorners(*cornersFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -46,15 +50,14 @@ func main() {
 		log.Fatal(err)
 	}
 	var specs []selectivemt.CircuitSpec
-	switch *circuit {
-	case "a":
-		specs = []selectivemt.CircuitSpec{selectivemt.CircuitA()}
-	case "b":
-		specs = []selectivemt.CircuitSpec{selectivemt.CircuitB()}
-	case "both":
+	if *circuit == "both" {
 		specs = []selectivemt.CircuitSpec{selectivemt.CircuitA(), selectivemt.CircuitB()}
-	default:
-		log.Fatalf("unknown -circuit %q", *circuit)
+	} else {
+		spec, err := selectivemt.BenchmarkCircuit(*circuit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = []selectivemt.CircuitSpec{spec}
 	}
 
 	// All circuits and techniques run as one job graph on the engine's

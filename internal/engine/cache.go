@@ -101,6 +101,16 @@ func (c *AnalysisCache) Len() int {
 }
 
 // Reset drops every entry (hit/miss counters keep accumulating).
+//
+// Reset is safe against in-flight computations: a waiter blocked on an
+// entry's ready channel holds the entry pointer itself, so it still
+// receives the computed value — the map swap cannot strand it. The
+// in-flight computation in turn writes only into that same pre-Reset
+// entry, which no post-Reset lookup can reach, so a Memo issued after
+// Reset always recomputes instead of observing a result from the
+// dropped generation. (Two computations of one key may then briefly run
+// concurrently — the documented cost of forgetting; computes are
+// deterministic, so both produce the same value.)
 func (c *AnalysisCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The broken interleaving this test pins down: Reset fires while one
+// goroutine is inside a Memo compute and another is blocked waiting on
+// that entry's ready channel. The waiter must still receive the value
+// (no stranding), and a Memo issued after the Reset must recompute
+// instead of observing the pre-Reset in-flight result.
+func TestResetVsMemoInterleaving(t *testing.T) {
+	c := NewAnalysisCache()
+
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int32
+
+	results := make(chan any, 2)
+	errs := make(chan error, 2)
+	// First caller: starts the compute and parks inside it.
+	go func() {
+		v, err := c.Memo("k", func() (any, error) {
+			computes.Add(1)
+			close(inCompute)
+			<-release
+			return "gen0", nil
+		})
+		results <- v
+		errs <- err
+	}()
+	<-inCompute
+
+	// Second caller: joins the in-flight entry and blocks on its channel.
+	waiterJoined := make(chan struct{})
+	go func() {
+		close(waiterJoined)
+		v, err := c.Memo("k", func() (any, error) {
+			t.Error("waiter must join the in-flight compute, not start its own")
+			return nil, nil
+		})
+		results <- v
+		errs <- err
+	}()
+	<-waiterJoined
+	// Give the waiter a moment to actually block on the ready channel so
+	// the Reset below lands in the contested window.
+	time.Sleep(5 * time.Millisecond)
+
+	c.Reset()
+
+	// Post-Reset Memo of the same key must recompute even though the
+	// pre-Reset computation is still in flight.
+	v, err := c.Memo("k", func() (any, error) {
+		computes.Add(1)
+		return "gen1", nil
+	})
+	if err != nil || v != "gen1" {
+		t.Fatalf("post-Reset Memo = %v, %v; want gen1", v, err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("post-Reset Len = %d, want 1 (only the new generation's entry)", c.Len())
+	}
+
+	// Unblock the pre-Reset compute; both pre-Reset callers must get its
+	// value — nobody may be stranded on the dropped entry.
+	close(release)
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-results:
+			if v != "gen0" {
+				t.Errorf("pre-Reset caller got %v, want gen0", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("pre-Reset caller stranded after Reset")
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("pre-Reset caller error: %v", err)
+		}
+	}
+	if got := computes.Load(); got != 2 {
+		t.Errorf("computes = %d, want 2 (one per generation)", got)
+	}
+
+	// The dropped generation's value must not have leaked back: the new
+	// entry still serves gen1.
+	v, err = c.Memo("k", func() (any, error) {
+		t.Error("Memo after completed post-Reset compute must hit")
+		return nil, nil
+	})
+	if err != nil || v != "gen1" {
+		t.Fatalf("Memo after settle = %v, %v; want cached gen1", v, err)
+	}
+}
+
+// Stress the same window under the race detector: many goroutines Memo
+// a small key space with computes slow enough to overlap Resets fired
+// from a sibling goroutine. Every Memo must return the key's correct
+// value within the test timeout.
+func TestResetVsMemoStress(t *testing.T) {
+	c := NewAnalysisCache()
+	const (
+		goroutines = 8
+		iters      = 200
+		keys       = 4
+	)
+	stop := make(chan struct{})
+	resetterDone := make(chan struct{})
+	go func() {
+		defer close(resetterDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Reset()
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	var workers sync.WaitGroup
+	var failures atomic.Int32
+	for g := 0; g < goroutines; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < iters; i++ {
+				k := (g + i) % keys
+				want := fmt.Sprintf("v%d", k)
+				v, err := c.Memo(fmt.Sprintf("key%d", k), func() (any, error) {
+					time.Sleep(10 * time.Microsecond)
+					return want, nil
+				})
+				if err != nil || v != want {
+					failures.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// A stranded waiter shows up as a timeout here, not a hang.
+	done := make(chan struct{})
+	go func() {
+		workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Memo callers stranded while Reset raced in-flight computes")
+	}
+	close(stop)
+	<-resetterDone
+	if failures.Load() != 0 {
+		t.Fatalf("%d Memo calls returned a wrong value or error under Reset pressure", failures.Load())
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -75,7 +74,9 @@ type Result struct {
 
 // Options configures a Run.
 type Options struct {
-	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
+	// Workers bounds concurrency; any value <= 0 — including negative
+	// counts passed straight through from CLI -jobs flags — means
+	// GOMAXPROCS (see NormalizeWorkers).
 	Workers int
 	// Progress, when set, receives job state changes. It is called from
 	// one scheduler goroutine at a time (never concurrently).
@@ -126,10 +127,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, error) {
 		return nil, err
 	}
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := NormalizeWorkers(opts.Workers)
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,240 @@
+// Package server is the resident face of the selective-MT flow: a
+// long-running HTTP/JSON job service on the flow engine's worker pool.
+// One process-wide Environment amortizes library characterization, the
+// shared AnalysisCache and the per-corner characterization set across
+// every request, which is what turns the one-shot CLI flow into
+// something that can serve repeated what-if traffic.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"selectivemt"
+)
+
+// Status is a job's lifecycle state as served over the API.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// finished reports whether the status is terminal.
+func (s Status) finished() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Stage is one recorded progress event of a job's flow (the prepare
+// stage and each technique, with the engine's state transitions).
+type Stage struct {
+	Task      string  `json:"task"`
+	State     string  `json:"state"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// Job is one submitted flow job. All fields are guarded by the owning
+// store's mutex; handlers only see snapshots. A finished job retains
+// only what the API serves — the scalar result view and the rendered
+// report — never the flow's netlists or the uploaded Verilog source:
+// with MaxJobs retained records, holding full designs would grow a
+// resident server by gigabytes.
+type Job struct {
+	ID       string
+	Spec     selectivemt.JobSpec
+	Status   Status
+	Circuit  string
+	Stages   []Stage
+	Result   *resultView
+	Report   string
+	Err      string
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+
+	cancel context.CancelCauseFunc
+}
+
+// store is the bounded in-memory job registry. The *pending* bound
+// lives in the engine pool's queue (submit refuses with 429 when full);
+// the store's own bound is on retention: finished jobs beyond maxJobs
+// are evicted oldest-first so a resident server's memory does not grow
+// without limit.
+type store struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // creation order, for eviction
+	seq     uint64
+	maxJobs int
+}
+
+func newStore(maxJobs int) *store {
+	return &store{jobs: make(map[string]*Job), maxJobs: maxJobs}
+}
+
+// create registers a new queued job and returns it with its context
+// (canceled by the DELETE handler or at eviction).
+func (st *store) create(spec selectivemt.JobSpec) (*Job, context.Context) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%08d", st.seq),
+		Spec:    spec,
+		Status:  StatusQueued,
+		Created: time.Now().UTC(),
+		cancel:  cancel,
+	}
+	st.jobs[j.ID] = j
+	st.order = append(st.order, j.ID)
+	st.evictLocked()
+	return j, ctx
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention cap.
+// Live (queued/running) jobs are never evicted, so the map can
+// transiently exceed the cap under a backlog larger than it.
+func (st *store) evictLocked() {
+	if st.maxJobs <= 0 || len(st.jobs) <= st.maxJobs {
+		return
+	}
+	kept := st.order[:0]
+	excess := len(st.jobs) - st.maxJobs
+	for _, id := range st.order {
+		j := st.jobs[id]
+		if excess > 0 && j != nil && j.Status.finished() {
+			delete(st.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}
+
+// remove deletes a job outright (submit rollback when the pool refuses
+// the task).
+func (st *store) remove(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.jobs, id)
+	for i, oid := range st.order {
+		if oid == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// get returns a snapshot of the job (stages copied), or nil.
+func (st *store) get(id string) *Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return nil
+	}
+	snap := *j
+	snap.Stages = append([]Stage(nil), j.Stages...)
+	return &snap
+}
+
+// markRunning flips a queued job to running; it reports false when the
+// job was canceled while still queued (the runner must then not start
+// the flow).
+func (st *store) markRunning(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil || j.Status != StatusQueued {
+		return false
+	}
+	j.Status = StatusRunning
+	j.Started = time.Now().UTC()
+	return true
+}
+
+// finish records a terminal state and releases the job's cancel func.
+// The heavyweight inputs are dropped here: the uploaded Verilog source
+// is no longer needed once the flow ran (or will never run), and only
+// the serializable result view and rendered report survive.
+func (st *store) finish(id string, status Status, result *resultView, report string, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return
+	}
+	j.Status = status
+	j.Result = result
+	j.Report = report
+	if result != nil {
+		j.Circuit = result.Circuit
+	}
+	if err != nil {
+		j.Err = err.Error()
+	}
+	j.Spec.Verilog = ""
+	j.Finished = time.Now().UTC()
+	if j.cancel != nil {
+		j.cancel(nil)
+		j.cancel = nil
+	}
+}
+
+// appendStage records one progress event.
+func (st *store) appendStage(id string, s Stage) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j := st.jobs[id]; j != nil {
+		j.Stages = append(j.Stages, s)
+	}
+}
+
+// requestCancel cancels a job. A queued job flips to canceled
+// immediately; a running one keeps its status until the flow engine
+// drains (running stages finish, pending ones are skipped) and the
+// runner records the terminal state. Finished jobs report
+// errAlreadyFinished; unknown ids report errUnknownJob.
+func (st *store) requestCancel(id string) (Status, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return "", errUnknownJob
+	}
+	if j.Status.finished() {
+		return j.Status, errAlreadyFinished
+	}
+	if j.cancel != nil {
+		j.cancel(fmt.Errorf("job %s canceled by client", id))
+	}
+	if j.Status == StatusQueued {
+		// The runner never starts (markRunning refuses), so record the
+		// terminal state — including the cause — here.
+		j.Status = StatusCanceled
+		j.Err = "canceled by client while queued"
+		j.Spec.Verilog = ""
+		j.Finished = time.Now().UTC()
+	}
+	return j.Status, nil
+}
+
+// counts tallies jobs by status for /v1/stats.
+func (st *store) counts() map[Status]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[Status]int, 5)
+	for _, j := range st.jobs {
+		out[j.Status]++
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selectivemt"
+)
+
+// TestConcurrentJobsByteIdentical is the acceptance stress: N clients
+// submit real flow jobs concurrently against a 1-worker pool (so jobs
+// queue, share the process-wide cache, and serialize through the same
+// engine), and every served report must be byte-identical to the
+// equivalent direct CompareWithConfig + FormatTable1 call. Identical
+// jobs must also show up as cache hits in /v1/stats — the amortization
+// the resident server exists for. Run under -race this doubles as the
+// store/pool concurrency check.
+func TestConcurrentJobsByteIdentical(t *testing.T) {
+	env := testEnv(t)
+	_, ts := newTestServer(t, Options{Workers: 1, QueueCap: 32})
+
+	// Reference reports straight from the facade, one per distinct spec.
+	want := make(map[string]string)
+	for _, name := range []string{"small"} {
+		spec, err := selectivemt.BenchmarkCircuit(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := env.NewConfig()
+		cfg.ClockSlack = spec.ClockSlack
+		direct, err := env.CompareWithConfig(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = selectivemt.FormatTable1([]*selectivemt.Comparison{direct})
+	}
+
+	statsBefore := fetchStats(t, ts.URL)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	reports := make([]string, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = submitPollFetch(ts.URL, `{"circuit":"small"}`)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i, rep := range reports {
+		if rep != want["small"] {
+			t.Errorf("client %d report diverged from CompareWithConfig:\n%q\nwant\n%q", i, rep, want["small"])
+		}
+	}
+
+	// Identical jobs behind one shared Environment must hit the cache.
+	statsAfter := fetchStats(t, ts.URL)
+	if statsAfter.Cache.Hits <= statsBefore.Cache.Hits {
+		t.Errorf("cache hits did not grow across identical jobs: %d -> %d",
+			statsBefore.Cache.Hits, statsAfter.Cache.Hits)
+	}
+	if got := statsAfter.Pool.Completed - statsBefore.Pool.Completed; got != clients {
+		t.Errorf("pool completed %d tasks, want %d", got, clients)
+	}
+	if statsAfter.Jobs[StatusDone] < clients {
+		t.Errorf("done jobs = %d, want >= %d", statsAfter.Jobs[StatusDone], clients)
+	}
+}
+
+// submitPollFetch is the client side of one job: submit, poll to done,
+// fetch the report. Plain error returns keep it goroutine-safe (no
+// t.Fatal off the test goroutine).
+func submitPollFetch(baseURL, spec string) (string, error) {
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	var acc struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: %d %s", resp.StatusCode, acc.Error)
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(baseURL + "/v1/jobs/" + acc.ID)
+		if err != nil {
+			return "", err
+		}
+		var v struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch Status(v.Status) {
+		case StatusDone:
+			resp, err := http.Get(baseURL + "/v1/jobs/" + acc.ID + "/report")
+			if err != nil {
+				return "", err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return "", fmt.Errorf("report: %d", resp.StatusCode)
+			}
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return "", err
+			}
+			return string(b), nil
+		case StatusFailed, StatusCanceled:
+			return "", fmt.Errorf("job %s landed %s: %s", acc.ID, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("job %s never finished", acc.ID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func fetchStats(t *testing.T, baseURL string) statsView {
+	t.Helper()
+	code, body := doJSON(t, "GET", baseURL+"/v1/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var v statsView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,202 @@
+package selectivemt
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A full-set job must reproduce CompareWithConfig byte for byte: same
+// Comparison table, same report text as the facade formatters produce.
+func TestRunJobMatchesCompare(t *testing.T) {
+	env := testEnv(t)
+	spec := SmallTest()
+
+	out, err := env.RunJob(JobSpec{Circuit: "small"}, JobOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Comparison == nil {
+		t.Fatal("full-set job produced no comparison")
+	}
+	if out.Circuit != spec.Module.Name {
+		t.Errorf("job circuit = %q, want %q", out.Circuit, spec.Module.Name)
+	}
+
+	cfg := env.NewConfig()
+	cfg.ClockSlack = spec.ClockSlack
+	direct, err := env.CompareWithConfig(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := FormatTable1([]*Comparison{out.Comparison}), FormatTable1([]*Comparison{direct}); got != want {
+		t.Errorf("job comparison diverged from CompareWithConfig:\n%s\nvs\n%s", got, want)
+	}
+	if want := FormatTable1([]*Comparison{direct}); out.Report != want {
+		t.Errorf("job report = %q, want the FormatTable1 text %q", out.Report, want)
+	}
+}
+
+// With corners, the report must append the sign-off tables exactly as
+// FormatCornerReports renders them.
+func TestRunJobWithCorners(t *testing.T) {
+	env := testEnv(t)
+	out, err := env.RunJob(JobSpec{Circuit: "small", Corners: []string{"all"}}, JobOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FormatTable1([]*Comparison{out.Comparison}) + "\n" +
+		FormatCornerReports([]*Comparison{out.Comparison})
+	if out.Report != want {
+		t.Errorf("corner job report diverged:\n%q\nwant\n%q", out.Report, want)
+	}
+	for _, r := range out.Results {
+		if r.CornerReport == nil {
+			t.Errorf("technique %s missing corner report", r.Technique)
+		}
+	}
+}
+
+// A subset job returns only the selected techniques, in canonical
+// order, with no Comparison, and renders ReportDesign per technique.
+func TestRunJobTechniqueSubset(t *testing.T) {
+	env := testEnv(t)
+	var events []string
+	var mu sync.Mutex
+	out, err := env.RunJob(
+		JobSpec{Circuit: "small", Techniques: []string{"Improved-SMT", "dual"}},
+		JobOptions{Workers: 1, Progress: func(ev BatchEvent) {
+			if ev.State == JobDone {
+				mu.Lock()
+				events = append(events, ev.Task)
+				mu.Unlock()
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Comparison != nil {
+		t.Error("subset job must not fabricate a Comparison")
+	}
+	if len(out.Results) != 2 || out.Results[0].Technique != "Dual-Vth" || out.Results[1].Technique != "Improved-SMT" {
+		t.Fatalf("subset results out of canonical order: %v", techniqueNames(out.Results))
+	}
+	if !strings.Contains(out.Report, "== Dual-Vth ==") || !strings.Contains(out.Report, "== Improved-SMT ==") {
+		t.Errorf("subset report missing technique sections:\n%s", out.Report)
+	}
+	mu.Lock()
+	joined := strings.Join(events, ",")
+	mu.Unlock()
+	if joined != "prepare,Dual-Vth,Improved-SMT" {
+		t.Errorf("progress order = %s, want prepare,Dual-Vth,Improved-SMT", joined)
+	}
+}
+
+// A Verilog-source job must run the uploaded netlist, not a benchmark.
+func TestRunJobVerilog(t *testing.T) {
+	env := testEnv(t)
+	// Round-trip a benchmark through the Verilog writer to get a valid
+	// structural source.
+	cfg := env.NewConfig()
+	spec := SmallTest()
+	cfg.ClockSlack = spec.ClockSlack
+	base, err := env.Synthesize(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, base); err != nil {
+		t.Fatal(err)
+	}
+	out, err := env.RunJob(JobSpec{
+		Verilog:       buf.String(),
+		ClockPeriodNs: cfg.ClockPeriodNs,
+		Techniques:    []string{"dual"},
+	}, JobOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Circuit != base.Name {
+		t.Errorf("verilog job circuit = %q, want %q", out.Circuit, base.Name)
+	}
+	if len(out.Results) != 1 || out.Results[0].Technique != "Dual-Vth" {
+		t.Fatalf("verilog job results: %v", techniqueNames(out.Results))
+	}
+
+	// Missing clock must be rejected up front.
+	if _, err := env.RunJob(JobSpec{Verilog: buf.String()}, JobOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "clock_period_ns") {
+		t.Errorf("verilog job without clock: err = %v, want clock_period_ns complaint", err)
+	}
+}
+
+func TestRunJobSpecValidation(t *testing.T) {
+	env := testEnv(t)
+	for _, tc := range []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"empty", JobSpec{}, "circuit name or a Verilog netlist"},
+		{"both", JobSpec{Circuit: "a", Verilog: "module m; endmodule"}, "both"},
+		{"unknown circuit", JobSpec{Circuit: "z"}, "unknown circuit"},
+		{"unknown technique", JobSpec{Circuit: "small", Techniques: []string{"magic"}}, "unknown technique"},
+		{"unknown corner", JobSpec{Circuit: "small", Corners: []string{"warp"}}, "unknown corner"},
+		{"negative inrush", JobSpec{Circuit: "small", InrushLimitMA: -1}, "inrush"},
+	} {
+		if _, err := env.RunJob(tc.spec, JobOptions{}); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Cancellation before the run starts must skip every stage and surface
+// the context cause.
+func TestRunJobCancellation(t *testing.T) {
+	env := testEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := env.RunJob(JobSpec{Circuit: "small"}, JobOptions{Context: ctx})
+	if err == nil {
+		t.Fatal("canceled job should error")
+	}
+	if !errors.Is(err, context.Canceled) && !strings.Contains(err.Error(), "canceled") {
+		t.Errorf("canceled job error should carry the cause: %v", err)
+	}
+}
+
+func TestParseTechniques(t *testing.T) {
+	for _, tc := range []struct {
+		in   []string
+		want string
+		err  bool
+	}{
+		{nil, "dual,conventional,improved", false},
+		{[]string{"all"}, "dual,conventional,improved", false},
+		{[]string{"improved", "DUAL"}, "dual,improved", false},
+		{[]string{"Conventional-SMT"}, "conventional", false},
+		{[]string{"nope"}, "", true},
+	} {
+		got, err := ParseTechniques(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseTechniques(%v) err = %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if !tc.err {
+			if joined := strings.Join(got, ","); joined != tc.want {
+				t.Errorf("ParseTechniques(%v) = %s, want %s", tc.in, joined, tc.want)
+			}
+		}
+	}
+}
+
+func techniqueNames(rs []*TechniqueResult) []string {
+	var out []string
+	for _, r := range rs {
+		out = append(out, r.Technique)
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package selectivemt
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,8 +32,11 @@ const (
 // BatchEvent is one per-job progress notification from RunBatch.
 type BatchEvent struct {
 	// Circuit is the circuit's module name; Task is "prepare" or the
-	// technique name.
+	// technique name. Index is the circuit's position in the batch's
+	// spec slice — the unambiguous key when a batch runs two different
+	// netlists under the same module name (results are keyed by it too).
 	Circuit string
+	Index   int
 	Task    string
 	State   JobState
 	Err     error
@@ -104,6 +108,12 @@ func (e *Environment) CompareBase(base *Design, cfg *Config, workers int) (*Comp
 // nil when any of its circuit's jobs failed or was skipped. The error
 // aggregates every job error (nil when the whole batch succeeded), so a
 // partial batch returns both the surviving comparisons and the error.
+//
+// Specs are keyed positionally throughout: a batch may list the same
+// module name twice — even with different netlists — and each spec's
+// comparison lands at its own index, computed from its own netlist.
+// Internal job names (and therefore error messages) carry the spec
+// index as "name#i", and BatchEvent.Index disambiguates progress.
 func (e *Environment) RunBatch(specs []CircuitSpec, opts BatchOptions) ([]*Comparison, error) {
 	n := len(specs)
 	cfgs := make([]*Config, n)
@@ -127,7 +137,7 @@ func (e *Environment) RunBatch(specs []CircuitSpec, opts BatchOptions) ([]*Compa
 		cfgs[i] = cfg
 		prep := len(jobs)
 		jobs = append(jobs, engine.Job{
-			Name: spec.Module.Name + "/prepare",
+			Name: fmt.Sprintf("%s#%d/prepare", spec.Module.Name, i),
 			Run: func(context.Context) (any, error) {
 				b, err := core.PrepareBase(spec.Module, cfgs[i])
 				if err != nil {
@@ -140,7 +150,7 @@ func (e *Environment) RunBatch(specs []CircuitSpec, opts BatchOptions) ([]*Compa
 		for _, t := range techniques {
 			t := t
 			jobs = append(jobs, engine.Job{
-				Name: spec.Module.Name + "/" + t.name,
+				Name: fmt.Sprintf("%s#%d/%s", spec.Module.Name, i, t.name),
 				Deps: []int{prep},
 				Run: func(context.Context) (any, error) {
 					return t.run(bases[i], cfgs[i])
@@ -152,9 +162,16 @@ func (e *Environment) RunBatch(specs []CircuitSpec, opts BatchOptions) ([]*Compa
 	var progress func(engine.Event)
 	if opts.Progress != nil {
 		progress = func(ev engine.Event) {
-			circuit, task, _ := strings.Cut(ev.Name, "/")
+			qualified, task, _ := strings.Cut(ev.Name, "/")
+			circuit, index := qualified, 0
+			if cut := strings.LastIndex(qualified, "#"); cut >= 0 {
+				circuit = qualified[:cut]
+				if n, err := strconv.Atoi(qualified[cut+1:]); err == nil {
+					index = n
+				}
+			}
 			opts.Progress(BatchEvent{
-				Circuit: circuit, Task: task,
+				Circuit: circuit, Index: index, Task: task,
 				State: ev.State, Err: ev.Err, Elapsed: ev.Elapsed,
 			})
 		}

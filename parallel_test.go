@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"selectivemt/internal/gen"
 )
 
 // TestCompareParallelMatchesSequential is the determinism-under-
@@ -90,6 +92,73 @@ func TestRunBatch(t *testing.T) {
 	for _, task := range []string{"prepare", "Dual-Vth", "Conventional-SMT", "Improved-SMT"} {
 		if events[task+"/done"] != 2 {
 			t.Errorf("task %s: %d done events, want 2 (events: %v)", task, events[task+"/done"], events)
+		}
+	}
+}
+
+// TestRunBatchDuplicateNamesDistinctNetlists is the misattribution
+// regression: one batch listing the same module name twice with
+// *different* netlists must keep results positional (each index gets
+// the comparison computed from its own netlist, not its namesake's) and
+// must disambiguate progress events by index.
+func TestRunBatchDuplicateNamesDistinctNetlists(t *testing.T) {
+	env := testEnv(t)
+
+	small := SmallTest()
+	// A different circuit hiding under the same module name: a 4-bit
+	// registered adder instead of small_test's 4×4 multiplier.
+	m := gen.NewModule(small.Module.Name)
+	a := m.InputBus("a", 4)
+	b := m.InputBus("b", 4)
+	ra := m.DFFBus(a)
+	rb := m.DFFBus(b)
+	sum, _ := m.RippleAdder(ra, rb)
+	m.OutputBus("s", m.DFFBus(sum))
+	impostor := CircuitSpec{Module: m, ClockSlack: 1.1}
+
+	var mu sync.Mutex
+	doneByIndex := map[int]int{}
+	comps, err := env.RunBatch([]CircuitSpec{small, impostor}, BatchOptions{
+		Jobs: 2,
+		Progress: func(ev BatchEvent) {
+			if ev.Circuit != small.Module.Name {
+				t.Errorf("event circuit = %q, want %q", ev.Circuit, small.Module.Name)
+			}
+			if ev.State == JobDone {
+				mu.Lock()
+				doneByIndex[ev.Index]++
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 || comps[0] == nil || comps[1] == nil {
+		t.Fatalf("batch lost comparisons: %v", comps)
+	}
+	// Both comparisons carry the shared name, but each must come from
+	// its own netlist — the impostor has no multiplier, so its cell
+	// population and area cannot match small_test's.
+	if comps[0].Dual.AreaUm2 == comps[1].Dual.AreaUm2 {
+		t.Errorf("distinct netlists under one name collapsed to one area (%.1f µm²)", comps[0].Dual.AreaUm2)
+	}
+	// Cross-check against solo runs of each spec: position i must hold
+	// exactly spec i's result.
+	for i, spec := range []CircuitSpec{small, impostor} {
+		solo, err := env.Compare(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := FormatTable1([]*Comparison{comps[i]}), FormatTable1([]*Comparison{solo}); got != want {
+			t.Errorf("index %d misattributed:\n%s\nwant its own netlist's result:\n%s", i, got, want)
+		}
+	}
+	// Progress must attribute 4 done jobs (prepare + 3 techniques) to
+	// each index, not 8 to one ambiguous name.
+	for i := 0; i < 2; i++ {
+		if doneByIndex[i] != 4 {
+			t.Errorf("index %d: %d done events, want 4 (%v)", i, doneByIndex[i], doneByIndex)
 		}
 	}
 }
