@@ -6,10 +6,17 @@
 // cache and the per-corner libraries across every request — the whole
 // point of staying resident instead of re-running a one-shot CLI.
 //
+// Job specs name techniques by their registered pipeline names —
+// the built-ins (dual, conventional, improved) or any custom pipeline
+// an embedding build registered via selectivemt.RegisterPipeline — and
+// the status payload streams per-pipeline-stage progress with
+// wall-clock, while DELETE cancels a running job mid-technique (the
+// current stage drains, the rest are skipped).
+//
 // Endpoints:
 //
 //	POST   /v1/jobs           submit (202 + job id; 429 when the queue is full)
-//	GET    /v1/jobs/{id}      status + progress stages
+//	GET    /v1/jobs/{id}      status + per-stage progress
 //	GET    /v1/jobs/{id}/result   technique metrics as JSON
 //	GET    /v1/jobs/{id}/report   rendered Table-1 / report text
 //	DELETE /v1/jobs/{id}      cancel (202; 409 once finished)

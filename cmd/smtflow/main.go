@@ -6,19 +6,25 @@
 // runs all three concurrently (bounded by -jobs) and prints the paper's
 // comparison alongside the per-technique reports.
 //
+// -technique also accepts the name of any registered custom pipeline
+// (selectivemt.RegisterPipeline); the built-in names are Dual-Vth,
+// Conventional-SMT and Improved-SMT.
+//
 // Usage:
 //
-//	smtflow -circuit a|b|small [-technique improved|conventional|dual|all] [-jobs N]
+//	smtflow -circuit a|b|small [-technique improved|conventional|dual|all|<pipeline>] [-jobs N]
 //	smtflow -verilog design.v -sdc design.sdc
 //	smtflow -circuit a -out-verilog out.v -out-spef vgnd.spef
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"strings"
 
 	"selectivemt"
 	"selectivemt/internal/core"
@@ -34,7 +40,7 @@ func main() {
 	circuit := flag.String("circuit", "small", "benchmark circuit: a, b or small")
 	verilogIn := flag.String("verilog", "", "structural Verilog netlist to run instead of a benchmark")
 	sdcIn := flag.String("sdc", "", "SDC constraints for -verilog input")
-	technique := flag.String("technique", "improved", "improved, conventional, dual or all")
+	technique := flag.String("technique", "improved", "improved, conventional, dual, all, or a registered pipeline name")
 	jobs := flag.Int("jobs", 0, "max concurrent technique jobs (0 = GOMAXPROCS)")
 	outVerilog := flag.String("out-verilog", "", "write the final netlist here")
 	outSpef := flag.String("out-spef", "", "write the VGND parasitics here")
@@ -95,16 +101,11 @@ func main() {
 	}
 
 	// Run the selected technique(s); "all" goes through the flow
-	// engine's worker pool (bounded by -jobs).
+	// engine's worker pool (bounded by -jobs), anything else resolves
+	// in the pipeline registry ("improved" and friends are aliases for
+	// the built-in pipelines).
 	var res *selectivemt.TechniqueResult
-	switch *technique {
-	case "improved":
-		res, err = selectivemt.RunImprovedSMT(base, cfg)
-	case "conventional":
-		res, err = selectivemt.RunConventionalSMT(base, cfg)
-	case "dual":
-		res, err = selectivemt.RunDualVth(base, cfg)
-	case "all":
+	if *technique == "all" {
 		var cmp *selectivemt.Comparison
 		cmp, err = env.CompareBase(base, cfg, *jobs)
 		if err == nil {
@@ -117,8 +118,21 @@ func main() {
 				fmt.Printf("(output files and -inrush use the %s result)\n", res.Technique)
 			}
 		}
-	default:
-		log.Fatalf("unknown technique %q", *technique)
+	} else {
+		name := *technique
+		switch name {
+		case "improved":
+			name = "Improved-SMT"
+		case "conventional":
+			name = "Conventional-SMT"
+		case "dual":
+			name = "Dual-Vth"
+		}
+		if _, ok := selectivemt.PipelineStages(name); !ok {
+			log.Fatalf("unknown technique %q (registered pipelines: %s)",
+				*technique, strings.Join(selectivemt.Pipelines(), ", "))
+		}
+		res, err = selectivemt.RunPipeline(context.Background(), name, base, cfg, nil)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -191,7 +205,8 @@ func printResult(base *netlist.Design, res *selectivemt.TechniqueResult) {
 	}
 	fmt.Println("  stages:")
 	for _, s := range res.Stages {
-		fmt.Printf("    %-40s area=%10.1f leak=%10.6f wns=%8.4f", s.Name, s.AreaUm2, s.LeakMW, s.WNSNs)
+		fmt.Printf("    %-40s area=%10.1f leak=%10.6f wns=%8.4f time=%7.1fms",
+			s.Name, s.AreaUm2, s.LeakMW, s.WNSNs, s.ElapsedMS)
 		if s.Inserted > 0 {
 			fmt.Printf(" inserted=%d", s.Inserted)
 		}

@@ -68,6 +68,11 @@ func main() {
 			cfg.Corners = corners
 		},
 		Progress: func(ev selectivemt.BatchEvent) {
+			if ev.Stage != "" {
+				// Pipeline-stage events are too fine-grained for the
+				// stderr ticker; per-stage timing shows under -detail.
+				return
+			}
 			switch ev.State {
 			case selectivemt.JobRunning:
 				fmt.Fprintf(os.Stderr, "running %s/%s...\n", ev.Circuit, ev.Task)
@@ -113,7 +118,8 @@ func main() {
 						r.InitialSingleSwitchBounceV, r.ReoptResized, r.WakeupNs, r.HoldersInserted)
 				}
 				for _, s := range r.Stages {
-					fmt.Printf("  stage %-36s area=%9.0f leak=%9.6f wns=%7.3f", s.Name, s.AreaUm2, s.LeakMW, s.WNSNs)
+					fmt.Printf("  stage %-36s area=%9.0f leak=%9.6f wns=%7.3f time=%7.1fms",
+						s.Name, s.AreaUm2, s.LeakMW, s.WNSNs, s.ElapsedMS)
 					if s.Inserted > 0 {
 						fmt.Printf(" inserted=%d", s.Inserted)
 					}

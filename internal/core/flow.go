@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"selectivemt/internal/cts"
 	"selectivemt/internal/dualvth"
 	"selectivemt/internal/eco"
 	"selectivemt/internal/engine"
+	"selectivemt/internal/flow"
 	"selectivemt/internal/gen"
 	"selectivemt/internal/liberty"
 	"selectivemt/internal/logic"
@@ -143,16 +145,9 @@ func (c *Config) assignOpts() dualvth.Options {
 	return o
 }
 
-// StageReport records one flow stage's vitals.
-type StageReport struct {
-	Name    string
-	AreaUm2 float64
-	LeakMW  float64 // standby leakage at that stage
-	WNSNs   float64
-	// Inserted counts the instances the stage added (holders, buffers),
-	// when the stage inserts any.
-	Inserted int
-}
+// StageReport records one flow stage's vitals (the pass manager's
+// report type: see internal/flow).
+type StageReport = flow.StageReport
 
 // Counts tallies the instance population of a finished design.
 type Counts struct {
@@ -237,175 +232,27 @@ func PrepareBase(mod *gen.Module, cfg *Config) (*netlist.Design, error) {
 	return d, nil
 }
 
-// RunDualVth executes the baseline technique on a clone of base.
+// RunDualVth executes the baseline technique on a clone of base — a
+// thin wrapper over the registered "Dual-Vth" pipeline.
 func RunDualVth(base *netlist.Design, cfg *Config) (*TechniqueResult, error) {
-	d := base.Clone()
-	res := &TechniqueResult{Technique: "Dual-Vth", Design: d, ClockPeriodNs: cfg.ClockPeriodNs}
-	pre := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
-	if _, err := dualvth.Assign(d, pre, cfg.assignOpts()); err != nil {
-		return nil, err
-	}
-	res.stage(d, "dual-vth assignment", nil, cfg)
-	if err := finishFlow(d, cfg, res, nil, nil); err != nil {
-		return nil, err
-	}
-	if err := signoffCorners(res, cfg); err != nil {
-		return nil, err
-	}
-	res.ecoTiming = nil // measurement done: release the timing maps
-	return res, nil
+	return RunRegistered(context.Background(), "Dual-Vth", base, cfg, nil)
 }
 
-// RunConventionalSMT executes the conventional Selective-MT technique:
-// MT-cells with embedded switches and holders on critical paths, HVT
-// elsewhere, MTE wired to every MT-cell.
+// RunConventionalSMT executes the conventional Selective-MT technique
+// (MT-cells with embedded switches and holders on critical paths, HVT
+// elsewhere, MTE wired to every MT-cell) — a thin wrapper over the
+// registered "Conventional-SMT" pipeline.
 func RunConventionalSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, error) {
-	d := base.Clone()
-	res := &TechniqueResult{Technique: "Conventional-SMT", Design: d, ClockPeriodNs: cfg.ClockPeriodNs}
-	pre := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
-	if _, err := dualvth.AssignMixed(d, pre, cfg.assignOpts(), liberty.FlavorMTConv); err != nil {
-		return nil, err
-	}
-	res.gatedFn, res.holderFn = IsGatedMT, HolderOn
-	res.stage(d, "HVT+MT(embedded) assignment", nil, cfg)
-	nbuf, err := BuildMTE(d, cfg.MTEMaxFanout, cfg.PlaceOpts)
-	if err != nil {
-		return nil, err
-	}
-	res.stage(d, "MTE network", nil, cfg).Inserted = nbuf
-	if err := finishFlow(d, cfg, res, IsGatedMT, HolderOn); err != nil {
-		return nil, err
-	}
-	if err := signoffCorners(res, cfg); err != nil {
-		return nil, err
-	}
-	res.ecoTiming = nil // measurement done: release the timing maps
-	return res, nil
+	return RunRegistered(context.Background(), "Conventional-SMT", base, cfg, nil)
 }
 
 // RunImprovedSMT executes the paper's improved technique end to end
-// (Fig. 4): MT assignment with VGND-less cells, conversion to VGND cells,
-// holder insertion, switch-structure construction, MTE buffering, CTS,
-// post-route re-optimization and hold ECO.
+// (Fig. 4): MT assignment with VGND-less cells, conversion to VGND
+// cells, holder insertion, switch-structure construction, MTE
+// buffering, CTS, post-route re-optimization and hold ECO — a thin
+// wrapper over the registered "Improved-SMT" pipeline.
 func RunImprovedSMT(base *netlist.Design, cfg *Config) (*TechniqueResult, error) {
-	d := base.Clone()
-	res := &TechniqueResult{Technique: "Improved-SMT", Design: d, ClockPeriodNs: cfg.ClockPeriodNs}
-	pre := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
-
-	// Stage 2: replace low-Vth cells by high-Vth + MT(without VGND).
-	if _, err := dualvth.AssignMixed(d, pre, cfg.assignOpts(), liberty.FlavorMTNoVGND); err != nil {
-		return nil, err
-	}
-	res.gatedFn, res.holderFn = IsGatedMT, HolderOn
-	res.stage(d, "HVT+MT(no VGND) assignment", nil, cfg)
-
-	// Stage 3: convert to VGND-port cells; insert holders.
-	if _, err := ConvertToVGND(d); err != nil {
-		return nil, err
-	}
-	holders, err := InsertHolders(d, cfg.PlaceOpts)
-	if err != nil {
-		return nil, err
-	}
-	res.HoldersInserted = len(holders)
-	res.stage(d, "VGND conversion + holders", nil, cfg).Inserted = len(holders)
-
-	// Collect the MT population and its currents.
-	var mtCells []*netlist.Instance
-	for _, inst := range d.Instances() {
-		if inst.Cell.Flavor == liberty.FlavorMTVGND {
-			mtCells = append(mtCells, inst)
-		}
-	}
-	act, err := cfg.estimateActivity(d)
-	if err != nil {
-		return nil, err
-	}
-	cc, err := power.Currents(d, act, cfg.Proc, cfg.ClockPeriodNs,
-		&parasitics.EstimateExtractor{Proc: cfg.Proc})
-	if err != nil {
-		return nil, err
-	}
-	cur := currents{avg: cc.AvgMA, peak: cc.PeakMA}
-
-	// The naive initial structure: one switch for every MT-cell. Record
-	// its bounce with the largest available switch as motivation for the
-	// clustering step.
-	if len(mtCells) > 0 {
-		mega := &vgnd.Cluster{Cells: mtCells}
-		sws := cfg.Lib.SwitchCells()
-		if br, err := vgnd.SolveBounce(mega, mega.Center(), sws[len(sws)-1], cur, cfg.Proc, cfg.Rules); err == nil {
-			res.InitialSingleSwitchBounceV = br.WorstBounceV
-		}
-	}
-
-	// Stage 4: switch-structure construction (the CoolPower analog).
-	clusters, err := BuildClusters(d, mtCells, cur, cfg.Proc, cfg.Rules)
-	if err != nil {
-		return nil, err
-	}
-	if err := InsertSwitches(d, clusters, cfg.PlaceOpts); err != nil {
-		return nil, err
-	}
-	res.Clusters = clusters
-	res.stage(d, "switch-structure construction", clusters, cfg)
-
-	// Stage 5: MTE buffering.
-	nbuf, err := BuildMTE(d, cfg.MTEMaxFanout, cfg.PlaceOpts)
-	if err != nil {
-		return nil, err
-	}
-	res.stage(d, "MTE network", clusters, cfg).Inserted = nbuf
-
-	// Stages 6-7 (CTS, post-route reopt, ECO, sign-off) are shared.
-	if err := finishFlow(d, cfg, res, IsGatedMT, HolderOn); err != nil {
-		return nil, err
-	}
-	// Post-route re-optimization of the switch structure.
-	resized, err := PostRouteReoptimize(d, clusters, cur, cfg)
-	if err != nil {
-		return nil, err
-	}
-	res.ReoptResized = resized
-	res.stage(d, "post-route switch re-optimization", clusters, cfg)
-	// Re-measure after reopt.
-	if err := measure(d, cfg, res); err != nil {
-		return nil, err
-	}
-	for _, cl := range clusters {
-		if w := vgnd.Wakeup(cl, cfg.Proc); w.TimeNs > res.WakeupNs {
-			res.WakeupNs = w.TimeNs
-		}
-	}
-	if err := signoffCorners(res, cfg); err != nil {
-		return nil, err
-	}
-	res.ecoTiming = nil // measurement done: release the timing maps
-	return res, nil
-}
-
-// finishFlow runs the shared back end: CTS, hold ECO, final measurement.
-func finishFlow(d *netlist.Design, cfg *Config, res *TechniqueResult,
-	gated func(*netlist.Instance) bool, holderOn func(*netlist.Net) bool) error {
-	res.gatedFn = gated
-	res.holderFn = holderOn
-	ctsRes, err := cts.Synthesize(d, cfg.ClockPort, cfg.CTSOpts)
-	if err != nil {
-		return err
-	}
-	res.CTS = ctsRes
-	res.stage(d, "CTS", res.Clusters, cfg)
-
-	post := cfg.staConfig(&parasitics.SteinerExtractor{Proc: cfg.Proc,
-		TrunkNets: func(n *netlist.Net) bool { return n.IsVGND }}, ctsRes.Arrival)
-	ecoRes, err := eco.FixHold(d, post, cfg.ECOOpts)
-	if err != nil {
-		return err
-	}
-	res.Counts.HoldBuffers = ecoRes.BuffersInserted
-	res.ecoTiming = ecoRes.Timing
-	res.stage(d, "hold ECO", res.Clusters, cfg).Inserted = ecoRes.BuffersInserted
-	return measure(d, cfg, res)
+	return RunRegistered(context.Background(), "Improved-SMT", base, cfg, nil)
 }
 
 // measure computes the final area/leakage/timing numbers. When the hold
@@ -414,8 +261,8 @@ func finishFlow(d *netlist.Design, cfg *Config, res *TechniqueResult,
 // one this function builds — it is reused instead of re-running a full
 // post-route STA. (The config check covers the scalar fields and the
 // extractor's type and process; the clock-arrival closure cannot be
-// compared, which finishFlow — the sole ecoTiming writer — guarantees by
-// construction.)
+// compared, which the hold-ECO stage — the sole ecoTiming writer —
+// guarantees by construction.)
 func measure(d *netlist.Design, cfg *Config, res *TechniqueResult) error {
 	ctsArr := func(*netlist.Instance) float64 { return 0 }
 	if res.CTS != nil {
@@ -507,25 +354,6 @@ func countPopulation(d *netlist.Design, prev Counts) Counts {
 		}
 	}
 	return c
-}
-
-// stage appends a stage report with current vitals (best-effort WNS using
-// the cheap extractor, cached when a shared cache is attached; leakage
-// with the technique's gating once known) and returns it for the caller
-// to annotate.
-func (r *TechniqueResult) stage(d *netlist.Design, name string, clusters []*vgnd.Cluster, cfg *Config) *StageReport {
-	sr := StageReport{Name: name, AreaUm2: d.TotalArea()}
-	pre := cfg.staConfig(&parasitics.EstimateExtractor{Proc: cfg.Proc}, nil)
-	if ts, err := cfg.analyzePre(d, pre); err == nil {
-		sr.WNSNs = ts.WNSNs
-	}
-	if rep, err := power.Standby(d, power.StandbyOptions{
-		Inputs: cfg.StandbyInputs, Gated: r.gatedFn, HolderOn: r.holderFn,
-	}); err == nil {
-		sr.LeakMW = rep.StandbyLeakMW
-	}
-	r.Stages = append(r.Stages, sr)
-	return &r.Stages[len(r.Stages)-1]
 }
 
 // Validate runs the structural check appropriate to the technique's stage.

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"selectivemt/internal/flow"
+	"selectivemt/internal/gen"
+)
+
+func TestRegisteredPipelines(t *testing.T) {
+	names := PipelineNames()
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"Dual-Vth", "Conventional-SMT", "Improved-SMT"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("registry missing %s (have %s)", want, joined)
+		}
+	}
+	p, ok := LookupPipeline("improved-smt")
+	if !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	stages := p.StageNames()
+	want := []string{
+		StageNameAssignNoVGND, StageNameVGNDConvert, StageNameSwitchStructure,
+		StageNameMTE, StageNameCTS, StageNameHoldECO, StageNameMeasure,
+		StageNameReoptimize, StageNameSignoff,
+	}
+	if len(stages) != len(want) {
+		t.Fatalf("improved stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Errorf("improved stage %d = %q, want %q", i, stages[i], want[i])
+		}
+	}
+	// The built-in names must not be re-registrable.
+	if err := RegisterPipeline(NewPipeline("dual-vth", stageDualVthAssign())); err == nil {
+		t.Error("duplicate registration of dual-vth accepted")
+	}
+}
+
+func TestBuiltinStageCatalog(t *testing.T) {
+	names := BuiltinStageNames()
+	if len(names) != 11 {
+		t.Errorf("catalog has %d stages, want 11: %v", len(names), names)
+	}
+	st, ok := BuiltinStage("  cts ")
+	if !ok || st.Name() != StageNameCTS {
+		t.Errorf("case/space-insensitive catalog lookup failed: %v %v", st, ok)
+	}
+	if _, ok := BuiltinStage("warp-drive"); ok {
+		t.Error("unknown stage found")
+	}
+	// Catalog entries are fresh values each call, safe to compose into
+	// several pipelines.
+	if a, ok := BuiltinStage("CTS"); !ok || a == nil {
+		t.Error("repeat catalog lookup failed")
+	}
+}
+
+func TestRunRegisteredUnknown(t *testing.T) {
+	_, err := RunRegistered(context.Background(), "nope", nil, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "Improved-SMT") {
+		t.Errorf("unknown-pipeline error should list the registry: %v", err)
+	}
+}
+
+// TestCancelDuringImprovedStage is the mid-technique cancellation
+// regression: before the pass manager, a ctx cancel was only observed
+// between engine jobs — never inside a running technique. Now the
+// cancel is delivered while a long Improved-SMT stage is running
+// (switch-structure construction checks ctx between its phases), the
+// stage drains promptly and the remaining stages are skipped.
+func TestCancelDuringImprovedStage(t *testing.T) {
+	l := lib(t)
+	cfg := DefaultConfig(sharedProc, l)
+	cfg.ClockSlack = 1.12
+	base, err := PrepareBase(gen.SmallTest().Module, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("operator hit DELETE")
+	var ran, skipped []string
+	start := time.Now()
+	res, err := RunRegistered(ctx, "Improved-SMT", base, cfg, func(ev flow.Event) {
+		switch ev.State {
+		case flow.StageRunning:
+			ran = append(ran, ev.Stage)
+			if ev.Stage == StageNameSwitchStructure {
+				// The stage is now running; the cancel lands mid-stage.
+				cancel(cause)
+			}
+		case flow.StageSkipped:
+			skipped = append(skipped, ev.Stage)
+		}
+	})
+	if res != nil || err == nil {
+		t.Fatalf("canceled run returned res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("error %v should carry the cancel cause", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation did not drain promptly (%v)", elapsed)
+	}
+	// Stages after the canceled one never started.
+	for _, s := range ran {
+		if s == StageNameMTE || s == StageNameCTS || s == StageNameHoldECO {
+			t.Errorf("stage %q ran after the cancel", s)
+		}
+	}
+	if len(skipped) == 0 {
+		t.Error("no stages reported skipped after the cancel")
+	}
+	if got := strings.Join(ran, ","); !strings.Contains(got, StageNameSwitchStructure) {
+		t.Errorf("expected to cancel during %q, ran: %s", StageNameSwitchStructure, got)
+	}
+}
+
+// A pipeline-level stage failure surfaces the pipeline and stage names
+// and returns no result.
+func TestPipelineStageFailureNamed(t *testing.T) {
+	l := lib(t)
+	cfg := DefaultConfig(sharedProc, l)
+	cfg.ClockSlack = 1.12
+	base, err := PrepareBase(gen.SmallTest().Module, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected")
+	name := "Failing-Oracle-SMT"
+	if _, ok := LookupPipeline(name); !ok {
+		if err := RegisterPipeline(NewPipeline(name,
+			stageDualVthAssign(),
+			NewStage("inject", func(context.Context, *FlowState) (*flow.StageReport, error) {
+				return nil, boom
+			}),
+			stageCTS(),
+		)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := RunRegistered(context.Background(), name, base, cfg, nil)
+	if res != nil || !errors.Is(err, boom) {
+		t.Fatalf("res=%v err=%v, want wrapped injected error", res, err)
+	}
+	if !strings.Contains(err.Error(), name) || !strings.Contains(err.Error(), "inject") {
+		t.Errorf("error should name pipeline and stage: %v", err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package flow is the pass manager of the selective-MT toolchain: a
+// technique is a named Pipeline — an ordered list of Stage values — run
+// over a shared flow state, instead of a monolithic function with
+// hand-rolled bookkeeping. The pipeline owns everything the old
+// hardcoded runners duplicated: context threading (cancellation lands
+// between stages of a technique, not just between techniques),
+// per-stage wall-clock, area/population deltas, progress events for
+// live observers, and a name registry that makes new power-gating
+// variants data — a stage list — rather than another copy of the flow.
+//
+// The package is generic over the state type S so it carries no
+// dependency on the core flow configuration; internal/core instantiates
+// it with its own FlowState and registers the paper's three techniques.
+package flow
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// StageReport records one flow stage's vitals. Stages fill the
+// technique-visible fields (Name, AreaUm2, LeakMW, WNSNs, Inserted);
+// the pipeline stamps ElapsedMS and — when the state exposes Vitals —
+// the area and population deltas against the previous stage.
+type StageReport struct {
+	Name    string
+	AreaUm2 float64
+	LeakMW  float64 // standby leakage at that stage
+	WNSNs   float64
+	// Inserted counts the instances the stage added (holders, buffers),
+	// when the stage inserts any.
+	Inserted int
+
+	// ElapsedMS is the stage's wall-clock, stamped by the pipeline.
+	ElapsedMS float64
+	// AreaDeltaUm2 and InstancesDelta are the stage's effect on the
+	// design, stamped by the pipeline when the state is Measurable.
+	AreaDeltaUm2   float64
+	InstancesDelta int
+}
+
+// Stage is one unit of a technique pipeline. Run mutates the state and
+// returns the stage's report; a nil report marks a bookkeeping stage
+// (measurement, sign-off) that is timed and observed but adds no entry
+// to the technique's stage list.
+type Stage[S any] interface {
+	Name() string
+	Run(ctx context.Context, s S) (*StageReport, error)
+}
+
+// stageFunc adapts a function to the Stage interface.
+type stageFunc[S any] struct {
+	name string
+	run  func(ctx context.Context, s S) (*StageReport, error)
+}
+
+func (st stageFunc[S]) Name() string { return st.name }
+func (st stageFunc[S]) Run(ctx context.Context, s S) (*StageReport, error) {
+	return st.run(ctx, s)
+}
+
+// NewStage wraps a function as a named Stage — the way custom pipeline
+// authors define their own passes.
+func NewStage[S any](name string, run func(ctx context.Context, s S) (*StageReport, error)) Stage[S] {
+	return stageFunc[S]{name: name, run: run}
+}
+
+// Vitals is a state snapshot the pipeline diffs across stages.
+type Vitals struct {
+	AreaUm2   float64
+	Instances int
+}
+
+// Measurable lets the pipeline record per-stage area and population
+// deltas; the core flow state implements it over its design.
+type Measurable interface {
+	FlowVitals() Vitals
+}
+
+// State is a stage's lifecycle state as seen by observers.
+type State int
+
+const (
+	StageRunning State = iota
+	StageDone
+	StageFailed
+	// StageSkipped means the stage never ran: the run was canceled or an
+	// earlier stage failed.
+	StageSkipped
+)
+
+func (s State) String() string {
+	switch s {
+	case StageRunning:
+		return "running"
+	case StageDone:
+		return "done"
+	case StageFailed:
+		return "failed"
+	case StageSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Event is one stage progress notification. Events for a given stage
+// arrive in state order (Running, then Done or Failed; skipped stages
+// emit only Skipped), strictly sequentially: a pipeline runs its stages
+// one after another.
+type Event struct {
+	Pipeline string
+	Stage    string
+	Index    int // stage position, 0-based
+	Total    int // stage count of the pipeline
+	State    State
+	Err      error
+	Elapsed  time.Duration
+	// Report is the stage's report on StageDone, nil for bookkeeping
+	// stages (and for Running/Failed/Skipped events).
+	Report *StageReport
+}
+
+// Observer receives stage progress events.
+type Observer func(Event)
+
+// RunOptions configures one pipeline run.
+type RunOptions struct {
+	// Observer, when set, receives every stage state change.
+	Observer Observer
+}
+
+// Pipeline is an ordered, named list of stages — a technique as data.
+type Pipeline[S any] struct {
+	name   string
+	stages []Stage[S]
+}
+
+// New builds a pipeline. The name doubles as the registry key and the
+// technique display name ("Improved-SMT"); lookups are case-insensitive.
+func New[S any](name string, stages ...Stage[S]) *Pipeline[S] {
+	return &Pipeline[S]{name: name, stages: append([]Stage[S](nil), stages...)}
+}
+
+// Name returns the pipeline's name.
+func (p *Pipeline[S]) Name() string { return p.name }
+
+// Stages returns a copy of the stage list (safe to compose into new
+// pipelines).
+func (p *Pipeline[S]) Stages() []Stage[S] {
+	return append([]Stage[S](nil), p.stages...)
+}
+
+// StageNames lists the stage names in run order.
+func (p *Pipeline[S]) StageNames() []string {
+	out := make([]string, len(p.stages))
+	for i, st := range p.stages {
+		out[i] = st.Name()
+	}
+	return out
+}
+
+// Run executes the stages in order over the state, threading ctx into
+// every stage and checking it between stages: a cancellation that lands
+// while a stage runs takes effect as soon as that stage (or any ctx
+// check inside it) observes it, and the remaining stages are skipped.
+// It returns the non-nil stage reports in run order; on error the
+// reports of the stages that completed are still returned.
+func (p *Pipeline[S]) Run(ctx context.Context, s S, opts RunOptions) ([]StageReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var reports []StageReport
+	emit := func(ev Event) {
+		if opts.Observer != nil {
+			ev.Pipeline = p.name
+			ev.Total = len(p.stages)
+			opts.Observer(ev)
+		}
+	}
+	skipFrom := func(i int, why error) {
+		for ; i < len(p.stages); i++ {
+			emit(Event{Stage: p.stages[i].Name(), Index: i, State: StageSkipped, Err: why})
+		}
+	}
+	for i, st := range p.stages {
+		if err := ctx.Err(); err != nil {
+			cause := context.Cause(ctx)
+			skipFrom(i, cause)
+			return reports, fmt.Errorf("flow: %s canceled before stage %s: %w", p.name, st.Name(), cause)
+		}
+		var before Vitals
+		m, measurable := any(s).(Measurable)
+		if measurable {
+			before = m.FlowVitals()
+		}
+		emit(Event{Stage: st.Name(), Index: i, State: StageRunning})
+		start := time.Now()
+		rep, err := st.Run(ctx, s)
+		elapsed := time.Since(start)
+		if err != nil {
+			emit(Event{Stage: st.Name(), Index: i, State: StageFailed, Err: err, Elapsed: elapsed})
+			skipFrom(i+1, err)
+			return reports, fmt.Errorf("flow: %s stage %s: %w", p.name, st.Name(), err)
+		}
+		if rep != nil {
+			if rep.Name == "" {
+				rep.Name = st.Name()
+			}
+			rep.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+			if measurable {
+				after := m.FlowVitals()
+				rep.AreaDeltaUm2 = after.AreaUm2 - before.AreaUm2
+				rep.InstancesDelta = after.Instances - before.Instances
+			}
+			reports = append(reports, *rep)
+		}
+		ev := Event{Stage: st.Name(), Index: i, State: StageDone, Elapsed: elapsed}
+		if rep != nil {
+			ev.Report = rep
+		}
+		emit(ev)
+	}
+	return reports, nil
+}

@@ -1,0 +1,246 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testState is a minimal Measurable flow state: a log of executed stage
+// names plus a fake design size the stages mutate.
+type testState struct {
+	log       []string
+	area      float64
+	instances int
+}
+
+func (s *testState) FlowVitals() Vitals {
+	return Vitals{AreaUm2: s.area, Instances: s.instances}
+}
+
+func growStage(name string, area float64, instances int) Stage[*testState] {
+	return NewStage(name, func(_ context.Context, s *testState) (*StageReport, error) {
+		s.log = append(s.log, name)
+		s.area += area
+		s.instances += instances
+		return &StageReport{AreaUm2: s.area, Inserted: instances}, nil
+	})
+}
+
+func silentStage(name string) Stage[*testState] {
+	return NewStage(name, func(_ context.Context, s *testState) (*StageReport, error) {
+		s.log = append(s.log, name)
+		return nil, nil
+	})
+}
+
+func TestPipelineRunOrderAndReports(t *testing.T) {
+	p := New("demo",
+		growStage("a", 10, 2),
+		silentStage("book"),
+		growStage("b", 5, 1),
+	)
+	st := &testState{}
+	var events []string
+	reports, err := p.Run(context.Background(), st, RunOptions{Observer: func(ev Event) {
+		events = append(events, fmt.Sprintf("%s:%s", ev.Stage, ev.State))
+		if ev.Pipeline != "demo" || ev.Total != 3 {
+			t.Errorf("event metadata wrong: %+v", ev)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(st.log, ","); got != "a,book,b" {
+		t.Fatalf("stage order %s", got)
+	}
+	// The silent stage is timed and observed but reports nothing.
+	if len(reports) != 2 || reports[0].Name != "a" || reports[1].Name != "b" {
+		t.Fatalf("reports: %+v", reports)
+	}
+	if reports[0].AreaDeltaUm2 != 10 || reports[0].InstancesDelta != 2 {
+		t.Errorf("stage a deltas: %+v", reports[0])
+	}
+	if reports[1].AreaDeltaUm2 != 5 || reports[1].InstancesDelta != 1 {
+		t.Errorf("stage b deltas: %+v", reports[1])
+	}
+	if reports[0].ElapsedMS < 0 || reports[1].ElapsedMS < 0 {
+		t.Errorf("elapsed not stamped: %+v", reports)
+	}
+	want := "a:running,a:done,book:running,book:done,b:running,b:done"
+	if got := strings.Join(events, ","); got != want {
+		t.Errorf("events %s, want %s", got, want)
+	}
+}
+
+func TestPipelineStageFailureSkipsRest(t *testing.T) {
+	boom := errors.New("boom")
+	p := New("demo",
+		growStage("a", 1, 1),
+		NewStage("bad", func(context.Context, *testState) (*StageReport, error) {
+			return nil, boom
+		}),
+		growStage("never", 1, 1),
+	)
+	st := &testState{}
+	var skipped []string
+	reports, err := p.Run(context.Background(), st, RunOptions{Observer: func(ev Event) {
+		if ev.State == StageSkipped {
+			skipped = append(skipped, ev.Stage)
+		}
+	}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "demo") || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error should name pipeline and stage: %v", err)
+	}
+	// The completed stage's report survives the failure.
+	if len(reports) != 1 || reports[0].Name != "a" {
+		t.Errorf("reports after failure: %+v", reports)
+	}
+	if strings.Join(st.log, ",") != "a" {
+		t.Errorf("stages after the failure ran: %v", st.log)
+	}
+	if strings.Join(skipped, ",") != "never" {
+		t.Errorf("skipped = %v, want [never]", skipped)
+	}
+}
+
+// Cancellation during a stage must stop the pipeline at that stage: the
+// running stage observes ctx, the rest are skipped, and the error
+// carries the cancel cause.
+func TestPipelineCancelMidStage(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("client hung up")
+	p := New("demo",
+		growStage("a", 1, 1),
+		NewStage("long", func(ctx context.Context, s *testState) (*StageReport, error) {
+			s.log = append(s.log, "long")
+			cancel(cause)
+			<-ctx.Done() // a well-behaved long stage observes ctx
+			return nil, context.Cause(ctx)
+		}),
+		growStage("never", 1, 1),
+	)
+	st := &testState{}
+	var skipped int
+	start := time.Now()
+	_, err := p.Run(ctx, st, RunOptions{Observer: func(ev Event) {
+		if ev.State == StageSkipped {
+			skipped++
+		}
+	}})
+	if err == nil || !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want the cancel cause", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not drain promptly")
+	}
+	if strings.Join(st.log, ",") != "a,long" {
+		t.Errorf("ran %v, want a,long only", st.log)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped %d stages, want 1", skipped)
+	}
+}
+
+// A context canceled before the run starts skips every stage.
+func TestPipelineCanceledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New("demo", growStage("a", 1, 1))
+	st := &testState{}
+	var skipped []string
+	_, err := p.Run(ctx, st, RunOptions{Observer: func(ev Event) {
+		if ev.State == StageSkipped {
+			skipped = append(skipped, ev.Stage)
+		}
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(st.log) != 0 {
+		t.Errorf("stages ran under a dead context: %v", st.log)
+	}
+	if strings.Join(skipped, ",") != "a" {
+		t.Errorf("skipped = %v", skipped)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry[*testState]()
+	if err := r.Register(New[*testState]("")); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register(New[*testState]("empty")); err == nil {
+		t.Error("stage-less pipeline accepted")
+	}
+	p := New("Demo-SMT", growStage("a", 1, 1))
+	if err := r.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(New("demo-smt", growStage("a", 1, 1))); err == nil {
+		t.Error("case-colliding duplicate accepted")
+	}
+	got, ok := r.Get("  DEMO-smt ")
+	if !ok || got != p {
+		t.Fatalf("lookup failed: %v %v", got, ok)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("unknown name found")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "Demo-SMT" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+// Concurrent registration/lookup and concurrent runs of one pipeline
+// over distinct states must be race-free (checked under -race in CI).
+func TestConcurrentRegistryAndRuns(t *testing.T) {
+	r := NewRegistry[*testState]()
+	p := New("shared", growStage("a", 2, 1), silentStage("m"), growStage("b", 3, 1))
+	if err := r.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				_ = r.Register(New(fmt.Sprintf("p%d", i), growStage("x", 1, 1)))
+			}
+			got, ok := r.Get("shared")
+			if !ok {
+				t.Error("shared pipeline vanished")
+				return
+			}
+			st := &testState{}
+			reports, err := got.Run(context.Background(), st, RunOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(reports) != 2 || st.area != 5 || st.instances != 2 {
+				t.Errorf("run diverged: %+v %+v", reports, st)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		StageRunning: "running", StageDone: "done", StageFailed: "failed",
+		StageSkipped: "skipped", State(42): "State(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State %d = %q, want %q", int(s), got, want)
+		}
+	}
+}

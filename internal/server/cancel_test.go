@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selectivemt"
+)
+
+var blockSeq atomic.Int64
+
+// TestCancelLandsMidStage is the DELETE regression for the pass-manager
+// refactor: before it, a cancel on a running job only took effect
+// between engine jobs — a technique that was mid-flight (or stuck in a
+// stage) finished or hung regardless. Now the job's ctx is threaded
+// through the technique pipeline into every stage, so the DELETE lands
+// while a stage is running: the stage drains promptly, the remaining
+// stages are skipped, and the job records canceled.
+func TestCancelLandsMidStage(t *testing.T) {
+	// A fresh pipeline per run (the registry refuses reuse, and the
+	// closure owns per-run channels): the improved flow's real first
+	// stage, then a stage that parks until its ctx is canceled —
+	// standing in for a long-running pass — then more real stages that
+	// must never run.
+	entered := make(chan struct{})
+	name := fmt.Sprintf("Blocking-Improved-%d", blockSeq.Add(1))
+	builtin := func(n string) selectivemt.Stage {
+		st, ok := selectivemt.BuiltinStage(n)
+		if !ok {
+			t.Fatalf("no builtin stage %q", n)
+		}
+		return st
+	}
+	blocker := selectivemt.NewStage("park until canceled",
+		func(ctx context.Context, _ *selectivemt.FlowState) (*selectivemt.StageReport, error) {
+			close(entered)
+			<-ctx.Done()
+			return nil, context.Cause(ctx)
+		})
+	if err := selectivemt.RegisterPipeline(name,
+		builtin("HVT+MT(no VGND) assignment"),
+		blocker,
+		builtin("VGND conversion + holders"),
+		builtin("CTS"),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Options{Workers: 1})
+	code, body := doJSON(t, "POST", ts.URL+"/v1/jobs",
+		fmt.Sprintf(`{"circuit":"small","techniques":[%q]}`, name))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &acc); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-entered:
+	case <-time.After(120 * time.Second):
+		t.Fatal("blocking stage never started")
+	}
+	// The technique is now inside a stage. DELETE must land there.
+	canceledAt := time.Now()
+	code, body = doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+acc.ID, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("cancel running job: %d %s", code, body)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	var final string
+	for {
+		_, final = doJSON(t, "GET", ts.URL+"/v1/jobs/"+acc.ID, "")
+		if strings.Contains(final, `"status": "canceled"`) {
+			break
+		}
+		if strings.Contains(final, `"status": "done"`) || strings.Contains(final, `"status": "failed"`) {
+			t.Fatalf("job escaped cancellation: %s", final)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel did not drain the running stage promptly: %s", final)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if drain := time.Since(canceledAt); drain > 15*time.Second {
+		t.Errorf("drain took %v", drain)
+	}
+
+	// The progress payload proves where the cancel landed: the real
+	// first stage finished, the blocker ran, and the stages behind it
+	// were skipped, never run.
+	var v struct {
+		Stages []Stage `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(final), &v); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, st := range v.Stages {
+		if st.Stage != "" {
+			seen[st.Stage+"/"+st.State] = true
+		}
+	}
+	if !seen["HVT+MT(no VGND) assignment/done"] {
+		t.Errorf("first improved stage never completed: %v", seen)
+	}
+	if !seen["park until canceled/running"] {
+		t.Errorf("blocking stage never recorded running: %v", seen)
+	}
+	for _, never := range []string{"VGND conversion + holders", "CTS"} {
+		if seen[never+"/running"] || seen[never+"/done"] {
+			t.Errorf("stage %q ran after the cancel", never)
+		}
+		if !seen[never+"/skipped"] {
+			t.Errorf("stage %q not reported skipped: %v", never, seen)
+		}
+	}
+}

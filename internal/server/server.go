@@ -186,7 +186,7 @@ func (s *Server) runJob(ctx context.Context, id string, spec selectivemt.JobSpec
 		}
 	}()
 	outcome, err := s.run(ctx, spec, func(ev selectivemt.BatchEvent) {
-		st := Stage{Task: ev.Task, State: ev.State.String()}
+		st := Stage{Task: ev.Task, Stage: ev.Stage, State: ev.State.String()}
 		if ev.Elapsed > 0 {
 			st.ElapsedMs = float64(ev.Elapsed) / float64(time.Millisecond)
 		}
@@ -398,7 +398,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job %s already %s", id, status)
 	default:
 		// Accepted: canceled outright (was queued) or cancellation in
-		// flight (running stages finish, pending ones are skipped).
+		// flight — the running technique's pipeline observes the ctx
+		// mid-technique (the current stage drains, the rest are
+		// skipped), so the job lands canceled promptly.
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(status)})
 	}
 }

@@ -31,10 +31,15 @@ func (s Status) finished() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCanceled
 }
 
-// Stage is one recorded progress event of a job's flow (the prepare
-// stage and each technique, with the engine's state transitions).
+// Stage is one recorded progress event of a job's flow: the prepare
+// stage and each technique at job level, plus — when Stage is set —
+// each pipeline stage inside a technique ("CTS", "hold ECO", ...),
+// with per-stage wall-clock on completion. GET /v1/jobs/{id} serves
+// the full sequence, so a client watching a running job sees live
+// pipeline progress, not just which technique is active.
 type Stage struct {
 	Task      string  `json:"task"`
+	Stage     string  `json:"stage,omitempty"`
 	State     string  `json:"state"`
 	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
 	Error     string  `json:"error,omitempty"`
@@ -200,10 +205,11 @@ func (st *store) appendStage(id string, s Stage) {
 }
 
 // requestCancel cancels a job. A queued job flips to canceled
-// immediately; a running one keeps its status until the flow engine
-// drains (running stages finish, pending ones are skipped) and the
-// runner records the terminal state. Finished jobs report
-// errAlreadyFinished; unknown ids report errUnknownJob.
+// immediately; a running one keeps its status until its technique
+// pipeline observes the ctx — mid-technique, at the next stage
+// boundary or ctx check — and the runner records the terminal state.
+// Finished jobs report errAlreadyFinished; unknown ids report
+// errUnknownJob.
 func (st *store) requestCancel(id string) (Status, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()

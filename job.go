@@ -37,14 +37,17 @@ type JobSpec struct {
 	// when positive.
 	ClockPeriodNs float64 `json:"clock_period_ns,omitempty"`
 	// Techniques selects a subset of "dual", "conventional",
-	// "improved" (full names like "dual-vth" work too, as does "all").
-	// Empty means all three, which is what yields a Comparison.
+	// "improved" (full names like "dual-vth" work too, as does "all")
+	// and may also name any registered custom pipeline (see
+	// RegisterPipeline). Empty means the three built-ins, which is what
+	// yields a Comparison.
 	Techniques []string `json:"techniques,omitempty"`
 	// Corners turns on multi-corner sign-off: "all" or corner names
 	// (typ, slow, fast-hot, fast-cold).
 	Corners []string `json:"corners,omitempty"`
-	// InrushLimitMA, when positive, staggers the improved technique's
-	// cluster wake-up under this inrush limit.
+	// InrushLimitMA, when positive, staggers the cluster wake-up under
+	// this inrush limit — for the improved technique when selected,
+	// otherwise the first selected technique that built clusters.
 	InrushLimitMA float64 `json:"inrush_limit_ma,omitempty"`
 }
 
@@ -56,8 +59,11 @@ type JobOptions struct {
 	// Workers bounds the job's internal concurrency (prepare, then the
 	// techniques); <= 0 means GOMAXPROCS, 1 forces a sequential run.
 	Workers int
-	// Progress receives one event per stage state change (Task is
-	// "prepare" or the technique name; Index is always 0).
+	// Progress receives one event per job state change (Task is
+	// "prepare" or the technique name; Index is always 0) and, for
+	// technique jobs, one event per pipeline-stage state change with
+	// BatchEvent.Stage naming the stage. It is called from one
+	// goroutine at a time.
 	Progress func(BatchEvent)
 }
 
@@ -110,25 +116,28 @@ func BenchmarkCircuit(name string) (CircuitSpec, error) {
 	return CircuitSpec{}, fmt.Errorf("selectivemt: unknown circuit %q (want a, b or small)", name)
 }
 
-// jobTechniques is the canonical technique table: JSON/CLI keys, display
-// names (matching TechniqueResult.Technique) and runners, in Table-1
-// column order.
+// jobTechniques is the canonical technique table: JSON/CLI keys and
+// the registered pipeline names (matching TechniqueResult.Technique),
+// in Table-1 column order. The runners themselves live in the pipeline
+// registry.
 var jobTechniques = []struct {
 	key     string
 	display string
-	run     func(*Design, *Config) (*TechniqueResult, error)
 }{
-	{"dual", "Dual-Vth", core.RunDualVth},
-	{"conventional", "Conventional-SMT", core.RunConventionalSMT},
-	{"improved", "Improved-SMT", core.RunImprovedSMT},
+	{"dual", "Dual-Vth"},
+	{"conventional", "Conventional-SMT"},
+	{"improved", "Improved-SMT"},
 }
 
 // ParseTechniques canonicalizes a technique list: short keys ("dual"),
-// full names ("dual-vth", "improved-smt") and "all" are accepted in any
-// order and case; the result is the selected subset in canonical order.
-// Empty input selects all three.
+// full names ("dual-vth", "improved-smt") and "all" are accepted in
+// any order and case, as is the name of any registered custom pipeline.
+// The result is the canonical subset in Table-1 order followed by the
+// custom pipelines in first-seen order. Empty input selects the three
+// built-ins.
 func ParseTechniques(names []string) ([]string, error) {
 	selected := make(map[string]bool, len(jobTechniques))
+	var custom []string
 	for _, raw := range names {
 		name := strings.ToLower(strings.TrimSpace(raw))
 		switch name {
@@ -148,9 +157,19 @@ func ParseTechniques(names []string) ([]string, error) {
 				break
 			}
 		}
-		if !found {
-			return nil, fmt.Errorf("selectivemt: unknown technique %q (want dual, conventional, improved or all)", raw)
+		if found {
+			continue
 		}
+		if p, ok := core.LookupPipeline(name); ok {
+			key := strings.ToLower(p.Name())
+			if !selected[key] {
+				selected[key] = true
+				custom = append(custom, key)
+			}
+			continue
+		}
+		return nil, fmt.Errorf("selectivemt: unknown technique %q (want dual, conventional, improved, all, or a registered pipeline: %s)",
+			raw, strings.Join(Pipelines(), ", "))
 	}
 	var out []string
 	for _, t := range jobTechniques {
@@ -158,7 +177,21 @@ func ParseTechniques(names []string) ([]string, error) {
 			out = append(out, t.key)
 		}
 	}
-	return out, nil
+	return append(out, custom...), nil
+}
+
+// techniqueDisplay resolves a ParseTechniques key to the technique's
+// registered pipeline name.
+func techniqueDisplay(key string) string {
+	for _, t := range jobTechniques {
+		if key == t.key {
+			return t.display
+		}
+	}
+	if p, ok := core.LookupPipeline(key); ok {
+		return p.Name()
+	}
+	return key
 }
 
 // parseCornerNames maps a JobSpec.Corners list to tech corners ("all"
@@ -264,7 +297,18 @@ func (e *Environment) RunJob(spec JobSpec, opts JobOptions) (*JobOutcome, error)
 		}
 	}
 
-	// One job graph: prepare, then each selected technique on it.
+	emit := serializedProgress(opts.Progress)
+	circuit := name
+	if circuit == "" {
+		// Verilog upload: the module name is only known after the
+		// prepare stage parses it.
+		circuit = "verilog"
+	}
+
+	// One job graph: prepare, then each selected technique pipeline on
+	// it. The engine job's ctx flows into the pipeline, so a
+	// cancellation lands mid-technique instead of waiting for the next
+	// job boundary.
 	var base *netlist.Design
 	jobs := []engine.Job{{
 		Name: "prepare",
@@ -282,41 +326,26 @@ func (e *Environment) RunJob(spec JobSpec, opts JobOptions) (*JobOutcome, error)
 		index        int // index into the engine job slice
 	}
 	var selected []techJob
-	for _, t := range jobTechniques {
-		keep := false
-		for _, k := range techKeys {
-			if k == t.key {
-				keep = true
-			}
-		}
-		if !keep {
-			continue
-		}
-		t := t
-		selected = append(selected, techJob{key: t.key, display: t.display, index: len(jobs)})
+	for _, k := range techKeys {
+		display := techniqueDisplay(k)
+		selected = append(selected, techJob{key: k, display: display, index: len(jobs)})
 		jobs = append(jobs, engine.Job{
-			Name: t.display,
+			Name: display,
 			Deps: []int{0},
-			Run: func(context.Context) (any, error) {
-				return t.run(base, cfg)
+			Run: func(ctx context.Context) (any, error) {
+				return core.RunRegistered(ctx, display, base, cfg, stageObserver(emit, circuit, 0, display))
 			},
 		})
 	}
 
 	var progress func(engine.Event)
-	if opts.Progress != nil {
-		circuit := name
-		if circuit == "" {
-			// Verilog upload: the module name is only known after the
-			// prepare stage parses it.
-			circuit = "verilog"
-		}
+	if emit != nil {
 		progress = func(ev engine.Event) {
 			task := ev.Name
 			if ev.Job == 0 {
 				task = "prepare"
 			}
-			opts.Progress(BatchEvent{
+			emit(BatchEvent{
 				Circuit: circuit, Task: task,
 				State: ev.State, Err: ev.Err, Elapsed: ev.Elapsed,
 			})
@@ -336,7 +365,7 @@ func (e *Environment) RunJob(spec JobSpec, opts JobOptions) (*JobOutcome, error)
 		out.Results = append(out.Results, r)
 		byKey[tj.key] = r
 	}
-	if len(out.Results) == len(jobTechniques) {
+	if byKey["dual"] != nil && byKey["conventional"] != nil && byKey["improved"] != nil {
 		out.Comparison = &Comparison{
 			Circuit:  out.Circuit,
 			Dual:     byKey["dual"],
@@ -345,8 +374,21 @@ func (e *Environment) RunJob(spec JobSpec, opts JobOptions) (*JobOutcome, error)
 		}
 	}
 	if spec.InrushLimitMA > 0 {
-		if imp := byKey["improved"]; imp != nil && len(imp.Clusters) > 0 {
-			sched, err := e.ScheduleWakeup(imp, spec.InrushLimitMA)
+		// The schedule targets the improved technique when it ran;
+		// otherwise the first selected technique that built a clustered
+		// switch structure (custom improved-flow variants qualify).
+		gated := byKey["improved"]
+		if gated == nil || len(gated.Clusters) == 0 {
+			gated = nil
+			for _, r := range out.Results {
+				if len(r.Clusters) > 0 {
+					gated = r
+					break
+				}
+			}
+		}
+		if gated != nil && len(gated.Clusters) > 0 {
+			sched, err := e.ScheduleWakeup(gated, spec.InrushLimitMA)
 			if err != nil {
 				return nil, err
 			}
@@ -371,6 +413,25 @@ func (e *Environment) renderJobReport(out *JobOutcome, cfg *Config) error {
 		if reps := FormatCornerReports([]*Comparison{out.Comparison}); reps != "" {
 			b.WriteByte('\n')
 			b.WriteString(reps)
+		}
+		// Custom pipelines that ran alongside the canonical three get
+		// their own sections after the comparison, corner sign-off
+		// included — same rendering as the subset branch below.
+		for _, r := range out.Results {
+			if r == out.Comparison.Dual || r == out.Comparison.Conv || r == out.Comparison.Improved {
+				continue
+			}
+			rcfg := *cfg
+			rcfg.Corners = nil
+			text, err := e.ReportDesign(r.Design, &rcfg, false)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(&b, "== %s ==\n%s", r.Technique, text)
+			if r.CornerReport != nil {
+				b.WriteString(r.CornerReport.Format())
+				b.WriteByte('\n')
+			}
 		}
 	} else {
 		for _, r := range out.Results {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // A full-set job must reproduce CompareWithConfig byte for byte: same
@@ -69,7 +70,9 @@ func TestRunJobTechniqueSubset(t *testing.T) {
 	out, err := env.RunJob(
 		JobSpec{Circuit: "small", Techniques: []string{"Improved-SMT", "dual"}},
 		JobOptions{Workers: 1, Progress: func(ev BatchEvent) {
-			if ev.State == JobDone {
+			// Job-level completions only; stage-level events (ev.Stage
+			// set) are covered by TestRunJobStageProgress.
+			if ev.State == JobDone && ev.Stage == "" {
 				mu.Lock()
 				events = append(events, ev.Task)
 				mu.Unlock()
@@ -190,6 +193,61 @@ func TestParseTechniques(t *testing.T) {
 				t.Errorf("ParseTechniques(%v) = %s, want %s", tc.in, joined, tc.want)
 			}
 		}
+	}
+}
+
+// TestRunJobStageProgress pins the live per-stage progress contract:
+// a technique job emits one running and one done event per pipeline
+// stage (Stage set, Task the technique), done events carry wall-clock,
+// and the finished result's stage reports carry ElapsedMS.
+func TestRunJobStageProgress(t *testing.T) {
+	env := testEnv(t)
+	var mu sync.Mutex
+	var stages []BatchEvent
+	out, err := env.RunJob(JobSpec{Circuit: "small", Techniques: []string{"dual"}},
+		JobOptions{Workers: 1, Progress: func(ev BatchEvent) {
+			if ev.Stage != "" {
+				mu.Lock()
+				stages = append(stages, ev)
+				mu.Unlock()
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []string
+	var doneElapsed time.Duration
+	for _, ev := range stages {
+		if ev.Task != "Dual-Vth" {
+			t.Errorf("stage event on task %q", ev.Task)
+		}
+		seq = append(seq, ev.Stage+"/"+ev.State.String())
+		if ev.State == JobDone {
+			doneElapsed += ev.Elapsed
+		}
+	}
+	want := "dual-vth assignment/running,dual-vth assignment/done," +
+		"CTS/running,CTS/done,hold ECO/running,hold ECO/done," +
+		"measure/running,measure/done,sign-off/running,sign-off/done"
+	if got := strings.Join(seq, ","); got != want {
+		t.Errorf("stage sequence:\n%s\nwant\n%s", got, want)
+	}
+	if doneElapsed <= 0 {
+		t.Error("stage done events carried no wall-clock")
+	}
+	// The result's stage reports carry per-stage timing too.
+	if len(out.Results) != 1 {
+		t.Fatalf("results: %d", len(out.Results))
+	}
+	total := 0.0
+	for _, s := range out.Results[0].Stages {
+		if s.ElapsedMS < 0 {
+			t.Errorf("stage %q negative elapsed", s.Name)
+		}
+		total += s.ElapsedMS
+	}
+	if total <= 0 {
+		t.Error("no stage report recorded wall-clock")
 	}
 }
 

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"selectivemt/internal/core"
 	"selectivemt/internal/engine"
+	"selectivemt/internal/flow"
 )
 
 // This file is the concurrent face of the workflow: the three techniques
@@ -29,7 +31,7 @@ const (
 	JobSkipped = engine.Skipped
 )
 
-// BatchEvent is one per-job progress notification from RunBatch.
+// BatchEvent is one progress notification from RunBatch or RunJob.
 type BatchEvent struct {
 	// Circuit is the circuit's module name; Task is "prepare" or the
 	// technique name. Index is the circuit's position in the batch's
@@ -38,9 +40,57 @@ type BatchEvent struct {
 	Circuit string
 	Index   int
 	Task    string
+	// Stage, when non-empty, marks a pipeline-stage event inside the
+	// technique named by Task ("CTS", "hold ECO", ...); job-level
+	// events leave it empty.
+	Stage   string
 	State   JobState
 	Err     error
 	Elapsed time.Duration
+}
+
+// stageState maps a pipeline stage state to the job-state vocabulary
+// BatchEvent speaks.
+func stageState(s flow.State) JobState {
+	switch s {
+	case flow.StageRunning:
+		return JobRunning
+	case flow.StageDone:
+		return JobDone
+	case flow.StageFailed:
+		return JobFailed
+	}
+	return JobSkipped
+}
+
+// serializedProgress wraps a progress callback so the engine scheduler
+// (job-level events) and the technique pipelines' stage observers
+// (stage-level events from the jobs' own goroutines) never invoke it
+// concurrently; nil stays nil.
+func serializedProgress(f func(BatchEvent)) func(BatchEvent) {
+	if f == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(ev BatchEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		f(ev)
+	}
+}
+
+// stageObserver adapts a technique pipeline's stage events into batch
+// progress events; a nil emit yields a nil observer.
+func stageObserver(emit func(BatchEvent), circuit string, index int, task string) flow.Observer {
+	if emit == nil {
+		return nil
+	}
+	return func(ev flow.Event) {
+		emit(BatchEvent{
+			Circuit: circuit, Index: index, Task: task, Stage: ev.Stage,
+			State: stageState(ev.State), Err: ev.Err, Elapsed: ev.Elapsed,
+		})
+	}
 }
 
 // BatchOptions configures RunBatch.
@@ -82,11 +132,12 @@ func (e *Environment) CompareParallelWithConfig(spec CircuitSpec, cfg *Config, w
 // placement with the clock period fixed on cfg). The base is only read;
 // each technique works on its own clone.
 func (e *Environment) CompareBase(base *Design, cfg *Config, workers int) (*Comparison, error) {
-	jobs := []engine.Job{
-		{Name: "Dual-Vth", Run: func(context.Context) (any, error) { return core.RunDualVth(base, cfg) }},
-		{Name: "Conventional-SMT", Run: func(context.Context) (any, error) { return core.RunConventionalSMT(base, cfg) }},
-		{Name: "Improved-SMT", Run: func(context.Context) (any, error) { return core.RunImprovedSMT(base, cfg) }},
+	mk := func(name string) engine.Job {
+		return engine.Job{Name: name, Run: func(ctx context.Context) (any, error) {
+			return core.RunRegistered(ctx, name, base, cfg, nil)
+		}}
 	}
+	jobs := []engine.Job{mk("Dual-Vth"), mk("Conventional-SMT"), mk("Improved-SMT")}
 	res, err := engine.Run(context.Background(), jobs, engine.Options{Workers: workers})
 	if err != nil {
 		return nil, fmt.Errorf("selectivemt: compare %s: %w", base.Name, err)
@@ -119,14 +170,8 @@ func (e *Environment) RunBatch(specs []CircuitSpec, opts BatchOptions) ([]*Compa
 	cfgs := make([]*Config, n)
 	bases := make([]*Design, n)
 	jobs := make([]engine.Job, 0, 4*n)
-	techniques := []struct {
-		name string
-		run  func(*Design, *Config) (*TechniqueResult, error)
-	}{
-		{"Dual-Vth", core.RunDualVth},
-		{"Conventional-SMT", core.RunConventionalSMT},
-		{"Improved-SMT", core.RunImprovedSMT},
-	}
+	emit := serializedProgress(opts.Progress)
+	techniques := []string{"Dual-Vth", "Conventional-SMT", "Improved-SMT"}
 	for i, spec := range specs {
 		i, spec := i, spec
 		cfg := e.NewConfig()
@@ -150,17 +195,18 @@ func (e *Environment) RunBatch(specs []CircuitSpec, opts BatchOptions) ([]*Compa
 		for _, t := range techniques {
 			t := t
 			jobs = append(jobs, engine.Job{
-				Name: fmt.Sprintf("%s#%d/%s", spec.Module.Name, i, t.name),
+				Name: fmt.Sprintf("%s#%d/%s", spec.Module.Name, i, t),
 				Deps: []int{prep},
-				Run: func(context.Context) (any, error) {
-					return t.run(bases[i], cfgs[i])
+				Run: func(ctx context.Context) (any, error) {
+					return core.RunRegistered(ctx, t, bases[i], cfgs[i],
+						stageObserver(emit, spec.Module.Name, i, t))
 				},
 			})
 		}
 	}
 
 	var progress func(engine.Event)
-	if opts.Progress != nil {
+	if emit != nil {
 		progress = func(ev engine.Event) {
 			qualified, task, _ := strings.Cut(ev.Name, "/")
 			circuit, index := qualified, 0
@@ -170,7 +216,7 @@ func (e *Environment) RunBatch(specs []CircuitSpec, opts BatchOptions) ([]*Compa
 					index = n
 				}
 			}
-			opts.Progress(BatchEvent{
+			emit(BatchEvent{
 				Circuit: circuit, Index: index, Task: task,
 				State: ev.State, Err: ev.Err, Elapsed: ev.Elapsed,
 			})

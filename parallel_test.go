@@ -64,12 +64,19 @@ func TestRunBatch(t *testing.T) {
 
 	var mu sync.Mutex
 	events := map[string]int{}
+	stageEvents := 0
 	comps, err := env.RunBatch(specs, BatchOptions{
 		Jobs: 4,
 		Progress: func(ev BatchEvent) {
 			mu.Lock()
+			defer mu.Unlock()
+			if ev.Stage != "" {
+				// Pipeline-stage events ride along with the job-level
+				// ones; count them separately.
+				stageEvents++
+				return
+			}
 			events[ev.Task+"/"+ev.State.String()]++
-			mu.Unlock()
 		},
 	})
 	if err != nil {
@@ -93,6 +100,11 @@ func TestRunBatch(t *testing.T) {
 		if events[task+"/done"] != 2 {
 			t.Errorf("task %s: %d done events, want 2 (events: %v)", task, events[task+"/done"], events)
 		}
+	}
+	// Each technique's pipeline reports its stages live: at minimum a
+	// running and a done event per stage of every technique run.
+	if stageEvents == 0 {
+		t.Error("batch produced no pipeline-stage progress events")
 	}
 }
 
@@ -124,7 +136,7 @@ func TestRunBatchDuplicateNamesDistinctNetlists(t *testing.T) {
 			if ev.Circuit != small.Module.Name {
 				t.Errorf("event circuit = %q, want %q", ev.Circuit, small.Module.Name)
 			}
-			if ev.State == JobDone {
+			if ev.State == JobDone && ev.Stage == "" {
 				mu.Lock()
 				doneByIndex[ev.Index]++
 				mu.Unlock()

@@ -1,0 +1,193 @@
+package selectivemt
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"selectivemt/internal/netlist"
+)
+
+var customSeq atomic.Int64
+
+// uniquePipelineName returns a registry-safe name for a test-local
+// pipeline (the registry refuses duplicates, and -count reruns must
+// not reuse a closure-carrying registration).
+func uniquePipelineName(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, customSeq.Add(1))
+}
+
+// TestCustomPipelineDeterministicUnderConcurrency registers a custom
+// technique — the improved stage list with an extra structural-audit
+// pass — and runs it concurrently against the shared analysis cache.
+// Every run must produce bit-identical netlists and metrics; CI runs
+// this under -race, which also cross-checks the registry, the cache
+// and the pipeline bookkeeping for data races.
+func TestCustomPipelineDeterministicUnderConcurrency(t *testing.T) {
+	env := testEnv(t)
+	spec := SmallTest()
+	cfg := env.NewConfig()
+	cfg.ClockSlack = spec.ClockSlack
+	base, err := env.Synthesize(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	builtin := func(n string) Stage {
+		st, ok := BuiltinStage(n)
+		if !ok {
+			t.Fatalf("no builtin stage %q", n)
+		}
+		return st
+	}
+	audit := NewStage("structural audit", func(_ context.Context, s *FlowState) (*StageReport, error) {
+		return nil, s.Design.Validate(netlist.StrictValidate())
+	})
+	name := uniquePipelineName("Audited-Improved-SMT")
+	if err := RegisterPipeline(name,
+		builtin("HVT+MT(no VGND) assignment"),
+		builtin("VGND conversion + holders"),
+		builtin("switch-structure construction"),
+		builtin("MTE network"),
+		audit,
+		builtin("CTS"),
+		builtin("hold ECO"),
+		builtin("measure"),
+		builtin("post-route switch re-optimization"),
+		builtin("sign-off"),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	const runs = 3
+	type outcome struct {
+		verilog    string
+		area, leak float64
+	}
+	outs := make([]outcome, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := RunPipeline(context.Background(), name, base, cfg, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var buf bytes.Buffer
+			if err := WriteVerilog(&buf, res.Design); err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = outcome{verilog: buf.String(), area: res.AreaUm2, leak: res.StandbyLeakMW}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	for i := 1; i < runs; i++ {
+		if outs[i].verilog != outs[0].verilog {
+			t.Errorf("run %d netlist diverged from run 0", i)
+		}
+		if math.Float64bits(outs[i].area) != math.Float64bits(outs[0].area) ||
+			math.Float64bits(outs[i].leak) != math.Float64bits(outs[0].leak) {
+			t.Errorf("run %d metrics diverged: area %v vs %v, leak %v vs %v",
+				i, outs[i].area, outs[0].area, outs[i].leak, outs[0].leak)
+		}
+	}
+	if res := outs[0]; res.area <= 0 || res.leak <= 0 {
+		t.Errorf("non-physical custom-pipeline result: %+v", res)
+	}
+
+	// The custom name is a first-class technique everywhere a name is
+	// accepted: listed, introspectable, and usable in a job spec.
+	found := false
+	for _, n := range Pipelines() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("custom pipeline %s not listed in Pipelines()", name)
+	}
+	if stages, ok := PipelineStages(name); !ok || len(stages) != 10 {
+		t.Errorf("PipelineStages(%s) = %v %v", name, stages, ok)
+	}
+	if keys, err := ParseTechniques([]string{name}); err != nil ||
+		len(keys) != 1 || keys[0] != strings.ToLower(name) {
+		t.Errorf("ParseTechniques(%s) = %v, %v", name, keys, err)
+	}
+
+	// A custom clustered technique gets the wake-up schedule too: the
+	// inrush limit must not be silently ignored just because the job
+	// did not select the built-in improved technique.
+	out, err := env.RunJob(JobSpec{Circuit: "small", Techniques: []string{name}, InrushLimitMA: 1e6},
+		JobOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Wakeup == nil || len(out.Wakeup.Groups) == 0 {
+		t.Error("custom clustered technique produced no wake-up schedule")
+	}
+}
+
+// A custom stage that tunes the config must see a private per-run copy:
+// the caller's config — shared with other techniques of the same
+// comparison — stays untouched.
+func TestPipelineConfigIsolation(t *testing.T) {
+	env := testEnv(t)
+	spec := SmallTest()
+	cfg := env.NewConfig()
+	cfg.ClockSlack = spec.ClockSlack
+	base, err := env.Synthesize(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cfg.Rules
+
+	name := uniquePipelineName("Config-Mutating-SMT")
+	mutate := NewStage("coarsen", func(_ context.Context, s *FlowState) (*StageReport, error) {
+		s.Config.Rules.MaxCellsPerSW *= 2
+		s.Config.Rules.MaxBounceV *= 1.5
+		return nil, nil
+	})
+	assign, _ := BuiltinStage("dual-vth assignment")
+	if err := RegisterPipeline(name, mutate, assign); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPipeline(context.Background(), name, base, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rules != before {
+		t.Errorf("stage mutation leaked into the caller's config: %+v vs %+v", cfg.Rules, before)
+	}
+	// And the stock flow run right after is unaffected (same config).
+	if _, err := RunImprovedSMT(base, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The technique-selection aliases cannot be registered as pipeline
+// names: they would be shadowed by alias resolution everywhere a
+// technique name is accepted.
+func TestRegisterPipelineReservedAliases(t *testing.T) {
+	noop := NewStage("noop", func(context.Context, *FlowState) (*StageReport, error) {
+		return nil, nil
+	})
+	for _, name := range []string{"dual", "Conventional", "IMPROVED", "all"} {
+		if err := RegisterPipeline(name, noop); err == nil ||
+			!strings.Contains(err.Error(), "reserved") {
+			t.Errorf("RegisterPipeline(%q) = %v, want reserved-alias error", name, err)
+		}
+	}
+}
