@@ -15,6 +15,7 @@
 //	smtflow -circuit a|b|small [-technique improved|conventional|dual|all|<pipeline>] [-jobs N]
 //	smtflow -verilog design.v -sdc design.sdc
 //	smtflow -circuit a -out-verilog out.v -out-spef vgnd.spef
+//	smtflow -circuit large -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -32,12 +33,13 @@ import (
 	"selectivemt/internal/netlist"
 	"selectivemt/internal/parasitics"
 	"selectivemt/internal/place"
+	"selectivemt/internal/prof"
 	"selectivemt/internal/sdc"
 	"selectivemt/internal/verilog"
 )
 
 func main() {
-	circuit := flag.String("circuit", "small", "benchmark circuit: a, b or small")
+	circuit := flag.String("circuit", "small", "benchmark circuit: a, b, small or large")
 	verilogIn := flag.String("verilog", "", "structural Verilog netlist to run instead of a benchmark")
 	sdcIn := flag.String("sdc", "", "SDC constraints for -verilog input")
 	technique := flag.String("technique", "improved", "improved, conventional, dual, all, or a registered pipeline name")
@@ -46,12 +48,19 @@ func main() {
 	outSpef := flag.String("out-spef", "", "write the VGND parasitics here")
 	outDef := flag.String("out-def", "", "write the final placement here (DEF)")
 	inrush := flag.Float64("inrush", 0, "stagger cluster wake-up under this inrush limit (mA)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here (go tool pprof format)")
+	memprofile := flag.String("memprofile", "", "write a heap profile here on exit")
 	flag.Parse()
 	log.SetFlags(0)
 
 	if *jobs < 0 {
 		log.Fatalf("smtflow: -jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *jobs)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	env, err := selectivemt.NewEnvironment()
 	if err != nil {
 		log.Fatal(err)

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	circuit := flag.String("circuit", "a", "benchmark circuit: a, b or small")
+	circuit := flag.String("circuit", "a", "benchmark circuit: a, b, small or large")
 	out := flag.String("o", "", "output Verilog path (default stdout)")
 	sdcOut := flag.String("sdc", "", "also write an SDC file here")
 	flag.Parse()

@@ -32,7 +32,7 @@ import (
 func main() {
 	verilogIn := flag.String("verilog", "", "structural Verilog netlist to analyze")
 	sdcIn := flag.String("sdc", "", "SDC constraints (clock) for the netlist")
-	circuit := flag.String("circuit", "", "analyze generated benchmarks instead: comma-separated list of a, b, small")
+	circuit := flag.String("circuit", "", "analyze generated benchmarks instead: comma-separated list of a, b, small, large")
 	optVector := flag.Bool("optimize-vector", false, "search for the minimum-leakage standby input vector")
 	jobs := flag.Int("jobs", 0, "max concurrently analyzed circuits (0 = GOMAXPROCS)")
 	cornersFlag := flag.String("corners", "", "PVT corners to analyze: all, or comma-separated typ,slow,fast-hot,fast-cold")

@@ -16,6 +16,7 @@
 // Usage:
 //
 //	table1 [-circuit a|b|both] [-jobs N] [-detail] [-corners all|typ,slow,fast-hot,fast-cold]
+//	table1 -circuit large -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -28,19 +29,27 @@ import (
 
 	"selectivemt"
 	"selectivemt/internal/power"
+	"selectivemt/internal/prof"
 )
 
 func main() {
-	circuit := flag.String("circuit", "both", "which circuit to run: a, b, small or both")
+	circuit := flag.String("circuit", "both", "which circuit to run: a, b, small, large or both")
 	detail := flag.Bool("detail", false, "print per-technique detail (counts, clusters, stages)")
 	jobs := flag.Int("jobs", 0, "max concurrent flow jobs (0 = GOMAXPROCS, 1 = sequential)")
 	cornersFlag := flag.String("corners", "", "PVT sign-off corners: all, or comma-separated typ,slow,fast-hot,fast-cold")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here (go tool pprof format)")
+	memprofile := flag.String("memprofile", "", "write a heap profile here on exit")
 	flag.Parse()
 	log.SetFlags(0)
 
 	if *jobs < 0 {
 		log.Fatalf("table1: -jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *jobs)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	corners, err := selectivemt.ParseCorners(*cornersFlag)
 	if err != nil {
 		log.Fatal(err)

@@ -1,5 +1,10 @@
 package gen
 
+import (
+	"fmt"
+	"math/rand"
+)
+
 // CircuitSpec pairs a generated module with the flow parameters the
 // experiments use for it.
 type CircuitSpec struct {
@@ -87,6 +92,52 @@ func CircuitB() CircuitSpec {
 	cloud := m.RandomLogic(seeds, 260, 20050307)
 	m.OutputBus("status", m.DFFBus(cloud))
 	return CircuitSpec{Module: m, ClockSlack: 1.15}
+}
+
+// Large builds the hierarchical large-benchmark tier: a chain of
+// registered 16-bit tiles — datapath tiles (8×8 array multipliers),
+// arithmetic/CRC tiles and random-logic clouds — grown until the module
+// reaches targetInstances generic nodes (mapped instance counts land
+// within a few percent of that, since every gate is 2-input). Tile
+// boundaries are registered, so combinational depth stays bounded while
+// the design scales to hundreds of thousands of instances. Deterministic
+// per seed.
+func Large(targetInstances int, seed int64) CircuitSpec {
+	m := NewModule(fmt.Sprintf("large_%d", targetInstances))
+	rng := rand.New(rand.NewSource(seed))
+	bus := m.DFFBus(m.InputBus("din", 16))
+	for tile := 0; len(m.Nodes)-len(m.Inputs) < targetInstances; tile++ {
+		bus = largeTile(m, bus, tile, rng)
+	}
+	m.OutputBus("dout", m.DFFBus(bus))
+	return CircuitSpec{Module: m, ClockSlack: 1.25}
+}
+
+// largeTile appends one registered tile reading a 16-bit bus and returns
+// its 16-bit registered output bus.
+func largeTile(m *Module, in []int, tile int, rng *rand.Rand) []int {
+	switch tile % 3 {
+	case 0:
+		// Datapath tile: 8×8 array multiply, register the product.
+		p := m.ArrayMultiplier(in[:8], in[8:16])
+		return m.DFFBus(p[:16])
+	case 1:
+		// Arithmetic/control tile: ripple add plus a 2-step CRC mix.
+		sum, carry := m.RippleAdder(in[:8], in[8:16])
+		mix := m.CRCStep(in, []int{sum[0], sum[7]}, []int{5, 12})
+		out := append(append([]int(nil), sum...), mix[:7]...)
+		out = append(out, carry)
+		return m.DFFBus(out)
+	default:
+		// Random cloud tile: a bounded-depth random DAG folded back over
+		// the input bus.
+		cloud := m.RandomLogic(in, 320, rng.Int63())
+		out := make([]int, 16)
+		for i := range out {
+			out[i] = m.Xor(in[i], cloud[i%len(cloud)])
+		}
+		return m.DFFBus(out)
+	}
 }
 
 // SmallTest is a compact design for unit and integration tests: one 4×4

@@ -133,48 +133,70 @@ func (d *Design) Fanin(inst *Instance) []PinRef {
 // sinks and impose no ordering. An error reports a combinational cycle.
 func (d *Design) TopoOrder() ([]*Instance, error) {
 	insts := d.Instances()
-	indeg := make(map[*Instance]int, len(insts))
-	dep := make(map[*Instance][]*Instance, len(insts)) // driver → dependents
-	for _, inst := range insts {
-		if inst.Cell.IsSequential() {
-			continue // flops are sources; their inputs don't order them
-		}
-		for _, p := range inst.Cell.Pins {
-			if p.Dir != liberty.DirInput || p.IsVGND || p.IsEnable {
-				continue
+	ni := len(insts)
+	idx := make(map[*Instance]int32, ni)
+	for i, inst := range insts {
+		idx[inst] = int32(i)
+	}
+	// Slice-indexed Kahn over a CSR dependents array: two passes over the
+	// edges (count, then fill). The fill pass visits edges in the same
+	// insts × input-pins order a per-driver append would, so each driver's
+	// dependent list — and therefore the output order — is unchanged from
+	// the map-based build this replaces.
+	forEachEdge := func(visit func(drv, sink int32)) {
+		for si, inst := range insts {
+			if inst.Cell.IsSequential() {
+				continue // flops are sources; their inputs don't order them
 			}
-			net := inst.Conns[p.Name]
-			if net == nil || net.Driver.Inst == nil {
-				continue
+			for _, p := range inst.Cell.Pins {
+				if p.Dir != liberty.DirInput || p.IsVGND || p.IsEnable {
+					continue
+				}
+				net := inst.Conns[p.Name]
+				if net == nil || net.Driver.Inst == nil {
+					continue
+				}
+				drv := net.Driver.Inst
+				if drv.Cell.IsSequential() {
+					continue
+				}
+				visit(idx[drv], int32(si))
 			}
-			drv := net.Driver.Inst
-			if drv.Cell.IsSequential() {
-				continue
-			}
-			indeg[inst]++
-			dep[drv] = append(dep[drv], inst)
 		}
 	}
-	var queue []*Instance
-	for _, inst := range insts {
-		if indeg[inst] == 0 {
-			queue = append(queue, inst)
+	off := make([]int32, ni+1)
+	forEachEdge(func(drv, _ int32) { off[drv+1]++ })
+	for i := 0; i < ni; i++ {
+		off[i+1] += off[i]
+	}
+	indeg := make([]int32, ni)
+	dep := make([]int32, off[ni])
+	fill := make([]int32, ni)
+	copy(fill, off[:ni])
+	forEachEdge(func(drv, sink int32) {
+		dep[fill[drv]] = sink
+		fill[drv]++
+		indeg[sink]++
+	})
+	queue := make([]int32, 0, ni)
+	for i := range insts {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
 		}
 	}
-	out := make([]*Instance, 0, len(insts))
-	for len(queue) > 0 {
-		inst := queue[0]
-		queue = queue[1:]
-		out = append(out, inst)
-		for _, s := range dep[inst] {
+	out := make([]*Instance, 0, ni)
+	for qi := 0; qi < len(queue); qi++ {
+		i := queue[qi]
+		out = append(out, insts[i])
+		for _, s := range dep[off[i]:off[i+1]] {
 			indeg[s]--
 			if indeg[s] == 0 {
 				queue = append(queue, s)
 			}
 		}
 	}
-	if len(out) != len(insts) {
-		return nil, fmt.Errorf("netlist: combinational cycle among %d instances", len(insts)-len(out))
+	if len(out) != ni {
+		return nil, fmt.Errorf("netlist: combinational cycle among %d instances", ni-len(out))
 	}
 	return out, nil
 }
@@ -187,6 +209,7 @@ func (d *Design) Clone() *Design {
 	c := New(d.Name, d.Lib)
 	c.Core = d.Core
 	c.anon = d.anon
+	c.journalCapOverride = d.journalCapOverride
 	for _, name := range d.netOrder {
 		if _, ok := d.nets[name]; !ok {
 			continue

@@ -53,10 +53,38 @@ type Change struct {
 	OldCell *liberty.Cell
 }
 
-// maxJournal bounds the retained history. When the journal would exceed
-// it, the oldest half is dropped; observers that have not caught up past
-// the drop point see ChangesSince fail and must rebuild from scratch.
-const maxJournal = 1 << 14
+// journalFloor is the minimum retained history. The effective bound
+// scales with design size (see journalCap): a fixed cap silently dropped
+// history under design-wide edit passes on large designs, turning every
+// incremental retime into a full rebuild.
+const journalFloor = 1 << 14
+
+// journalCap returns the retained-history bound: the explicit override
+// when set, otherwise four entries per design element with a floor of
+// journalFloor. Swap passes journal one entry per touched instance and
+// structural edits a handful per net, so 4x keeps several full-design
+// passes inside the window.
+func (d *Design) journalCap() int {
+	if d.journalCapOverride > 0 {
+		return d.journalCapOverride
+	}
+	c := 4 * (len(d.insts) + len(d.nets))
+	if c < journalFloor {
+		c = journalFloor
+	}
+	return c
+}
+
+// SetJournalCap overrides the retained-history bound (entries); cap <= 0
+// restores the automatic size-scaled bound. Observers holding revisions
+// older than the shrunk window fail their next ChangesSince and rebuild,
+// exactly as on overflow.
+func (d *Design) SetJournalCap(cap int) {
+	if cap < 0 {
+		cap = 0
+	}
+	d.journalCapOverride = cap
+}
 
 // Revision returns the design's edit counter. Every mutation through the
 // Design API (ReplaceCell, Connect, Disconnect, instance/net/port
@@ -68,7 +96,7 @@ func (d *Design) Revision() uint64 { return d.rev }
 // record appends a journal entry and bumps the revision.
 func (d *Design) record(ch Change) {
 	d.rev++
-	if len(d.journal) >= maxJournal {
+	if len(d.journal) >= d.journalCap() {
 		drop := len(d.journal) / 2
 		d.journal = append(d.journal[:0], d.journal[drop:]...)
 		d.journalBase += uint64(drop)

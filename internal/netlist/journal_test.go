@@ -146,7 +146,7 @@ func TestJournalOverflowLosesHistory(t *testing.T) {
 	rev := d.Revision()
 	i1 := d.Instance("i1")
 	hi, lo := l.Cell("INV_X1_H"), l.Cell("INV_X1_L")
-	for i := 0; i < maxJournal+1; i++ {
+	for i := 0; i < d.journalCap()+1; i++ {
 		c := hi
 		if i%2 == 1 {
 			c = lo
@@ -163,6 +163,43 @@ func TestJournalOverflowLosesHistory(t *testing.T) {
 	delta, ok := d.ChangesSince(recent)
 	if !ok || len(delta) != 10 {
 		t.Fatalf("recent history: %d entries, ok=%v; want 10, true", len(delta), ok)
+	}
+}
+
+func TestJournalCapScalesAndOverrides(t *testing.T) {
+	l := journalLib(t)
+	d := buildJournalDesign(t, l)
+	if got := d.journalCap(); got != journalFloor {
+		t.Fatalf("small design cap = %d, want floor %d", got, journalFloor)
+	}
+	// An explicit override replaces the scaled bound; <=0 restores it.
+	d.SetJournalCap(8)
+	if got := d.journalCap(); got != 8 {
+		t.Fatalf("override cap = %d, want 8", got)
+	}
+	rev := d.Revision()
+	i1 := d.Instance("i1")
+	hi, lo := l.Cell("INV_X1_H"), l.Cell("INV_X1_L")
+	for i := 0; i < 9; i++ {
+		c := hi
+		if i%2 == 1 {
+			c = lo
+		}
+		if err := d.ReplaceCell(i1, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := d.ChangesSince(rev); ok {
+		t.Fatal("tiny override cap must overflow after 9 swaps")
+	}
+	d.SetJournalCap(0)
+	if got := d.journalCap(); got != journalFloor {
+		t.Fatalf("restored cap = %d, want floor %d", got, journalFloor)
+	}
+	// The override survives Clone (the clone is the same design at scale).
+	d.SetJournalCap(8)
+	if got := d.Clone().journalCap(); got != 8 {
+		t.Fatalf("clone cap = %d, want inherited 8", got)
 	}
 }
 

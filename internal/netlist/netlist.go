@@ -124,6 +124,9 @@ type Design struct {
 	rev         uint64
 	journalBase uint64
 	journal     []Change
+	// journalCapOverride, when positive, replaces the size-scaled
+	// retained-history bound (see journalCap / SetJournalCap).
+	journalCapOverride int
 }
 
 // New creates an empty design bound to lib.

@@ -47,18 +47,38 @@ func (t *RCTree) TotalCap() float64 {
 // delay(n) = Σ over segments s on the path root→n of R(s)·Cdown(s).
 func (t *RCTree) ElmoreDelays() []float64 {
 	n := len(t.CapPF)
-	down := make([]float64, n)
+	return t.ElmoreInto(make([]float64, n), make([]float64, n))
+}
+
+// ElmoreInto computes the Elmore delays into caller-provided buffers
+// (each len(CapPF) long; down is downstream-cap scratch) and returns
+// delay. The timing kernel's hot loop uses this to re-extract nets
+// without per-call allocations; the arithmetic is identical to
+// ElmoreDelays.
+func (t *RCTree) ElmoreInto(delay, down []float64) []float64 {
+	n := len(t.CapPF)
 	copy(down, t.CapPF)
 	// Accumulate downstream caps: children appear after parents by
 	// construction, so a reverse sweep suffices.
 	for i := n - 1; i >= 1; i-- {
 		down[t.Parent[i]] += down[i]
 	}
-	delay := make([]float64, n)
+	delay[0] = 0
 	for i := 1; i < n; i++ {
 		delay[i] = delay[t.Parent[i]] + t.RkOhm[i]*down[i]
 	}
 	return delay
+}
+
+// EnsureNodeNames fills NodeName ("net:idx" labels) for trees built
+// without eager names. Extraction skips name generation — the per-node
+// fmt.Sprintf was a measurable share of extraction time and the names are
+// only consumed by writers (SPEF) — so anything needing labels calls this
+// first.
+func (t *RCTree) EnsureNodeNames() {
+	for i := len(t.NodeName); i < len(t.CapPF); i++ {
+		t.NodeName = append(t.NodeName, fmt.Sprintf("%s:%d", t.NetName, i))
+	}
 }
 
 // SinkDelays returns the Elmore delay per net sink, indexed like net.Sinks.
@@ -104,6 +124,16 @@ type Extractor interface {
 	Extract(n *netlist.Net) *RCTree
 }
 
+// IntoExtractor is an optional Extractor fast path: extraction into a
+// caller-provided tree, reusing its backing slices when their capacity
+// suffices. The timing kernel re-extracts nets on every retime, so this
+// is the difference between an allocation-free inner loop and half a
+// million short-lived slices per full analysis. The filled tree must be
+// arithmetically identical to Extract's.
+type IntoExtractor interface {
+	ExtractInto(n *netlist.Net, t *RCTree) *RCTree
+}
+
 // EstimateExtractor is the pre-route model: a star from the driver with
 // per-sink resistance proportional to the placement Manhattan distance and
 // wire capacitance from the net bounding box. This is deliberately the
@@ -114,8 +144,17 @@ type EstimateExtractor struct {
 
 // Extract implements Extractor.
 func (e *EstimateExtractor) Extract(n *netlist.Net) *RCTree {
-	t := &RCTree{NetName: n.Name}
-	t.NodeName = append(t.NodeName, n.Name+":0")
+	return e.ExtractInto(n, &RCTree{})
+}
+
+// ExtractInto implements IntoExtractor.
+func (e *EstimateExtractor) ExtractInto(n *netlist.Net, t *RCTree) *RCTree {
+	t.NetName = n.Name
+	t.NodeName = t.NodeName[:0]
+	t.Parent = t.Parent[:0]
+	t.RkOhm = t.RkOhm[:0]
+	t.CapPF = t.CapPF[:0]
+	t.SinkNode = t.SinkNode[:0]
 	t.Parent = append(t.Parent, -1)
 	t.RkOhm = append(t.RkOhm, 0)
 	t.CapPF = append(t.CapPF, 0)
@@ -132,8 +171,7 @@ func (e *EstimateExtractor) Extract(n *netlist.Net) *RCTree {
 		if sp, ok := endpointPos(s); ok && havePos {
 			r = e.Proc.WireRes(drvPos.Manhattan(sp))
 		}
-		node := len(t.NodeName)
-		t.NodeName = append(t.NodeName, fmt.Sprintf("%s:%d", n.Name, node))
+		node := len(t.CapPF)
 		t.Parent = append(t.Parent, 0)
 		t.RkOhm = append(t.RkOhm, math.Max(r, 1e-6))
 		t.CapPF = append(t.CapPF, perSink+pinCap(s))
@@ -143,13 +181,40 @@ func (e *EstimateExtractor) Extract(n *netlist.Net) *RCTree {
 	return t
 }
 
-// estimateLength approximates routed length as HPWL.
+// estimateLength approximates routed length as HPWL. The bounding box is
+// accumulated endpoint by endpoint rather than through endpointPoints —
+// the gathered slice was one allocation per net on the extraction hot
+// path, for a box fold that needs no slice at all.
 func estimateLength(n *netlist.Net) float64 {
-	pts := endpointPoints(n)
-	if len(pts) < 2 {
+	r := geom.EmptyRect()
+	cnt := 0
+	grow := func(p geom.Point) {
+		if p.X < r.Lo.X {
+			r.Lo.X = p.X
+		}
+		if p.Y < r.Lo.Y {
+			r.Lo.Y = p.Y
+		}
+		if p.X > r.Hi.X {
+			r.Hi.X = p.X
+		}
+		if p.Y > r.Hi.Y {
+			r.Hi.Y = p.Y
+		}
+		cnt++
+	}
+	if p, ok := endpointPos(n.Driver); ok {
+		grow(p)
+	}
+	for _, s := range n.Sinks {
+		if p, ok := endpointPos(s); ok {
+			grow(p)
+		}
+	}
+	if cnt < 2 {
 		return 0
 	}
-	return geom.BoundingBox(pts).HalfPerimeter()
+	return r.HalfPerimeter()
 }
 
 func endpointPos(r netlist.PinRef) (geom.Point, bool) {
@@ -208,7 +273,6 @@ func FromRouteTree(n *netlist.Net, tr *route.Tree, proc *tech.Process) *RCTree {
 	nn := len(tr.Nodes)
 	t := &RCTree{NetName: n.Name}
 	if nn == 0 {
-		t.NodeName = []string{n.Name + ":0"}
 		t.Parent = []int{-1}
 		t.RkOhm = []float64{0}
 		t.CapPF = []float64{0}
@@ -242,9 +306,8 @@ func FromRouteTree(n *netlist.Net, tr *route.Tree, proc *tech.Process) *RCTree {
 		rcIndex[i] = -1
 	}
 	for _, v := range order {
-		idx := len(t.NodeName)
+		idx := len(t.CapPF)
 		rcIndex[v] = idx
-		t.NodeName = append(t.NodeName, fmt.Sprintf("%s:%d", n.Name, idx))
 		if parent[v] < 0 {
 			t.Parent = append(t.Parent, -1)
 			t.RkOhm = append(t.RkOhm, 0)

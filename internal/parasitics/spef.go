@@ -35,6 +35,7 @@ func WriteSPEF(w io.Writer, design string, nets []*RCTree) error {
 	p("*DESIGN \"%s\"\n", design)
 	p("*T_UNIT 1 NS\n*C_UNIT 1 PF\n*R_UNIT 1 KOHM\n\n")
 	for _, t := range nets {
+		t.EnsureNodeNames()
 		p("*D_NET %s %s\n", spefName(t.NetName), ftoa(t.TotalCap()))
 		p("*CAP\n")
 		for i, c := range t.CapPF {

@@ -165,8 +165,13 @@ func globalIterations(d *netlist.Design, insts []*netlist.Instance, core geom.Re
 			}
 			var acc geom.Point
 			var w float64
-			for _, net := range inst.Conns {
-				if net.Degree() > 64 {
+			// Walk pins in cell declaration order, not map order: the
+			// centroid sum is float accumulation, so iteration order leaks
+			// into positions and — compounded over sweeps — made placement
+			// (and every timing number derived from it) nondeterministic.
+			for _, p := range inst.Cell.Pins {
+				net := inst.Conns[p.Name]
+				if net == nil || net.Degree() > 64 {
 					continue // clock/MTE megafanout nets don't drag placement
 				}
 				if c, ok := netCenter(net); ok {

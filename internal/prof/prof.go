@@ -1,0 +1,50 @@
+// Package prof wires CPU and heap profiling into the CLI commands. The
+// commands expose -cpuprofile/-memprofile flags (same names and file
+// format as go test's) so a slow flow run can be fed straight to
+// go tool pprof without writing a benchmark harness around it.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two file paths (either may be empty) and
+// returns a stop function the caller defers: it finishes the CPU profile
+// and snapshots the heap profile. Profiles are only written on a normal
+// return — log.Fatal paths exit before deferred stops run, same as the
+// testing package's behavior on a fatal test.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cf *os.File
+	if cpuFile != "" {
+		cf, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cf != nil {
+			pprof.StopCPUProfile()
+			cf.Close()
+		}
+		if memFile == "" {
+			return
+		}
+		mf, err := os.Create(memFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prof: memprofile:", err)
+			return
+		}
+		defer mf.Close()
+		runtime.GC() // settle the live heap so the snapshot reflects retained memory
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintln(os.Stderr, "prof: memprofile:", err)
+		}
+	}, nil
+}

@@ -1,0 +1,155 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+)
+
+// TestRepropagateZeroAlloc pins the tentpole's allocation contract: once a
+// graph is compiled and its scratch buffers have reached steady capacity,
+// a full re-propagation (the cached-Analyze hot path) must not touch the
+// heap at all.
+func TestRepropagateZeroAlloc(t *testing.T) {
+	d := synthSmall(t)
+	c, err := normalizeConfig(cfg(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := Compile(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg.runFull()
+	cg.repropagateAll() // warm every buffer to steady capacity
+	if n := testing.AllocsPerRun(10, func() { cg.repropagateAll() }); n != 0 {
+		t.Errorf("repropagateAll allocates %v/run, want 0", n)
+	}
+}
+
+// TestRetimeZeroAlloc is the same contract for the incremental path: a
+// cell-swap rebind plus the seeded forward/backward waves and the endpoint
+// scan must run allocation-free on the flat graph. (Incremental.Update
+// itself additionally patches the map view; the flat core underneath is
+// what must stay off the heap.)
+func TestRetimeZeroAlloc(t *testing.T) {
+	l := lib(t)
+	d := synthSmall(t)
+	c, err := normalizeConfig(cfg(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := Compile(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg.runFull()
+	var inst *netlist.Instance
+	for _, cand := range d.Instances() {
+		if cand.Cell.Kind != liberty.KindComb {
+			continue
+		}
+		if l.Variant(cand.Cell, liberty.FlavorLVT) != nil && l.Variant(cand.Cell, liberty.FlavorHVT) != nil {
+			inst = cand
+			break
+		}
+	}
+	if inst == nil {
+		t.Fatal("no comb instance with both Vth variants")
+	}
+	ci := cg.combIdx[inst]
+	var touched []int32
+	for _, p := range inst.Cell.Pins {
+		if n := inst.Conns[p.Name]; n != nil {
+			if id, ok := cg.netID[n]; ok {
+				touched = append(touched, id)
+			}
+		}
+	}
+	variants := [2]*liberty.Cell{
+		l.Variant(inst.Cell, liberty.FlavorHVT),
+		l.Variant(inst.Cell, liberty.FlavorLVT),
+	}
+	k := 0
+	retime := func() {
+		// The white-box equivalent of ReplaceCell + Incremental.retime,
+		// minus the journal and the map patching: rebind the arcs in
+		// place, reseed the swap's cone, run the waves.
+		inst.Cell = variants[k&1]
+		k++
+		cg.combArcs[ci] = cg.buildArcs(inst, cg.combArcs[ci])
+		cg.arrQ.reset()
+		cg.reqQ.reset()
+		cg.arrChanged = cg.arrChanged[:0]
+		cg.reqChanged = cg.reqChanged[:0]
+		for _, id := range touched {
+			cg.seedRetime(id)
+		}
+		var retimed int
+		cg.flowArrival(&retimed)
+		cg.flowRequired()
+		cg.endpointScan()
+	}
+	retime()
+	retime() // warm both variants and the changed-list capacities
+	if n := testing.AllocsPerRun(10, retime); n != 0 {
+		t.Errorf("flat swap retime allocates %v/run, want 0", n)
+	}
+}
+
+// TestFlatLegacyDifferentialRandomEdits is the fuzz-style differential
+// oracle: a seeded random walk of swap and placement-move batches, where
+// after every batch the flat kernel (first analysis compiles, second hits
+// the compile cache) must match the legacy map-based pass bit for bit.
+func TestFlatLegacyDifferentialRandomEdits(t *testing.T) {
+	l := lib(t)
+	d := synthSmall(t)
+	c := cfg(t, 3)
+	var cands []*netlist.Instance
+	for _, inst := range d.Instances() {
+		if inst.Cell.Kind == liberty.KindComb || inst.Cell.Kind == liberty.KindFF {
+			cands = append(cands, inst)
+		}
+	}
+	if len(cands) < 20 {
+		t.Fatalf("only %d editable instances; circuit too small for the walk", len(cands))
+	}
+	rng := rand.New(rand.NewSource(20050307))
+	for round := 0; round < 15; round++ {
+		batch := 1 + rng.Intn(10)
+		for i := 0; i < batch; i++ {
+			inst := cands[rng.Intn(len(cands))]
+			if rng.Intn(3) == 0 {
+				inst.Pos.X += (rng.Float64() - 0.5) * 10
+				inst.Pos.Y += (rng.Float64() - 0.5) * 10
+				d.NotePlacement(inst)
+				continue
+			}
+			f := swappableFlavors[rng.Intn(len(swappableFlavors))]
+			v := l.Variant(inst.Cell, f)
+			if v == nil || v == inst.Cell {
+				continue
+			}
+			if err := d.ReplaceCell(inst, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		flat, err := Analyze(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := AnalyzeLegacy(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireExactMatch(t, d, flat, legacy)
+		// Same revision again: the cache-hit refresh path must agree too.
+		cached, err := Analyze(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireExactMatch(t, d, cached, legacy)
+	}
+}

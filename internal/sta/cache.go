@@ -1,0 +1,117 @@
+package sta
+
+// Per-design compile cache. The flat kernel interns (Compile) once per
+// design revision: repeated Analyze calls on an unchanged design reuse
+// the compiled graph and only re-run the zero-allocation flat passes,
+// then snapshot the map view. The cache is a tiny checked-out-while-in-
+// use MRU list, so concurrent Analyze calls on the same design never
+// share a CompiledGraph.
+
+import (
+	"maps"
+	"slices"
+	"sync"
+
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/parasitics"
+)
+
+// cacheEntry pairs one design's compiled graph with the canonical Result
+// its flat state is mirrored into. Returned Results are snapshots cloned
+// from the canonical one, so later refreshes never mutate what a caller
+// already holds (RC trees stay shared, per the documented live-view
+// parasitics semantics).
+type cacheEntry struct {
+	d         *netlist.Design
+	rev       uint64
+	clockPort string
+	extractor parasitics.Extractor
+	cg        *CompiledGraph
+	res       *Result
+}
+
+// compileCacheCap bounds how many designs stay interned (MCMM sign-off
+// analyzes up to four corner clones in rotation).
+const compileCacheCap = 4
+
+var compileCache struct {
+	sync.Mutex
+	entries []*cacheEntry
+}
+
+// takeCompiled checks out the entry for (design, clock port, extractor),
+// removing it from the list so no other goroutine can use it until the
+// caller stores it back. Extractor identity is part of the key: a
+// different extractor means different RC state and must recompile rather
+// than overwrite trees earlier Results still reference.
+func takeCompiled(d *netlist.Design, clockPort string, ex parasitics.Extractor) *cacheEntry {
+	compileCache.Lock()
+	defer compileCache.Unlock()
+	for i, e := range compileCache.entries {
+		if e.d == d && e.clockPort == clockPort && e.extractor == ex {
+			compileCache.entries = slices.Delete(compileCache.entries, i, i+1)
+			return e
+		}
+	}
+	return nil
+}
+
+// storeCompiled inserts an entry at the MRU position, evicting past the
+// capacity.
+func storeCompiled(e *cacheEntry) {
+	compileCache.Lock()
+	defer compileCache.Unlock()
+	compileCache.entries = slices.Insert(compileCache.entries, 0, e)
+	if len(compileCache.entries) > compileCacheCap {
+		compileCache.entries = compileCache.entries[:compileCacheCap]
+	}
+}
+
+// refresh re-runs the flat passes on a revision-matched graph under a
+// possibly different config (period, delays, clock-arrival model — the
+// graph structure and RC depend on neither) and patches the canonical
+// Result from the changed-net lists. Returns a caller-private snapshot.
+func (e *cacheEntry) refresh(cfg Config) *Result {
+	cg := e.cg
+	cg.cfg = cfg
+	cg.repropagateAll()
+	r := e.res
+	r.Config = cfg
+	for _, id := range cg.arrChanged {
+		n := cg.nets[id]
+		if cg.hasArr[id] {
+			r.ArrivalMax[n] = cg.arrMax[id]
+			r.ArrivalMin[n] = cg.arrMin[id]
+			r.SlewMax[n] = cg.slewMax[id]
+		} else {
+			delete(r.ArrivalMax, n)
+			delete(r.ArrivalMin, n)
+			delete(r.SlewMax, n)
+		}
+	}
+	for _, id := range cg.reqChanged {
+		n := cg.nets[id]
+		if cg.hasReq[id] {
+			r.RequiredMax[n] = cg.reqMax[id]
+		} else {
+			delete(r.RequiredMax, n)
+		}
+	}
+	cg.mirrorEndpoints(r)
+	return r.snapshot()
+}
+
+// snapshot returns a caller-private copy of the result. Map headers are
+// cloned (bucket copies, no rehashing — far cheaper than re-inserting
+// every net), scalar values are copied with them; pointees like RC trees
+// and instances stay shared.
+func (r *Result) snapshot() *Result {
+	c := *r
+	c.ArrivalMax = maps.Clone(r.ArrivalMax)
+	c.ArrivalMin = maps.Clone(r.ArrivalMin)
+	c.SlewMax = maps.Clone(r.SlewMax)
+	c.RequiredMax = maps.Clone(r.RequiredMax)
+	c.RC = maps.Clone(r.RC)
+	c.HoldViolations = slices.Clone(r.HoldViolations)
+	return &c
+}

@@ -1,0 +1,897 @@
+// Flat, slice-indexed timing core. CompiledGraph interns a design's nets,
+// instances and timing arcs into dense int32 IDs once per structural
+// revision and keeps every per-net timing quantity (arrival window, worst
+// slew, required time, level) in flat []float64/[]int32 state indexed by
+// those IDs. The propagate loops walk preallocated per-level buckets and
+// perform zero heap allocations (guarded by testing.AllocsPerRun in
+// compiled_test.go); the map-keyed Result the rest of the flow consumes is
+// materialized (or incrementally patched) from the flat state afterwards.
+//
+// The arithmetic is exactly the legacy map-based pass's, in the same
+// evaluation order, so results are bit-identical to AnalyzeLegacy — the
+// retained oracle the differential tests hold this kernel to.
+package sta
+
+import (
+	"math"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/parasitics"
+)
+
+// driver kinds per net.
+const (
+	drvNone uint8 = iota // undriven, clock port, or a non-arrival source
+	drvPort              // data primary input: seeded with the external arrival
+	drvSeq               // flop Q output
+	drvComb              // combinational cell output
+)
+
+// required-consumer kinds per net (see reqCons).
+const (
+	rcOutPort uint8 = iota // output-port endpoint
+	rcFlopD                // flop D setup endpoint (idx = seq index)
+	rcComb                 // combinational consumer (idx = comb index)
+)
+
+// combArc is one flattened timing arc of a combinational instance: the
+// fanin net it reads, the sink position resolving its wire delay, and the
+// NLDM arc evaluated at the instance's output load.
+//
+// The c* fields memoize the last table evaluation keyed by its inputs.
+// Arc delay is a pure function of (input slew, output load), so a hit
+// returns bit-identical values while skipping the two NLDM
+// interpolations — the dominant cost of a propagate pass. cSlewIn starts
+// NaN, which compares unequal to everything, so a fresh arc always
+// misses; rebinding an instance (buildArcs) resets it the same way.
+type combArc struct {
+	in      int32 // fanin net ID
+	sinkPos int32 // index into sinkD[in] (-1: no resolved sink, zero wire delay)
+	arc     *liberty.Arc
+
+	cSlewIn, cLoad   float64 // inputs of the memoized evaluation
+	cDelay, cSlewOut float64 // its results
+}
+
+// eval returns the arc's worst delay and output slew for the given input
+// slew and load, through the memo.
+func (a *combArc) eval(sIn, load float64) (dm, sm float64) {
+	if !(a.cSlewIn == sIn && a.cLoad == load) {
+		a.cSlewIn, a.cLoad = sIn, load
+		a.cDelay = a.arc.WorstDelay(sIn, load)
+		a.cSlewOut = a.arc.WorstSlew(sIn, load)
+	}
+	return a.cDelay, a.cSlewOut
+}
+
+// seqInfo is the compiled view of one sequential instance. The c* fields
+// memoize the CK→Q table evaluation; keying on the arc pointer makes a
+// cell swap (which changes the cell's arcs) an automatic miss, so the
+// live Cell.Arc lookup stays swap-safe.
+type seqInfo struct {
+	inst     *netlist.Instance
+	q        int32 // output (Q) net ID, -1 when unconnected
+	dNet     int32 // D input net ID, -1 when unconnected
+	dSinkPos int32 // sink position of the D pin on dNet (-1: none)
+
+	cArc            *liberty.Arc
+	cClkSlew, cLoad float64
+	cDelay, cQSlew  float64
+}
+
+// reqConsumer is one required-time candidate source on a net: an output
+// port, a flop D pin, or a combinational consumer instance (deduplicated,
+// in net-sink order — the same candidate set the legacy backward pass
+// min-accumulates).
+type reqConsumer struct {
+	kind uint8
+	idx  int32
+}
+
+// flatQueue is the index-based dirty queue: per-level buckets of net IDs
+// with an epoch-stamped membership mark, reused across retimes without
+// reallocation.
+type flatQueue struct {
+	buckets [][]int32
+	mark    []uint32
+	epoch   uint32
+}
+
+func (q *flatQueue) init(levels, nets int) {
+	q.buckets = make([][]int32, levels)
+	q.mark = make([]uint32, nets)
+	q.epoch = 0
+}
+
+func (q *flatQueue) reset() {
+	q.epoch++
+	if q.epoch == 0 { // wrapped: marks are ambiguous, clear them
+		for i := range q.mark {
+			q.mark[i] = 0
+		}
+		q.epoch = 1
+	}
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+}
+
+func (q *flatQueue) push(id, lvl int32) {
+	if q.mark[id] == q.epoch {
+		return
+	}
+	q.mark[id] = q.epoch
+	q.buckets[lvl] = append(q.buckets[lvl], id)
+}
+
+// CompiledGraph is the flat timing graph over one design revision.
+type CompiledGraph struct {
+	d   *netlist.Design
+	cfg Config // normalized
+
+	nets  []*netlist.Net
+	netID map[*netlist.Net]int32
+
+	srcPorts []int32 // nets seeded by data input ports, port order
+	outPorts []int32 // nets sunk by output ports, port order
+
+	seqs     []seqInfo // sequential instances, instance order
+	seqIdx   map[*netlist.Instance]int32
+	combs    []*netlist.Instance // comb instances with an output, topo order
+	combOut  []int32             // their output net IDs
+	combArcs [][]combArc         // their flattened arcs (rebuilt on cell swap)
+	combIdx  map[*netlist.Instance]int32
+
+	drvKind []uint8 // per net
+	drvIdx  []int32 // seq/comb index for drvSeq/drvComb, else -1
+
+	// Required-time consumers in CSR form: net id's candidates are
+	// reqConsArr[reqConsOff[id]:reqConsOff[id+1]], net-sink order,
+	// comb-deduplicated. One backing array instead of one slice per net.
+	reqConsOff []int32
+	reqConsArr []reqConsumer
+
+	level    []int32
+	maxLevel int32
+
+	// Per-net state, indexed by net ID. Absent quantities (has* false)
+	// keep zeroed values so reads mirror the legacy maps' zero-value
+	// semantics bit for bit.
+	rc       []*parasitics.RCTree
+	trees    []parasitics.RCTree // slab the rc trees are carved from (IntoExtractor path)
+	intoEx   parasitics.IntoExtractor
+	totalCap []float64
+	sinkD    [][]float64 // Elmore delay per sink position, padded to len(Sinks)
+	arrMax   []float64
+	arrMin   []float64
+	slewMax  []float64
+	reqMax   []float64
+	hasArr   []bool
+	hasReq   []bool
+
+	// Endpoint scan results (mirrored into the Result afterwards).
+	wns, tns, worstHold float64
+	holdBuf             []*netlist.Instance
+
+	// Retime scratch, preallocated once and reused.
+	arrQ, reqQ              flatQueue
+	arrChanged, reqChanged  []int32
+	elmoreDelay, elmoreDown []float64
+}
+
+// Compile interns the design into a flat graph at its current structural
+// revision. The per-net timing state starts empty; run a full pass
+// (runFull) or import prior state (importFrom) before reading results.
+func Compile(d *netlist.Design, cfg Config) (*CompiledGraph, error) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	nets := d.Nets()
+	nn := len(nets)
+	cg := &CompiledGraph{
+		d:       d,
+		cfg:     cfg,
+		nets:    nets,
+		netID:   make(map[*netlist.Net]int32, nn),
+		seqIdx:  make(map[*netlist.Instance]int32),
+		combIdx: make(map[*netlist.Instance]int32),
+		drvKind: make([]uint8, nn),
+		drvIdx:  make([]int32, nn),
+		level:   make([]int32, nn),
+
+		rc:       make([]*parasitics.RCTree, nn),
+		totalCap: make([]float64, nn),
+		sinkD:    make([][]float64, nn),
+		arrMax:   make([]float64, nn),
+		arrMin:   make([]float64, nn),
+		slewMax:  make([]float64, nn),
+		reqMax:   make([]float64, nn),
+		hasArr:   make([]bool, nn),
+		hasReq:   make([]bool, nn),
+	}
+	for i, n := range nets {
+		cg.netID[n] = int32(i)
+		cg.drvIdx[i] = -1
+	}
+
+	// With an in-place extractor, carve every net's RC tree and sink-delay
+	// buffer out of shared slabs sized for the common star topology
+	// (1 + #sinks nodes). Three-index subslices pin each net's capacity, so
+	// an extractor that ever needs more nodes reallocates only its own
+	// net's slices. This turns ~6 small allocations per net per full
+	// analysis into a handful of slab allocations per compile.
+	cg.intoEx, _ = cfg.Extractor.(parasitics.IntoExtractor)
+	totalSinks := 0
+	for _, n := range nets {
+		totalSinks += len(n.Sinks)
+	}
+	if cg.intoEx != nil {
+		totalNodes := nn + totalSinks
+		parentSlab := make([]int, totalNodes)
+		rkSlab := make([]float64, totalNodes)
+		capSlab := make([]float64, totalNodes)
+		sinkNodeSlab := make([]int, totalSinks)
+		sinkDSlab := make([]float64, totalSinks)
+		cg.trees = make([]parasitics.RCTree, nn)
+		off, soff := 0, 0
+		for i, n := range nets {
+			nd := 1 + len(n.Sinks)
+			t := &cg.trees[i]
+			t.Parent = parentSlab[off : off : off+nd]
+			t.RkOhm = rkSlab[off : off : off+nd]
+			t.CapPF = capSlab[off : off : off+nd]
+			t.SinkNode = sinkNodeSlab[soff : soff : soff+len(n.Sinks)]
+			cg.rc[i] = t
+			cg.sinkD[i] = sinkDSlab[soff : soff : soff+len(n.Sinks)]
+			off += nd
+			soff += len(n.Sinks)
+		}
+	}
+
+	// Ports, in declaration order: data inputs seed arrivals, outputs are
+	// required-time endpoints.
+	for _, p := range d.Ports() {
+		id := cg.netID[p.Net]
+		if p.Dir == netlist.DirInput {
+			if p.Name != cfg.ClockPort {
+				cg.srcPorts = append(cg.srcPorts, id)
+				cg.drvKind[id] = drvPort
+			}
+		} else {
+			cg.outPorts = append(cg.outPorts, id)
+		}
+	}
+
+	// Sequential instances, in instance order.
+	for _, inst := range d.Instances() {
+		if !inst.Cell.IsSequential() {
+			continue
+		}
+		si := seqInfo{inst: inst, q: -1, dNet: -1, dSinkPos: -1}
+		if q := inst.OutputNet(); q != nil {
+			si.q = cg.netID[q]
+			cg.drvKind[si.q] = drvSeq
+			cg.drvIdx[si.q] = int32(len(cg.seqs))
+		}
+		if dn := inst.Conns["D"]; dn != nil {
+			si.dNet = cg.netID[dn]
+			si.dSinkPos = sinkPos(dn, inst, "D")
+		}
+		cg.seqIdx[inst] = int32(len(cg.seqs))
+		cg.seqs = append(cg.seqs, si)
+	}
+
+	// Combinational instances with an output, in topological order, with
+	// levelization (level of a net = 1 + worst level over its driver's
+	// fanin nets, exactly the legacy relevel). Arc counts are gathered
+	// here so the arcs themselves can be carved from one slab below.
+	arcCnt := make([]int32, 0, len(order))
+	for _, inst := range order {
+		if inst.Cell.IsSequential() {
+			continue
+		}
+		out := inst.OutputNet()
+		if out == nil {
+			continue
+		}
+		ci := int32(len(cg.combs))
+		oid := cg.netID[out]
+		cg.combIdx[inst] = ci
+		cg.combs = append(cg.combs, inst)
+		cg.combOut = append(cg.combOut, oid)
+		cg.drvKind[oid] = drvComb
+		cg.drvIdx[oid] = ci
+		cnt := int32(0)
+		lvl := int32(0)
+		for _, arc := range inst.Cell.Arcs {
+			inNet := inst.Conns[arc.From]
+			if inNet == nil {
+				continue
+			}
+			cnt++
+			if l := cg.level[cg.netID[inNet]] + 1; l > lvl {
+				lvl = l
+			}
+		}
+		arcCnt = append(arcCnt, cnt)
+		cg.level[oid] = lvl
+		if lvl > cg.maxLevel {
+			cg.maxLevel = lvl
+		}
+	}
+	// Carve each instance's arc list from a single slab with pinned
+	// capacity: a later cell swap that grows the list reallocates only
+	// that instance's slice.
+	totalArcs := int32(0)
+	for _, c := range arcCnt {
+		totalArcs += c
+	}
+	arcSlab := make([]combArc, totalArcs)
+	cg.combArcs = make([][]combArc, len(cg.combs))
+	aoff := int32(0)
+	for ci, inst := range cg.combs {
+		cg.combArcs[ci] = cg.buildArcs(inst, arcSlab[aoff:aoff:aoff+arcCnt[ci]])
+		aoff += arcCnt[ci]
+	}
+
+	// Required-time consumers per net, in net-sink order, CSR-packed.
+	// Each sink contributes at most one candidate, so totalSinks bounds
+	// the packed length and the array never reallocates.
+	cg.reqConsOff = make([]int32, nn+1)
+	cg.reqConsArr = make([]reqConsumer, 0, totalSinks)
+	var seenComb []int32 // small linear dedup, matches legacy's per-call set
+	for i, n := range nets {
+		seenComb = seenComb[:0]
+		for _, s := range n.Sinks {
+			switch {
+			case s.Port != nil:
+				if s.Port.Dir == netlist.DirOutput {
+					cg.reqConsArr = append(cg.reqConsArr, reqConsumer{kind: rcOutPort})
+				}
+			case s.Inst == nil:
+				// detached ref: nothing
+			case s.Inst.Cell.IsSequential():
+				if s.Pin == "D" {
+					cg.reqConsArr = append(cg.reqConsArr, reqConsumer{kind: rcFlopD, idx: cg.seqIdx[s.Inst]})
+				}
+			default:
+				ci, ok := cg.combIdx[s.Inst]
+				if !ok {
+					continue // no output (switch/holder): emits no candidates
+				}
+				dup := false
+				for _, c := range seenComb {
+					if c == ci {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				seenComb = append(seenComb, ci)
+				cg.reqConsArr = append(cg.reqConsArr, reqConsumer{kind: rcComb, idx: ci})
+			}
+		}
+		cg.reqConsOff[i+1] = int32(len(cg.reqConsArr))
+	}
+
+	cg.arrQ.init(int(cg.maxLevel)+1, nn)
+	cg.reqQ.init(int(cg.maxLevel)+1, nn)
+	cg.arrChanged = make([]int32, 0, nn)
+	cg.reqChanged = make([]int32, 0, nn)
+	return cg, nil
+}
+
+// buildArcs flattens one combinational instance's connected timing arcs,
+// reusing buf's capacity. Called at compile time and again when a cell
+// swap rebinds the instance (the arc pointers and pin set change with the
+// cell).
+func (cg *CompiledGraph) buildArcs(inst *netlist.Instance, buf []combArc) []combArc {
+	buf = buf[:0]
+	for _, arc := range inst.Cell.Arcs {
+		inNet := inst.Conns[arc.From]
+		if inNet == nil {
+			continue
+		}
+		buf = append(buf, combArc{
+			in:      cg.netID[inNet],
+			sinkPos: sinkPos(inNet, inst, arc.From),
+			arc:     arc,
+			cSlewIn: math.NaN(), // empty memo
+		})
+	}
+	return buf
+}
+
+// consumers returns net id's required-time candidate sources (CSR view).
+func (cg *CompiledGraph) consumers(id int32) []reqConsumer {
+	return cg.reqConsArr[cg.reqConsOff[id]:cg.reqConsOff[id+1]]
+}
+
+// sinkPos returns the first position of (inst, pin) in n.Sinks, or -1 —
+// the index legacy sinkWireDelay scans for on every call.
+func sinkPos(n *netlist.Net, inst *netlist.Instance, pin string) int32 {
+	for i, s := range n.Sinks {
+		if s.Inst == inst && s.Pin == pin {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// extract re-runs parasitic extraction for one net and refreshes the
+// derived flat state (total cap, per-sink Elmore delays). With an
+// IntoExtractor the net's preallocated tree is refilled in place —
+// consistent with the Result's documented live-view semantics — so the
+// steady-state retime loop allocates nothing.
+func (cg *CompiledGraph) extract(id int32) {
+	n := cg.nets[id]
+	var t *parasitics.RCTree
+	if cg.intoEx != nil {
+		t = cg.intoEx.ExtractInto(n, cg.rc[id])
+	} else {
+		t = cg.cfg.Extractor.Extract(n)
+		cg.rc[id] = t
+	}
+	cg.totalCap[id] = t.TotalCap()
+	// Per-sink wire delays, padded with zeros past SinkNode exactly like
+	// legacy sinkWireDelay's out-of-range fallback.
+	nodes := len(t.CapPF)
+	if cap(cg.elmoreDelay) < nodes {
+		cg.elmoreDelay = make([]float64, nodes)
+		cg.elmoreDown = make([]float64, nodes)
+	}
+	delay := t.ElmoreInto(cg.elmoreDelay[:nodes], cg.elmoreDown[:nodes])
+	sd := cg.sinkD[id][:0]
+	for i := range n.Sinks {
+		if i < len(t.SinkNode) {
+			sd = append(sd, delay[t.SinkNode[i]])
+		} else {
+			sd = append(sd, 0)
+		}
+	}
+	cg.sinkD[id] = sd
+}
+
+// wireD returns the wire delay for a resolved sink position (0 when the
+// sink did not resolve to an RC node).
+func (cg *CompiledGraph) wireD(in, pos int32) float64 {
+	if pos < 0 || int(pos) >= len(cg.sinkD[in]) {
+		return 0
+	}
+	return cg.sinkD[in][pos]
+}
+
+func (cg *CompiledGraph) clkArr(inst *netlist.Instance) float64 {
+	if cg.cfg.ClockArrival != nil {
+		return cg.cfg.ClockArrival(inst)
+	}
+	return 0
+}
+
+// seqWindow computes a flop's Q arrival and slew (legacy seqArrival).
+func (cg *CompiledGraph) seqWindow(si *seqInfo) (arr, slew float64) {
+	arc := si.inst.Cell.Arc("CK", "Q")
+	var dq, sq float64
+	if arc != nil {
+		load := cg.totalCap[si.q]
+		if !(si.cArc == arc && si.cClkSlew == cg.cfg.ClockSlewNs && si.cLoad == load) {
+			si.cArc, si.cClkSlew, si.cLoad = arc, cg.cfg.ClockSlewNs, load
+			si.cDelay = arc.WorstDelay(cg.cfg.ClockSlewNs, load)
+			si.cQSlew = arc.WorstSlew(cg.cfg.ClockSlewNs, load)
+		}
+		dq, sq = si.cDelay, si.cQSlew
+	}
+	return cg.clkArr(si.inst) + dq, sq
+}
+
+// combWindow computes a combinational output's arrival window and worst
+// slew from its fanin state (legacy combArrival), ok=false when no fanin
+// is constrained.
+func (cg *CompiledGraph) combWindow(ci int32) (amax, amin, smax float64, ok bool) {
+	load := cg.totalCap[cg.combOut[ci]]
+	amax = math.Inf(-1)
+	amin = math.Inf(1)
+	smax = 0.0
+	arcs := cg.combArcs[ci]
+	for i := range arcs {
+		a := &arcs[i]
+		if !cg.hasArr[a.in] {
+			continue
+		}
+		wire := cg.wireD(a.in, a.sinkPos)
+		dm, sm := a.eval(cg.slewMax[a.in], load)
+		amax = math.Max(amax, cg.arrMax[a.in]+wire+dm)
+		amin = math.Min(amin, cg.arrMin[a.in]+wire+dm)
+		smax = math.Max(smax, sm)
+	}
+	if math.IsInf(amax, -1) {
+		return 0, 0, 0, false
+	}
+	return amax, amin, smax, true
+}
+
+// setArr writes a present arrival window; clearArr removes one (zeroing
+// the state so later reads see the legacy maps' zero values).
+func (cg *CompiledGraph) setArr(id int32, amax, amin, smax float64) {
+	cg.arrMax[id] = amax
+	cg.arrMin[id] = amin
+	cg.slewMax[id] = smax
+	cg.hasArr[id] = true
+}
+
+func (cg *CompiledGraph) clearArr(id int32) {
+	cg.arrMax[id] = 0
+	cg.arrMin[id] = 0
+	cg.slewMax[id] = 0
+	cg.hasArr[id] = false
+}
+
+// forwardFull seeds every arrival source and propagates in topological
+// order — the flat propagateArrival.
+func (cg *CompiledGraph) forwardFull() {
+	for i := range cg.hasArr {
+		cg.clearArr(int32(i))
+	}
+	for _, id := range cg.srcPorts {
+		cg.setArr(id, cg.cfg.InputDelayNs, cg.cfg.InputDelayNs, cg.cfg.InputSlewNs)
+	}
+	for i := range cg.seqs {
+		si := &cg.seqs[i]
+		if si.q < 0 {
+			continue
+		}
+		arr, slew := cg.seqWindow(si)
+		cg.setArr(si.q, arr, arr, slew)
+	}
+	for ci := range cg.combs {
+		if amax, amin, smax, ok := cg.combWindow(int32(ci)); ok {
+			cg.setArr(cg.combOut[ci], amax, amin, smax)
+		}
+	}
+}
+
+func (cg *CompiledGraph) outputPortRequired() float64 {
+	return cg.cfg.ClockPeriodNs - cg.cfg.OutputDelayNs
+}
+
+func (cg *CompiledGraph) flopSetupRequired(si *seqInfo) float64 {
+	return cg.cfg.ClockPeriodNs + cg.clkArr(si.inst) - si.inst.Cell.SetupNs
+}
+
+func (cg *CompiledGraph) accumReq(id int32, req float64) {
+	if !cg.hasReq[id] || req < cg.reqMax[id] {
+		cg.reqMax[id] = req
+		cg.hasReq[id] = true
+	}
+}
+
+// backwardFull seeds the endpoint required times and propagates against
+// the topological order — the flat propagateRequired.
+func (cg *CompiledGraph) backwardFull() {
+	for i := range cg.hasReq {
+		cg.reqMax[i] = 0
+		cg.hasReq[i] = false
+	}
+	for _, id := range cg.outPorts {
+		cg.accumReq(id, cg.outputPortRequired())
+	}
+	for i := range cg.seqs {
+		si := &cg.seqs[i]
+		if si.dNet < 0 {
+			continue
+		}
+		cg.accumReq(si.dNet, cg.flopSetupRequired(si))
+	}
+	for ci := len(cg.combs) - 1; ci >= 0; ci-- {
+		out := cg.combOut[ci]
+		if !cg.hasReq[out] {
+			continue
+		}
+		req := cg.reqMax[out]
+		load := cg.totalCap[out]
+		arcs := cg.combArcs[ci]
+		for i := range arcs {
+			a := &arcs[i]
+			dm, _ := a.eval(cg.slewMax[a.in], load)
+			cg.accumReq(a.in, req-dm-cg.wireD(a.in, a.sinkPos))
+		}
+	}
+}
+
+// endpointScan recomputes WNS/TNS/WorstHold and the hold-violation list in
+// the design's deterministic endpoint order (output ports, then flops) —
+// the flat endpointChecks. Scan state lands in cg fields; callers mirror
+// it into the Result.
+func (cg *CompiledGraph) endpointScan() {
+	cg.wns = math.Inf(1)
+	cg.worstHold = math.Inf(1)
+	cg.tns = 0
+	cg.holdBuf = cg.holdBuf[:0]
+	check := func(id int32, req float64) {
+		if !cg.hasArr[id] {
+			return
+		}
+		s := req - cg.arrMax[id]
+		if s < cg.wns {
+			cg.wns = s
+		}
+		if s < 0 {
+			cg.tns += s
+		}
+	}
+	for _, id := range cg.outPorts {
+		check(id, cg.outputPortRequired())
+	}
+	for i := range cg.seqs {
+		si := &cg.seqs[i]
+		if si.dNet < 0 {
+			continue
+		}
+		lat := cg.clkArr(si.inst)
+		check(si.dNet, cg.flopSetupRequired(si))
+		if cg.hasArr[si.dNet] {
+			hs := cg.arrMin[si.dNet] + cg.wireD(si.dNet, si.dSinkPos) - lat - si.inst.Cell.HoldNs
+			if hs < cg.worstHold {
+				cg.worstHold = hs
+			}
+			if hs < 0 {
+				cg.holdBuf = append(cg.holdBuf, si.inst)
+			}
+		}
+	}
+	if math.IsInf(cg.wns, 1) {
+		cg.wns = cg.cfg.ClockPeriodNs // no endpoints: trivially met
+	}
+	if math.IsInf(cg.worstHold, 1) {
+		cg.worstHold = 0
+	}
+}
+
+// runFull extracts every net and runs the three flat passes.
+func (cg *CompiledGraph) runFull() {
+	for id := range cg.nets {
+		cg.extract(int32(id))
+	}
+	cg.forwardFull()
+	cg.backwardFull()
+	cg.endpointScan()
+}
+
+// materialize builds a fresh map-keyed Result view of the flat state.
+func (cg *CompiledGraph) materialize() *Result {
+	nn := len(cg.nets)
+	r := &Result{
+		Config:      cg.cfg,
+		ArrivalMax:  make(map[*netlist.Net]float64, nn),
+		ArrivalMin:  make(map[*netlist.Net]float64, nn),
+		SlewMax:     make(map[*netlist.Net]float64, nn),
+		RequiredMax: make(map[*netlist.Net]float64, nn),
+		RC:          make(map[*netlist.Net]*parasitics.RCTree, nn),
+		design:      cg.d,
+	}
+	for id, n := range cg.nets {
+		r.RC[n] = cg.rc[id]
+		if cg.hasArr[id] {
+			r.ArrivalMax[n] = cg.arrMax[id]
+			r.ArrivalMin[n] = cg.arrMin[id]
+			r.SlewMax[n] = cg.slewMax[id]
+		}
+		if cg.hasReq[id] {
+			r.RequiredMax[n] = cg.reqMax[id]
+		}
+	}
+	cg.mirrorEndpoints(r)
+	return r
+}
+
+// mirrorEndpoints copies the endpoint-scan scalars and hold list into a
+// Result, preserving the legacy nil-when-clean hold list shape.
+func (cg *CompiledGraph) mirrorEndpoints(r *Result) {
+	r.WNS = cg.wns
+	r.TNS = cg.tns
+	r.WorstHold = cg.worstHold
+	if len(cg.holdBuf) == 0 {
+		r.HoldViolations = nil
+	} else {
+		r.HoldViolations = append([]*netlist.Instance(nil), cg.holdBuf...)
+	}
+}
+
+// recomputeArrival redoes one net's arrival window from its driver kind
+// and reports whether presence or value changed (legacy recomputeArrival).
+func (cg *CompiledGraph) recomputeArrival(id int32) bool {
+	var amax, amin, smax float64
+	present := false
+	switch cg.drvKind[id] {
+	case drvPort:
+		amax, amin, smax = cg.cfg.InputDelayNs, cg.cfg.InputDelayNs, cg.cfg.InputSlewNs
+		present = true
+	case drvSeq:
+		si := &cg.seqs[cg.drvIdx[id]]
+		arr, slew := cg.seqWindow(si)
+		amax, amin, smax = arr, arr, slew
+		present = true
+	case drvComb:
+		amax, amin, smax, present = cg.combWindow(cg.drvIdx[id])
+	}
+	if present == cg.hasArr[id] && (!present ||
+		(cg.arrMax[id] == amax && cg.arrMin[id] == amin && cg.slewMax[id] == smax)) {
+		return false
+	}
+	if present {
+		cg.setArr(id, amax, amin, smax)
+	} else {
+		cg.clearArr(id)
+	}
+	return true
+}
+
+// recomputeRequired redoes one net's required time from its endpoint and
+// consumer candidates and reports whether it changed (legacy
+// recomputeRequired, over the compiled candidate list).
+func (cg *CompiledGraph) recomputeRequired(id int32) bool {
+	req := math.Inf(1)
+	present := false
+	for _, c := range cg.consumers(id) {
+		switch c.kind {
+		case rcOutPort:
+			if r := cg.outputPortRequired(); r < req {
+				req = r
+			}
+			present = true
+		case rcFlopD:
+			if r := cg.flopSetupRequired(&cg.seqs[c.idx]); r < req {
+				req = r
+			}
+			present = true
+		case rcComb:
+			out := cg.combOut[c.idx]
+			if !cg.hasReq[out] {
+				continue
+			}
+			outReq := cg.reqMax[out]
+			load := cg.totalCap[out]
+			arcs := cg.combArcs[c.idx]
+			for i := range arcs {
+				a := &arcs[i]
+				if a.in != id {
+					continue
+				}
+				dm, _ := a.eval(cg.slewMax[id], load)
+				if r := outReq - dm - cg.wireD(id, a.sinkPos); r < req {
+					req = r
+				}
+				present = true
+			}
+		}
+	}
+	if present == cg.hasReq[id] && (!present || cg.reqMax[id] == req) {
+		return false
+	}
+	if present {
+		cg.reqMax[id] = req
+		cg.hasReq[id] = true
+	} else {
+		cg.reqMax[id] = 0
+		cg.hasReq[id] = false
+	}
+	return true
+}
+
+// seedDriverFanins marks the fanin nets of a net's combinational driver
+// required-dirty (their required times read both its required time and
+// its load).
+func (cg *CompiledGraph) seedDriverFanins(id int32) {
+	if cg.drvKind[id] != drvComb {
+		return
+	}
+	for _, a := range cg.combArcs[cg.drvIdx[id]] {
+		cg.reqQ.push(a.in, cg.level[a.in])
+	}
+}
+
+// seedRetime re-extracts one touched net and marks the cones its new RC
+// invalidates, mirroring the legacy retime seeding: the net itself both
+// ways, every combinational sink's output forward, and the driver's
+// fanins backward.
+func (cg *CompiledGraph) seedRetime(id int32) {
+	cg.extract(id)
+	cg.arrQ.push(id, cg.level[id])
+	cg.reqQ.push(id, cg.level[id])
+	for _, c := range cg.consumers(id) {
+		if c.kind == rcComb {
+			out := cg.combOut[c.idx]
+			cg.arrQ.push(out, cg.level[out])
+		}
+	}
+	cg.seedDriverFanins(id)
+}
+
+// flowArrival drains the forward dirty queue by ascending level; a net
+// whose recomputed window is bit-identical stops the wave. Changed nets
+// are appended to arrChanged (and made required-dirty). This is the
+// zero-allocation forward inner loop.
+func (cg *CompiledGraph) flowArrival(retimed *int) {
+	for lvl := 0; lvl < len(cg.arrQ.buckets); lvl++ {
+		// The bucket may grow while being walked (fanout at a later index
+		// of the same level is impossible, but fanout pushes to higher
+		// levels; same-level pushes come only from re-seeding at this
+		// level). Index-walk so appends stay visible.
+		for bi := 0; bi < len(cg.arrQ.buckets[lvl]); bi++ {
+			id := cg.arrQ.buckets[lvl][bi]
+			*retimed++
+			if !cg.recomputeArrival(id) {
+				continue
+			}
+			cg.arrChanged = append(cg.arrChanged, id)
+			cg.reqQ.push(id, cg.level[id]) // its slew feeds backward delays
+			for _, c := range cg.consumers(id) {
+				if c.kind == rcComb {
+					out := cg.combOut[c.idx]
+					cg.arrQ.push(out, cg.level[out])
+				}
+			}
+		}
+	}
+}
+
+// flowRequired drains the backward dirty queue by descending level —
+// the zero-allocation backward inner loop.
+func (cg *CompiledGraph) flowRequired() {
+	for lvl := len(cg.reqQ.buckets) - 1; lvl >= 0; lvl-- {
+		for bi := 0; bi < len(cg.reqQ.buckets[lvl]); bi++ {
+			id := cg.reqQ.buckets[lvl][bi]
+			if !cg.recomputeRequired(id) {
+				continue
+			}
+			cg.reqChanged = append(cg.reqChanged, id)
+			cg.seedDriverFanins(id)
+		}
+	}
+}
+
+// importFrom carries per-net timing state over from a previous
+// compilation of the same design (an earlier structural revision). Nets
+// new to this graph keep zeroed (absent) state; the caller re-seeds every
+// journaled net afterwards, so only genuinely unchanged state survives
+// the recompile.
+func (cg *CompiledGraph) importFrom(old *CompiledGraph) {
+	for id, n := range cg.nets {
+		oid, ok := old.netID[n]
+		if !ok {
+			continue
+		}
+		cg.rc[id] = old.rc[oid]
+		cg.totalCap[id] = old.totalCap[oid]
+		cg.sinkD[id] = old.sinkD[oid]
+		cg.arrMax[id] = old.arrMax[oid]
+		cg.arrMin[id] = old.arrMin[oid]
+		cg.slewMax[id] = old.slewMax[oid]
+		cg.reqMax[id] = old.reqMax[oid]
+		cg.hasArr[id] = old.hasArr[oid]
+		cg.hasReq[id] = old.hasReq[oid]
+	}
+}
+
+// repropagateAll re-runs the incremental propagate loops over every net
+// (no extraction, no map patching): the direct subject of the
+// zero-allocation guards in compiled_test.go.
+func (cg *CompiledGraph) repropagateAll() int {
+	cg.arrQ.reset()
+	cg.reqQ.reset()
+	cg.arrChanged = cg.arrChanged[:0]
+	cg.reqChanged = cg.reqChanged[:0]
+	for id := range cg.nets {
+		cg.arrQ.push(int32(id), cg.level[id])
+		cg.reqQ.push(int32(id), cg.level[id])
+	}
+	retimed := 0
+	cg.flowArrival(&retimed)
+	cg.flowRequired()
+	cg.endpointScan()
+	return retimed
+}

@@ -2,7 +2,6 @@ package sta
 
 import (
 	"fmt"
-	"math"
 
 	"selectivemt/internal/netlist"
 )
@@ -11,11 +10,16 @@ import (
 // analysis once at construction and afterwards re-propagates only the
 // dirty fanout cone of each edit (and required times back through the
 // dirty fanin cone), instead of re-walking every net the way Analyze does.
+// The propagation state lives in a flat CompiledGraph — dense int32 net
+// IDs, slice-indexed arrivals/requireds/slews, preallocated per-level
+// dirty buckets — so the retime inner loops allocate nothing; the live
+// map-keyed Result is patched from the flat state after each update.
 //
 // It follows the design through its change journal (netlist.Design
 // revisions): cell swaps and placement moves are re-timed incrementally,
 // structural edits (connect/disconnect, instance or net add/remove,
-// buffer insertion) additionally rebuild the levelization but still only
+// buffer insertion) recompile the flat graph (re-interning IDs and
+// levelization) but import the previous timing state and still only
 // re-time the touched cones, and a lost journal (overflow, NoteBulkEdit,
 // out-of-band surgery) falls back to a full re-analysis. Results are
 // exact: after Update the Result is equal — field by field, bit by bit —
@@ -30,12 +34,9 @@ import (
 type Incremental struct {
 	d   *netlist.Design
 	cfg Config // normalized
+	cg  *CompiledGraph
 	res *Result
 	rev uint64 // design revision res reflects
-
-	order    []*netlist.Instance  // combinational topological order
-	level    map[*netlist.Net]int // net level: 1 + worst arc-fanin depth
-	maxLevel int
 
 	stats IncrementalStats
 }
@@ -45,12 +46,12 @@ type IncrementalStats struct {
 	FullBuilds        int // construction + journal-lost rebuilds
 	NoopUpdates       int // Update calls with a clean journal
 	SwapUpdates       int // incremental updates of swap/move batches
-	StructuralUpdates int // incremental updates that relevelized first
+	StructuralUpdates int // incremental updates that recompiled the graph
 	NetsRetimed       int // nets whose arrival was recomputed
 }
 
-// NewIncremental builds the timing graph and runs the initial full
-// analysis (via Analyze, so the starting state is the oracle's).
+// NewIncremental compiles the flat timing graph and runs the initial full
+// analysis.
 func NewIncremental(d *netlist.Design, cfg Config) (*Incremental, error) {
 	cfg, err := normalizeConfig(cfg)
 	if err != nil {
@@ -72,60 +73,25 @@ func (inc *Incremental) Design() *netlist.Design { return inc.d }
 // Stats returns the update counters.
 func (inc *Incremental) Stats() IncrementalStats { return inc.stats }
 
-// rebuild re-runs the full oracle analysis and relevelizes.
+// rebuild recompiles the flat graph and re-runs the full analysis.
 func (inc *Incremental) rebuild() error {
-	r, err := Analyze(inc.d, inc.cfg)
+	cg, err := Compile(inc.d, inc.cfg)
 	if err != nil {
 		return err
 	}
-	inc.res = r
-	if err := inc.relevel(); err != nil {
-		return err
-	}
+	cg.runFull()
+	inc.cg = cg
+	inc.res = cg.materialize()
 	inc.rev = inc.d.Revision()
+	inc.res.Revision = inc.rev
 	inc.stats.FullBuilds++
 	return nil
 }
 
-// relevel recomputes the topological order and per-net levels. A net's
-// level exceeds every net feeding a timing arc of its driver, so a
-// forward sweep by ascending level (and a backward sweep by descending
-// level) always sees finished predecessors.
-func (inc *Incremental) relevel() error {
-	order, err := inc.d.TopoOrder()
-	if err != nil {
-		return err
-	}
-	inc.order = order
-	inc.level = make(map[*netlist.Net]int, inc.d.NumNets())
-	inc.maxLevel = 0
-	for _, inst := range order {
-		if inst.Cell.IsSequential() {
-			continue
-		}
-		out := inst.OutputNet()
-		if out == nil {
-			continue
-		}
-		lvl := 0
-		for _, arc := range inst.Cell.Arcs {
-			if inNet := inst.Conns[arc.From]; inNet != nil {
-				if l := inc.level[inNet] + 1; l > lvl {
-					lvl = l
-				}
-			}
-		}
-		inc.level[out] = lvl
-		if lvl > inc.maxLevel {
-			inc.maxLevel = lvl
-		}
-	}
-	return nil
-}
-
 // Update brings the result up to date with the design. A clean journal
-// returns immediately; swap/move batches re-time their dirty cones;
-// structural batches relevelize first; lost history falls back to a full
+// returns immediately; swap/move batches re-time their dirty cones on the
+// compiled graph; structural batches recompile the graph (importing the
+// untouched timing state) first; lost history falls back to a full
 // re-analysis. The returned Result is inc.Result().
 func (inc *Incremental) Update() (*Result, error) {
 	delta, ok := inc.d.ChangesSince(inc.rev)
@@ -147,79 +113,52 @@ func (inc *Incremental) Update() (*Result, error) {
 		}
 	}
 	if structural {
-		if err := inc.relevel(); err != nil {
+		cg, err := Compile(inc.d, inc.cfg)
+		if err != nil {
 			return nil, err // e.g. a combinational cycle was introduced
 		}
+		cg.importFrom(inc.cg)
+		inc.cg = cg
 		inc.stats.StructuralUpdates++
 	} else {
+		// Swap/move batch: connectivity is intact, but a replaced cell
+		// carries new arc pointers — rebind the flattened arcs in place.
+		for _, ch := range delta {
+			if ch.Kind == netlist.ChangeCellReplaced && ch.Inst != nil {
+				if ci, ok := inc.cg.combIdx[ch.Inst]; ok {
+					inc.cg.combArcs[ci] = inc.cg.buildArcs(ch.Inst, inc.cg.combArcs[ci])
+				}
+			}
+		}
 		inc.stats.SwapUpdates++
 	}
-	inc.retime(inc.touchedNets(delta))
+	inc.retime(delta)
 	inc.rev = inc.d.Revision()
 	inc.res.Revision = inc.rev
 	return inc.res, nil
 }
 
-// touchedNets collects every net whose extraction or timing inputs a
-// journal batch may have invalidated: nets named by entries plus every
-// net currently connected to an instance named by an entry (a swapped
-// cell changes its own arcs and, through its input pin caps, the RC of
-// every fanin net; a moved one changes the RC of everything it touches).
-func (inc *Incremental) touchedNets(delta []netlist.Change) map[*netlist.Net]bool {
-	touched := make(map[*netlist.Net]bool)
-	for _, ch := range delta {
-		if ch.Net != nil {
-			touched[ch.Net] = true
-		}
-		if ch.Inst != nil {
-			for _, n := range ch.Inst.Conns {
-				touched[n] = true
-			}
-		}
-	}
-	return touched
-}
-
-// netLive reports whether the net is still part of the design.
-func (inc *Incremental) netLive(n *netlist.Net) bool {
-	return inc.d.NetByName(n.Name) == n
-}
-
-// dirtyQueue buckets nets by level for ordered processing.
-type dirtyQueue struct {
-	byLevel [][]*netlist.Net
-	in      map[*netlist.Net]bool
-}
-
-func newDirtyQueue(maxLevel int) *dirtyQueue {
-	return &dirtyQueue{byLevel: make([][]*netlist.Net, maxLevel+1), in: make(map[*netlist.Net]bool)}
-}
-
-func (q *dirtyQueue) push(n *netlist.Net, lvl int) {
-	if q.in[n] {
-		return
-	}
-	q.in[n] = true
-	if lvl < 0 {
-		lvl = 0
-	}
-	if lvl >= len(q.byLevel) {
-		grow := make([][]*netlist.Net, lvl+1)
-		copy(grow, q.byLevel)
-		q.byLevel = grow
-	}
-	q.byLevel[lvl] = append(q.byLevel[lvl], n)
-}
-
-// retime re-extracts the touched nets and re-propagates arrivals forward
-// through the dirty fanout cone, then required times backward through the
-// dirty fanin cone, then refreshes the endpoint checks.
-func (inc *Incremental) retime(touched map[*netlist.Net]bool) {
+// retime re-times the cones a journal batch invalidated: every net named
+// by an entry plus every net currently connected to an instance named by
+// an entry (a swapped cell changes its own arcs and, through its input pin
+// caps, the RC of every fanin net; a moved one changes the RC of
+// everything it touches). Nets that left the design have their map state
+// dropped; live touched nets are re-extracted and seeded, the flat
+// forward/backward waves run, and the changed state is patched into the
+// live Result.
+func (inc *Incremental) retime(delta []netlist.Change) {
+	cg := inc.cg
 	r := inc.res
-	arrDirty := newDirtyQueue(inc.maxLevel)
-	reqDirty := newDirtyQueue(inc.maxLevel)
-	for n := range touched {
-		if !inc.netLive(n) {
+	cg.arrQ.reset()
+	cg.reqQ.reset()
+	cg.arrChanged = cg.arrChanged[:0]
+	cg.reqChanged = cg.reqChanged[:0]
+
+	seen := make(map[int32]bool, len(delta))
+	var touched []int32
+	note := func(n *netlist.Net) {
+		id, ok := cg.netID[n]
+		if !ok {
 			// The net left the design: drop its state so the maps match
 			// what a fresh Analyze of the current design would hold.
 			delete(r.ArrivalMax, n)
@@ -227,174 +166,60 @@ func (inc *Incremental) retime(touched map[*netlist.Net]bool) {
 			delete(r.SlewMax, n)
 			delete(r.RequiredMax, n)
 			delete(r.RC, n)
-			continue
+			return
 		}
-		r.RC[n] = r.Config.Extractor.Extract(n)
-		arrDirty.push(n, inc.level[n])
-		reqDirty.push(n, inc.level[n])
-		// New RC changes the wire delay into every sink: each comb sink's
-		// output must re-time even if this net's own arrival is stable.
-		for _, s := range n.Sinks {
-			if s.Inst == nil || s.Inst.Cell.IsSequential() {
-				continue
-			}
-			if out := s.Inst.OutputNet(); out != nil {
-				arrDirty.push(out, inc.level[out])
-			}
+		if !seen[id] {
+			seen[id] = true
+			touched = append(touched, id)
 		}
-		// New RC also changes the load the driver's arcs see, which feeds
-		// the backward delay of every arc into the driver: the driver's
-		// fanin nets need their required times redone.
-		inc.seedDriverFanins(reqDirty, n)
 	}
-
-	// Forward: ascending levels. A net whose recomputed window is
-	// bit-identical stops the wave (its consumers keep their state unless
-	// independently dirty).
-	for lvl := 0; lvl < len(arrDirty.byLevel); lvl++ {
-		for _, n := range arrDirty.byLevel[lvl] {
-			if !inc.netLive(n) {
-				continue
-			}
-			inc.stats.NetsRetimed++
-			if !inc.recomputeArrival(n) {
-				continue
-			}
-			reqDirty.push(n, inc.level[n]) // its slew feeds backward delays
-			for _, s := range n.Sinks {
-				if s.Inst == nil || s.Inst.Cell.IsSequential() {
-					continue
-				}
-				if out := s.Inst.OutputNet(); out != nil {
-					arrDirty.push(out, inc.level[out])
+	for _, ch := range delta {
+		if ch.Net != nil {
+			note(ch.Net)
+		}
+		if ch.Inst != nil {
+			// Pin-declaration order, not map order, so the retime seed
+			// sequence is reproducible run to run.
+			for _, p := range ch.Inst.Cell.Pins {
+				if n := ch.Inst.Conns[p.Name]; n != nil {
+					note(n)
 				}
 			}
 		}
 	}
 
-	// Backward: descending levels.
-	for lvl := len(reqDirty.byLevel) - 1; lvl >= 0; lvl-- {
-		for _, n := range reqDirty.byLevel[lvl] {
-			if !inc.netLive(n) {
-				continue
-			}
-			if !inc.recomputeRequired(n) {
-				continue
-			}
-			inc.seedDriverFanins(reqDirty, n)
-		}
+	for _, id := range touched {
+		cg.seedRetime(id)
 	}
+	cg.flowArrival(&inc.stats.NetsRetimed)
+	cg.flowRequired()
+	cg.endpointScan()
 
-	endpointChecks(r)
-}
-
-// seedDriverFanins marks the arc-input nets of n's (combinational) driver
-// as required-dirty: their required times read both n's required time and
-// the load of n.
-func (inc *Incremental) seedDriverFanins(q *dirtyQueue, n *netlist.Net) {
-	drv := n.Driver.Inst
-	if drv == nil || drv.Cell.IsSequential() {
-		return
+	// Patch the live map view from the flat state.
+	for _, id := range touched {
+		r.RC[cg.nets[id]] = cg.rc[id]
 	}
-	for _, arc := range drv.Cell.Arcs {
-		if inNet := drv.Conns[arc.From]; inNet != nil {
-			q.push(inNet, inc.level[inNet])
-		}
-	}
-}
-
-// recomputeArrival redoes one net's arrival window with the same
-// arithmetic the full forward pass uses and reports whether anything
-// (presence or value) changed.
-func (inc *Incremental) recomputeArrival(n *netlist.Net) bool {
-	r := inc.res
-	var amax, amin, smax float64
-	present := false
-	switch {
-	case n.Driver.Port != nil:
-		if arr, slew, ok := portArrival(r, n.Driver.Port); ok {
-			amax, amin, smax, present = arr, arr, slew, true
-		}
-	case n.Driver.Inst != nil && n.Driver.Inst.Cell.IsSequential():
-		if _, arr, slew, ok := seqArrival(r, n.Driver.Inst); ok {
-			amax, amin, smax, present = arr, arr, slew, true
-		}
-	case n.Driver.Inst != nil:
-		var out *netlist.Net
-		var ok bool
-		if out, amax, amin, smax, ok = combArrival(r, n.Driver.Inst); ok && out == n {
-			present = true
+	for _, id := range cg.arrChanged {
+		n := cg.nets[id]
+		if cg.hasArr[id] {
+			r.ArrivalMax[n] = cg.arrMax[id]
+			r.ArrivalMin[n] = cg.arrMin[id]
+			r.SlewMax[n] = cg.slewMax[id]
 		} else {
-			amax, amin, smax = 0, 0, 0
+			delete(r.ArrivalMax, n)
+			delete(r.ArrivalMin, n)
+			delete(r.SlewMax, n)
 		}
 	}
-	oldMax, hadMax := r.ArrivalMax[n]
-	if present == hadMax && (!present ||
-		(oldMax == amax && r.ArrivalMin[n] == amin && r.SlewMax[n] == smax)) {
-		return false
-	}
-	if present {
-		r.ArrivalMax[n] = amax
-		r.ArrivalMin[n] = amin
-		r.SlewMax[n] = smax
-	} else {
-		delete(r.ArrivalMax, n)
-		delete(r.ArrivalMin, n)
-		delete(r.SlewMax, n)
-	}
-	return true
-}
-
-// recomputeRequired redoes one net's required time from its endpoint
-// constraints and consumer arcs — the identical candidate set the
-// backward pass min-accumulates, produced by the same shared helpers
-// (outputPortRequired, flopSetupRequired, backwardCands) — and reports
-// whether it changed.
-func (inc *Incremental) recomputeRequired(n *netlist.Net) bool {
-	r := inc.res
-	req := math.Inf(1)
-	present := false
-	add := func(cand float64) {
-		if cand < req {
-			req = cand
-		}
-		present = true
-	}
-	seen := map[*netlist.Instance]bool{}
-	for _, s := range n.Sinks {
-		switch {
-		case s.Port != nil:
-			if s.Port.Dir == netlist.DirOutput {
-				add(outputPortRequired(r))
-			}
-		case s.Inst == nil:
-			// detached ref: nothing
-		case s.Inst.Cell.IsSequential():
-			if s.Pin == "D" {
-				add(flopSetupRequired(r, s.Inst))
-			}
-		default:
-			if seen[s.Inst] {
-				continue // multiple pins on one consumer: already visited
-			}
-			seen[s.Inst] = true
-			backwardCands(r, s.Inst, func(inNet *netlist.Net, cand float64) {
-				if inNet == n {
-					add(cand)
-				}
-			})
+	for _, id := range cg.reqChanged {
+		n := cg.nets[id]
+		if cg.hasReq[id] {
+			r.RequiredMax[n] = cg.reqMax[id]
+		} else {
+			delete(r.RequiredMax, n)
 		}
 	}
-	old, had := r.RequiredMax[n]
-	if present == had && (!present || old == req) {
-		return false
-	}
-	if present {
-		r.RequiredMax[n] = req
-	} else {
-		delete(r.RequiredMax, n)
-	}
-	return true
+	cg.mirrorEndpoints(r)
 }
 
 // SetPeriod re-solves the graph at a new clock period without re-running
@@ -411,11 +236,19 @@ func (inc *Incremental) SetPeriod(periodNs float64) (*Result, error) {
 		return nil, err
 	}
 	inc.cfg.ClockPeriodNs = periodNs
+	cg := inc.cg
+	cg.cfg.ClockPeriodNs = periodNs
 	r := inc.res
 	r.Config = inc.cfg
+	cg.backwardFull()
+	cg.endpointScan()
 	r.RequiredMax = make(map[*netlist.Net]float64, len(r.RequiredMax))
-	propagateRequired(r, inc.order)
-	endpointChecks(r)
+	for id, n := range cg.nets {
+		if cg.hasReq[id] {
+			r.RequiredMax[n] = cg.reqMax[id]
+		}
+	}
+	cg.mirrorEndpoints(r)
 	return r, nil
 }
 

@@ -3,6 +3,12 @@
 // hold checks against a (possibly skewed) clock, per-instance slack and
 // worst-path extraction. Every assignment step of the Selective-MT flow
 // (Dual-Vth, MT selection, switch clustering, ECO) queries this engine.
+//
+// The hot path runs on the flat slice-indexed CompiledGraph (compiled.go);
+// the map-keyed Result here is a thin view materialized from the flat
+// state so downstream consumers (dualvth, eco, mcmm, the pipeline stages)
+// keep their pointer-keyed API. AnalyzeLegacy (legacy.go) retains the
+// original map-based pass as the bit-exactness oracle.
 package sta
 
 import (
@@ -100,33 +106,40 @@ func normalizeConfig(cfg Config) (Config, error) {
 	return cfg, nil
 }
 
-// Analyze runs full setup and hold analysis.
+// Analyze runs full setup and hold analysis on the flat compiled kernel.
+// Results are bit-identical to AnalyzeLegacy.
+//
+// The design is interned once per (revision, clock port, extractor):
+// repeat analyses of an unchanged design — including at a different
+// period, external delays or clock-arrival model — reuse the compiled
+// graph and re-run only the flat numeric passes. Staleness detection
+// rides on the same change-journal revision contract Incremental uses,
+// so out-of-journal mutations need a NoteBulkEdit just as they do there.
 func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
 	cfg, err := normalizeConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	order, err := d.TopoOrder()
+	if e := takeCompiled(d, cfg.ClockPort, cfg.Extractor); e != nil {
+		if e.rev == d.Revision() {
+			r := e.refresh(cfg)
+			storeCompiled(e)
+			return r, nil
+		}
+		// Stale revision: drop the entry and recompile below.
+	}
+	cg, err := Compile(d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	r := &Result{
-		Config:      cfg,
-		ArrivalMax:  make(map[*netlist.Net]float64, d.NumNets()),
-		ArrivalMin:  make(map[*netlist.Net]float64, d.NumNets()),
-		SlewMax:     make(map[*netlist.Net]float64, d.NumNets()),
-		RequiredMax: make(map[*netlist.Net]float64, d.NumNets()),
-		RC:          make(map[*netlist.Net]*parasitics.RCTree, d.NumNets()),
-		design:      d,
-	}
-	for _, n := range d.Nets() {
-		r.RC[n] = cfg.Extractor.Extract(n)
-	}
-	propagateArrival(r, order)
-	propagateRequired(r, order)
-	endpointChecks(r)
-	r.Revision = d.Revision()
-	return r, nil
+	cg.runFull()
+	res := cg.materialize()
+	res.Revision = d.Revision()
+	storeCompiled(&cacheEntry{
+		d: d, rev: res.Revision, clockPort: cfg.ClockPort,
+		extractor: cfg.Extractor, cg: cg, res: res,
+	})
+	return res.snapshot(), nil
 }
 
 // clkArr returns a flop's clock insertion delay under the result's config.
@@ -135,264 +148,6 @@ func (r *Result) clkArr(inst *netlist.Instance) float64 {
 		return r.Config.ClockArrival(inst)
 	}
 	return 0
-}
-
-// portArrival returns the arrival/slew a primary-input port seeds on its
-// net, and ok=false for ports that are not data sources (outputs, the
-// clock).
-func portArrival(r *Result, p *netlist.Port) (arr, slew float64, ok bool) {
-	if p.Dir != netlist.DirInput || p.Name == r.Config.ClockPort {
-		return 0, 0, false
-	}
-	return r.Config.InputDelayNs, r.Config.InputSlewNs, true
-}
-
-// seqArrival computes a flop's Q arrival and slew from the clock edge.
-// ok=false when the flop has no output net.
-func seqArrival(r *Result, inst *netlist.Instance) (q *netlist.Net, arr, slew float64, ok bool) {
-	q = inst.OutputNet()
-	if q == nil {
-		return nil, 0, 0, false
-	}
-	arc := inst.Cell.Arc("CK", "Q")
-	load := r.RC[q].TotalCap()
-	var dq, sq float64
-	if arc != nil {
-		dq = arc.WorstDelay(r.Config.ClockSlewNs, load)
-		sq = arc.WorstSlew(r.Config.ClockSlewNs, load)
-	}
-	return q, r.clkArr(inst) + dq, sq, true
-}
-
-// combArrival computes a combinational instance's output arrival window
-// and worst slew from its (already computed) fanin arrivals. ok=false
-// when the instance has no output net or no constrained fanin.
-func combArrival(r *Result, inst *netlist.Instance) (out *netlist.Net, amax, amin, smax float64, ok bool) {
-	out = inst.OutputNet()
-	if out == nil {
-		return nil, 0, 0, 0, false // switches, holders
-	}
-	load := r.RC[out].TotalCap()
-	amax = math.Inf(-1)
-	amin = math.Inf(1)
-	smax = 0.0
-	for _, arc := range inst.Cell.Arcs {
-		inNet := inst.Conns[arc.From]
-		if inNet == nil {
-			continue
-		}
-		inArrMax, ok := r.ArrivalMax[inNet]
-		if !ok {
-			continue // unconstrained input
-		}
-		inArrMin := r.ArrivalMin[inNet]
-		inSlew := r.SlewMax[inNet]
-		wireMax, wireMin := sinkWireDelay(r.RC[inNet], inNet, inst, arc.From)
-		dm := arc.WorstDelay(inSlew, load)
-		amax = math.Max(amax, inArrMax+wireMax+dm)
-		amin = math.Min(amin, inArrMin+wireMin+dm)
-		smax = math.Max(smax, arc.WorstSlew(inSlew, load))
-	}
-	if math.IsInf(amax, -1) {
-		return out, 0, 0, 0, false // no constrained fanin: leave unconstrained
-	}
-	return out, amax, amin, smax, true
-}
-
-// propagateArrival runs the forward pass (max and min together) over the
-// whole design. Sources: primary inputs and flop Q outputs.
-func propagateArrival(r *Result, order []*netlist.Instance) {
-	d := r.design
-	for _, p := range d.Ports() {
-		if arr, slew, ok := portArrival(r, p); ok {
-			r.ArrivalMax[p.Net] = arr
-			r.ArrivalMin[p.Net] = arr
-			r.SlewMax[p.Net] = slew
-		}
-	}
-	for _, inst := range d.Instances() {
-		if !inst.Cell.IsSequential() {
-			continue
-		}
-		if q, arr, slew, ok := seqArrival(r, inst); ok {
-			r.ArrivalMax[q] = arr
-			r.ArrivalMin[q] = arr
-			r.SlewMax[q] = slew
-		}
-	}
-	// Combinational instances in topological order.
-	for _, inst := range order {
-		if inst.Cell.IsSequential() {
-			continue
-		}
-		if out, amax, amin, smax, ok := combArrival(r, inst); ok {
-			r.ArrivalMax[out] = amax
-			r.ArrivalMin[out] = amin
-			r.SlewMax[out] = smax
-		}
-	}
-}
-
-// outputPortRequired is the required time an output port imposes on its
-// net. Shared by the full backward pass, the incremental recompute and
-// the endpoint checks so the three always agree bit for bit.
-func outputPortRequired(r *Result) float64 {
-	return r.Config.ClockPeriodNs - r.Config.OutputDelayNs
-}
-
-// flopSetupRequired is the required time a flop's setup check imposes on
-// its D net.
-func flopSetupRequired(r *Result, inst *netlist.Instance) float64 {
-	return r.Config.ClockPeriodNs + r.clkArr(inst) - inst.Cell.SetupNs
-}
-
-// backwardCands visits every required-time candidate a combinational
-// instance pushes onto its fanin nets: req(output) minus the arc delay at
-// the output load minus the input wire delay. It is the single source of
-// the backward-pass arithmetic for both the full pass and the incremental
-// recompute.
-func backwardCands(r *Result, inst *netlist.Instance, visit func(inNet *netlist.Net, cand float64)) {
-	out := inst.OutputNet()
-	if out == nil {
-		return
-	}
-	req, ok := r.RequiredMax[out]
-	if !ok {
-		return
-	}
-	load := r.RC[out].TotalCap()
-	for _, arc := range inst.Cell.Arcs {
-		inNet := inst.Conns[arc.From]
-		if inNet == nil {
-			continue
-		}
-		inSlew := r.SlewMax[inNet]
-		wireMax, _ := sinkWireDelay(r.RC[inNet], inNet, inst, arc.From)
-		visit(inNet, req-arc.WorstDelay(inSlew, load)-wireMax)
-	}
-}
-
-// propagateRequired runs the backward pass: endpoint required times, then
-// propagation against the topological order. RequiredMax must be empty on
-// entry.
-func propagateRequired(r *Result, order []*netlist.Instance) {
-	d := r.design
-	// Initialize endpoint requireds.
-	for _, p := range d.Ports() {
-		if p.Dir != netlist.DirOutput {
-			continue
-		}
-		setRequired(r, p.Net, outputPortRequired(r))
-	}
-	for _, inst := range d.Instances() {
-		if !inst.Cell.IsSequential() {
-			continue
-		}
-		dNet := inst.Conns["D"]
-		if dNet == nil {
-			continue
-		}
-		setRequired(r, dNet, flopSetupRequired(r, inst))
-	}
-	// Propagate requireds backward through the topological order.
-	for i := len(order) - 1; i >= 0; i-- {
-		inst := order[i]
-		if inst.Cell.IsSequential() {
-			continue
-		}
-		backwardCands(r, inst, func(inNet *netlist.Net, cand float64) {
-			setRequired(r, inNet, cand)
-		})
-	}
-}
-
-// endpointChecks recomputes WNS/TNS, the worst hold slack and the hold
-// violation list from the current arrival maps. It scans endpoints in the
-// design's deterministic iteration order, so repeated recomputation (the
-// incremental timer runs it after every update) accumulates TNS in exactly
-// the order a from-scratch Analyze would.
-func endpointChecks(r *Result) {
-	d := r.design
-	T := r.Config.ClockPeriodNs
-	r.WNS = math.Inf(1)
-	r.WorstHold = math.Inf(1)
-	r.HoldViolations = nil
-	r.TNS = 0
-	check := func(n *netlist.Net, req float64) {
-		arr, ok := r.ArrivalMax[n]
-		if !ok {
-			return
-		}
-		s := req - arr
-		if s < r.WNS {
-			r.WNS = s
-		}
-		if s < 0 {
-			r.TNS += s
-		}
-	}
-	for _, p := range d.Ports() {
-		if p.Dir == netlist.DirOutput {
-			check(p.Net, outputPortRequired(r))
-		}
-	}
-	for _, inst := range d.Instances() {
-		if !inst.Cell.IsSequential() {
-			continue
-		}
-		dNet := inst.Conns["D"]
-		if dNet == nil {
-			continue
-		}
-		lat := r.clkArr(inst)
-		check(dNet, flopSetupRequired(r, inst))
-		// Hold check at this flop.
-		if am, ok := r.ArrivalMin[dNet]; ok {
-			wireMin := minWireDelayTo(r.RC[dNet], dNet, inst, "D")
-			hs := am + wireMin - lat - inst.Cell.HoldNs
-			if hs < r.WorstHold {
-				r.WorstHold = hs
-			}
-			if hs < 0 {
-				r.HoldViolations = append(r.HoldViolations, inst)
-			}
-		}
-	}
-	if math.IsInf(r.WNS, 1) {
-		r.WNS = T // no endpoints: trivially met
-	}
-	if math.IsInf(r.WorstHold, 1) {
-		r.WorstHold = 0
-	}
-}
-
-func setRequired(r *Result, n *netlist.Net, req float64) {
-	if cur, ok := r.RequiredMax[n]; !ok || req < cur {
-		r.RequiredMax[n] = req
-	}
-}
-
-// sinkWireDelay returns the (max, min) Elmore delay from a net's driver to
-// the given instance pin. Max and min coincide in the Elmore model; both
-// are returned for interface clarity.
-func sinkWireDelay(rc *parasitics.RCTree, n *netlist.Net, inst *netlist.Instance, pin string) (float64, float64) {
-	if rc == nil {
-		return 0, 0
-	}
-	for i, s := range n.Sinks {
-		if s.Inst == inst && s.Pin == pin {
-			if i < len(rc.SinkNode) {
-				d := rc.ElmoreDelays()[rc.SinkNode[i]]
-				return d, d
-			}
-		}
-	}
-	return 0, 0
-}
-
-func minWireDelayTo(rc *parasitics.RCTree, n *netlist.Net, inst *netlist.Instance, pin string) float64 {
-	d, _ := sinkWireDelay(rc, n, inst, pin)
-	return d
 }
 
 // CriticalInstances returns the instances whose output slack is below the

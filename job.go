@@ -24,7 +24,7 @@ import (
 // must be set. The zero values of the remaining fields mean "default":
 // all three techniques, no corner sign-off, no wake-up scheduling.
 type JobSpec struct {
-	// Circuit names a built-in benchmark: "a", "b" or "small".
+	// Circuit names a built-in benchmark: "a", "b", "small" or "large".
 	Circuit string `json:"circuit,omitempty"`
 	// Verilog is a structural netlist source (the upload path). It is
 	// placed and run with the clock constraints below.
@@ -102,8 +102,9 @@ func (e *Environment) ScheduleWakeup(r *TechniqueResult, maxInrushMA float64) (*
 // values up front and use this to report the effective bound.
 func EffectiveJobs(n int) int { return engine.NormalizeWorkers(n) }
 
-// BenchmarkCircuit resolves a benchmark name ("a", "b", "small") to its
-// spec — the one resolver every CLI and the smtd service share.
+// BenchmarkCircuit resolves a benchmark name ("a", "b", "small",
+// "large") to its spec — the one resolver every CLI and the smtd service
+// share.
 func BenchmarkCircuit(name string) (CircuitSpec, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "a":
@@ -112,8 +113,10 @@ func BenchmarkCircuit(name string) (CircuitSpec, error) {
 		return CircuitB(), nil
 	case "small":
 		return SmallTest(), nil
+	case "large":
+		return CircuitLarge(), nil
 	}
-	return CircuitSpec{}, fmt.Errorf("selectivemt: unknown circuit %q (want a, b or small)", name)
+	return CircuitSpec{}, fmt.Errorf("selectivemt: unknown circuit %q (want a, b, small or large)", name)
 }
 
 // jobTechniques is the canonical technique table: JSON/CLI keys and

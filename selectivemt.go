@@ -121,6 +121,11 @@ func CircuitB() CircuitSpec { return gen.CircuitB() }
 // SmallTest returns a compact circuit for experimentation.
 func SmallTest() CircuitSpec { return gen.SmallTest() }
 
+// CircuitLarge returns the ~100k-instance hierarchical benchmark tier:
+// a deterministic chain of registered datapath/control/random tiles, the
+// scale target for the flat timing kernel's benchmarks.
+func CircuitLarge() CircuitSpec { return gen.Large(100_000, 20050307) }
+
 // Comparison is the paper's three-technique comparison on one circuit.
 type Comparison struct {
 	Circuit  string
