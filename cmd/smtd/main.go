@@ -55,6 +55,8 @@ func main() {
 	maxUpload := flag.Int64("max-upload", server.DefaultMaxUpload, "request body size cap in bytes (413 beyond it)")
 	maxJobs := flag.Int("max-jobs", server.DefaultMaxJobs, "finished-job retention cap (oldest evicted past it)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for accepted jobs")
+	partitions := flag.Int("partitions", 0, "default timing shards for specs that leave partitions unset (<= 1 = monolithic)")
+	shardJobs := flag.Int("shard-jobs", 0, "default per-shard fan-out for specs that leave shard_jobs unset (0 = GOMAXPROCS)")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -63,6 +65,12 @@ func main() {
 	// reinterpreted.
 	if *jobs < 0 {
 		log.Fatalf("smtd: -jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *jobs)
+	}
+	if *partitions < 0 {
+		log.Fatalf("smtd: -partitions must be >= 0 (<= 1 = monolithic), got %d", *partitions)
+	}
+	if *shardJobs < 0 {
+		log.Fatalf("smtd: -shard-jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *shardJobs)
 	}
 
 	start := time.Now()
@@ -77,6 +85,8 @@ func main() {
 		QueueCap:       *queue,
 		MaxUploadBytes: *maxUpload,
 		MaxJobs:        *maxJobs,
+		Partitions:     *partitions,
+		ShardJobs:      *shardJobs,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

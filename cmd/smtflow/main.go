@@ -44,6 +44,8 @@ func main() {
 	sdcIn := flag.String("sdc", "", "SDC constraints for -verilog input")
 	technique := flag.String("technique", "improved", "improved, conventional, dual, all, or a registered pipeline name")
 	jobs := flag.Int("jobs", 0, "max concurrent technique jobs (0 = GOMAXPROCS)")
+	partitions := flag.Int("partitions", 0, "timing shards per analysis (<= 1 = monolithic flat kernel; results are bit-identical)")
+	shardJobs := flag.Int("shard-jobs", 0, "max concurrent timing shards when -partitions > 1 (0 = GOMAXPROCS)")
 	outVerilog := flag.String("out-verilog", "", "write the final netlist here")
 	outSpef := flag.String("out-spef", "", "write the VGND parasitics here")
 	outDef := flag.String("out-def", "", "write the final placement here (DEF)")
@@ -56,6 +58,12 @@ func main() {
 	if *jobs < 0 {
 		log.Fatalf("smtflow: -jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *jobs)
 	}
+	if *partitions < 0 {
+		log.Fatalf("smtflow: -partitions must be >= 0 (<= 1 = monolithic), got %d", *partitions)
+	}
+	if *shardJobs < 0 {
+		log.Fatalf("smtflow: -shard-jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *shardJobs)
+	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		log.Fatal(err)
@@ -66,6 +74,8 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := env.NewConfig()
+	cfg.Partitions = *partitions
+	cfg.ShardJobs = *shardJobs
 
 	var base *netlist.Design
 	if *verilogIn != "" {

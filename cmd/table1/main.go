@@ -36,6 +36,8 @@ func main() {
 	circuit := flag.String("circuit", "both", "which circuit to run: a, b, small, large or both")
 	detail := flag.Bool("detail", false, "print per-technique detail (counts, clusters, stages)")
 	jobs := flag.Int("jobs", 0, "max concurrent flow jobs (0 = GOMAXPROCS, 1 = sequential)")
+	partitions := flag.Int("partitions", 0, "timing shards per analysis (<= 1 = monolithic flat kernel; results are bit-identical)")
+	shardJobs := flag.Int("shard-jobs", 0, "max concurrent timing shards when -partitions > 1 (0 = GOMAXPROCS)")
 	cornersFlag := flag.String("corners", "", "PVT sign-off corners: all, or comma-separated typ,slow,fast-hot,fast-cold")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here (go tool pprof format)")
 	memprofile := flag.String("memprofile", "", "write a heap profile here on exit")
@@ -44,6 +46,12 @@ func main() {
 
 	if *jobs < 0 {
 		log.Fatalf("table1: -jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *jobs)
+	}
+	if *partitions < 0 {
+		log.Fatalf("table1: -partitions must be >= 0 (<= 1 = monolithic), got %d", *partitions)
+	}
+	if *shardJobs < 0 {
+		log.Fatalf("table1: -shard-jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *shardJobs)
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -75,6 +83,8 @@ func main() {
 		Jobs: *jobs,
 		Configure: func(_ selectivemt.CircuitSpec, cfg *selectivemt.Config) {
 			cfg.Corners = corners
+			cfg.Partitions = *partitions
+			cfg.ShardJobs = *shardJobs
 		},
 		Progress: func(ev selectivemt.BatchEvent) {
 			if ev.Stage != "" {

@@ -64,6 +64,17 @@ type Config struct {
 	// SignoffJobs bounds the corner-parallel sign-off fan-out: 1 forces a
 	// sequential corner loop, <= 0 means GOMAXPROCS.
 	SignoffJobs int
+
+	// Partitions, when > 1, runs every timing analysis in the flow on the
+	// partition-parallel sharded kernel: the netlist is clustered into
+	// about this many shards and per-shard propagation fans out on the
+	// engine pool. Results are bit-identical to the monolithic kernel, so
+	// Table 1 and every report are unchanged. 0 or 1 means monolithic.
+	Partitions int
+	// ShardJobs bounds the sharded kernel's per-design fan-out width
+	// (<= 0 means GOMAXPROCS). Independent of SignoffJobs: corners fan
+	// out across designs, shards fan out inside one design.
+	ShardJobs int
 }
 
 // DefaultConfig builds a configuration for the process/library pair. The
@@ -91,7 +102,7 @@ func DefaultConfig(proc *tech.Process, lib *liberty.Library) *Config {
 }
 
 func (c *Config) staConfig(ex parasitics.Extractor, clk func(*netlist.Instance) float64) sta.Config {
-	return sta.Config{
+	sc := sta.Config{
 		ClockPeriodNs: c.ClockPeriodNs,
 		ClockPort:     c.ClockPort,
 		InputSlewNs:   0.03,
@@ -100,6 +111,26 @@ func (c *Config) staConfig(ex parasitics.Extractor, clk func(*netlist.Instance) 
 		InputDelayNs: 0.1,
 		Extractor:    ex,
 		ClockArrival: clk,
+	}
+	if c.Partitions > 1 {
+		sc.Partitions = c.Partitions
+		sc.ShardJobs = c.ShardJobs
+		sc.ShardRun = shardRun
+	}
+	return sc
+}
+
+// shardRun executes a sharded-kernel fan-out on the engine's job pool —
+// the dependency injection that lets sta (which engine imports) run its
+// shard drains on the same scheduler as the rest of the flow. Drains
+// cannot fail; an error here is a scheduler bug and propagates as a
+// panic rather than silently truncating a timing pass.
+func shardRun(tasks, workers int, run func(int)) {
+	if _, err := engine.Map(context.Background(), tasks, workers, func(_ context.Context, i int) (struct{}, error) {
+		run(i)
+		return struct{}{}, nil
+	}); err != nil {
+		panic(fmt.Sprintf("core: shard fan-out: %v", err))
 	}
 }
 

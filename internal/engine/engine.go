@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"time"
 )
@@ -226,7 +227,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, error) {
 
 				em.emit(Event{Job: i, Name: jobs[i].Name, State: Running})
 				start := time.Now()
-				val, err := runJob(ctx, jobs[i].Run)
+				val, err := runJob(ctx, jobs[i].Name, jobs[i].Run)
 				elapsed := time.Since(start)
 
 				mu.Lock()
@@ -273,13 +274,19 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, error) {
 
 // runJob converts a job panic into a job error so one bad flow cannot
 // take down the whole pool (its dependents are skipped like any failure).
-func runJob(ctx context.Context, run func(context.Context) (any, error)) (val any, err error) {
+// The job runs under a pprof label carrying its graph name, so CPU
+// profiles of a concurrent batch split by job ("circuit_a/Improved-SMT")
+// instead of blending every flow into one anonymous worker stack.
+func runJob(ctx context.Context, name string, run func(context.Context) (any, error)) (val any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return run(ctx)
+	pprof.Do(ctx, pprof.Labels("engine_job", name), func(ctx context.Context) {
+		val, err = run(ctx)
+	})
+	return val, err
 }
 
 // Map runs fn over indices 0..n-1 on the worker pool with no dependencies

@@ -140,6 +140,42 @@ func largeTile(m *Module, in []int, tile int, rng *rand.Rand) []int {
 	}
 }
 
+// Huge builds the ~1M-instance tier: eight parallel Large-style tile
+// chains (lanes) fed from a shared registered input bus and XOR-folded
+// into one output bus. Lanes decouple at flop boundaries and only meet at
+// the fold, so the design is a set of wide, nearly independent registered
+// cones — the shape the partition clusterer turns into low-cut shards.
+// Deterministic per seed; tile kinds are phase-shifted per lane so the
+// mix stays balanced.
+func Huge(targetInstances int, seed int64) CircuitSpec {
+	m := NewModule(fmt.Sprintf("huge_%d", targetInstances))
+	rng := rand.New(rand.NewSource(seed))
+	const lanes = 8
+	din := m.DFFBus(m.InputBus("din", 16))
+	perLane := targetInstances / lanes
+	var outs [][]int
+	for lane := 0; lane < lanes; lane++ {
+		// Re-register the shared bus per lane so the fan-out point is a
+		// flop boundary, not a 1M-sink net.
+		bus := m.DFFBus(din)
+		start := len(m.Nodes)
+		for tile := lane; len(m.Nodes)-start < perLane; tile++ {
+			bus = largeTile(m, bus, tile, rng)
+		}
+		outs = append(outs, bus)
+	}
+	fold := outs[0]
+	for _, o := range outs[1:] {
+		nf := make([]int, 16)
+		for i := range nf {
+			nf[i] = m.Xor(fold[i], o[i])
+		}
+		fold = nf
+	}
+	m.OutputBus("dout", m.DFFBus(fold))
+	return CircuitSpec{Module: m, ClockSlack: 1.25}
+}
+
 // SmallTest is a compact design for unit and integration tests: one 4×4
 // multiplier pipeline (~120 gates).
 func SmallTest() CircuitSpec {

@@ -38,6 +38,13 @@ type Options struct {
 	// MaxJobs caps retained job records (finished jobs evict
 	// oldest-first past it); <= 0 means DefaultMaxJobs.
 	MaxJobs int
+	// Partitions is the default timing-shard count applied to job specs
+	// that leave it unset (a spec's own value wins). <= 1 keeps the
+	// monolithic flat kernel; results are bit-identical either way.
+	Partitions int
+	// ShardJobs bounds per-shard fan-out when partitioned timing is on;
+	// same spec-wins default rule as Partitions. <= 0 means GOMAXPROCS.
+	ShardJobs int
 }
 
 // Serving defaults.
@@ -85,6 +92,12 @@ func New(env *selectivemt.Environment, opts Options) *Server {
 		opts:  opts,
 	}
 	s.run = func(ctx context.Context, spec selectivemt.JobSpec, progress func(selectivemt.BatchEvent)) (*selectivemt.JobOutcome, error) {
+		if spec.Partitions == 0 {
+			spec.Partitions = opts.Partitions
+		}
+		if spec.ShardJobs == 0 {
+			spec.ShardJobs = opts.ShardJobs
+		}
 		return env.RunJob(spec, selectivemt.JobOptions{
 			Context:  ctx,
 			Workers:  opts.JobWorkers,
@@ -154,7 +167,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	job, ctx := s.store.create(spec)
 	task := func(ctx context.Context) { s.runJob(ctx, job.ID, spec) }
-	if err := s.pool.Submit(ctx, task); err != nil {
+	if err := s.pool.SubmitNamed(ctx, job.ID+"/"+spec.Circuit, task); err != nil {
 		s.store.remove(job.ID)
 		switch {
 		case errors.Is(err, engine.ErrPoolFull):

@@ -3,9 +3,12 @@ package sta
 // Per-design compile cache. The flat kernel interns (Compile) once per
 // design revision: repeated Analyze calls on an unchanged design reuse
 // the compiled graph and only re-run the zero-allocation flat passes,
-// then snapshot the map view. The cache is a tiny checked-out-while-in-
-// use MRU list, so concurrent Analyze calls on the same design never
-// share a CompiledGraph.
+// then snapshot the map view. The cache is a small checked-out-while-in-
+// use LRU list bounded by both an entry count and an approximate resident
+// byte size (a compiled 1M-instance graph is hundreds of MB; a
+// long-running smtd session sees arbitrarily many uploaded designs), so
+// concurrent Analyze calls on the same design never share a
+// CompiledGraph and the cache can't grow without limit.
 
 import (
 	"maps"
@@ -26,45 +29,167 @@ type cacheEntry struct {
 	rev       uint64
 	clockPort string
 	extractor parasitics.Extractor
-	cg        *CompiledGraph
-	res       *Result
+	// partitions is part of the key: a sharded graph (cfg.Partitions > 1)
+	// carries shard structures a monolithic caller must not inherit, and
+	// vice versa. 0 means monolithic.
+	partitions int
+	cg         *CompiledGraph
+	sg         *ShardedGraph // non-nil iff partitions > 0
+	res        *Result
+	bytes      int64 // approxBytes at store time
 }
 
-// compileCacheCap bounds how many designs stay interned (MCMM sign-off
-// analyzes up to four corner clones in rotation).
-const compileCacheCap = 4
+// Compile-cache default bounds: entries sized for MCMM sign-off (up to
+// four corner clones in rotation), bytes sized so a handful of
+// 100k-instance graphs fit but a parade of 1M-instance uploads cannot
+// pin gigabytes.
+const (
+	defaultCacheEntries = 4
+	defaultCacheBytes   = int64(2) << 30
+)
 
-var compileCache struct {
+// CacheStats describes the compile cache's occupancy and traffic.
+type CacheStats struct {
+	Entries   int   // resident entries (checked-out entries excluded)
+	Bytes     int64 // approximate resident size of those entries
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+var compileCache = struct {
 	sync.Mutex
-	entries []*cacheEntry
+	entries    []*cacheEntry
+	maxEntries int
+	maxBytes   int64
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+}{maxEntries: defaultCacheEntries, maxBytes: defaultCacheBytes}
+
+// CompileCacheStats snapshots the compile cache's stats.
+func CompileCacheStats() CacheStats {
+	compileCache.Lock()
+	defer compileCache.Unlock()
+	s := CacheStats{
+		Entries:   len(compileCache.entries),
+		Hits:      compileCache.hits,
+		Misses:    compileCache.misses,
+		Evictions: compileCache.evictions,
+	}
+	for _, e := range compileCache.entries {
+		s.Bytes += e.bytes
+	}
+	return s
 }
 
-// takeCompiled checks out the entry for (design, clock port, extractor),
-// removing it from the list so no other goroutine can use it until the
-// caller stores it back. Extractor identity is part of the key: a
-// different extractor means different RC state and must recompile rather
-// than overwrite trees earlier Results still reference.
-func takeCompiled(d *netlist.Design, clockPort string, ex parasitics.Extractor) *cacheEntry {
+// SetCompileCacheLimits rebounds the compile cache (entries <= 0 or
+// bytes <= 0 restore the defaults), evicts down to the new bounds, and
+// returns the previous limits so tests can restore them.
+func SetCompileCacheLimits(entries int, bytes int64) (prevEntries int, prevBytes int64) {
+	compileCache.Lock()
+	defer compileCache.Unlock()
+	prevEntries, prevBytes = compileCache.maxEntries, compileCache.maxBytes
+	if entries <= 0 {
+		entries = defaultCacheEntries
+	}
+	if bytes <= 0 {
+		bytes = defaultCacheBytes
+	}
+	compileCache.maxEntries, compileCache.maxBytes = entries, bytes
+	evictLocked()
+	return prevEntries, prevBytes
+}
+
+// evictLocked drops LRU-tail entries past the bounds. The MRU entry stays
+// resident even when it alone exceeds the byte bound — evicting it would
+// just force a recompile on the next Analyze of the same design.
+func evictLocked() {
+	total := int64(0)
+	for _, e := range compileCache.entries {
+		total += e.bytes
+	}
+	for len(compileCache.entries) > 1 &&
+		(len(compileCache.entries) > compileCache.maxEntries || total > compileCache.maxBytes) {
+		last := len(compileCache.entries) - 1
+		total -= compileCache.entries[last].bytes
+		compileCache.entries[last] = nil
+		compileCache.entries = compileCache.entries[:last]
+		compileCache.evictions++
+	}
+}
+
+// takeCompiled checks out the entry for (design, clock port, extractor,
+// partitions), removing it from the list so no other goroutine can use it
+// until the caller stores it back. Extractor identity is part of the key:
+// a different extractor means different RC state and must recompile
+// rather than overwrite trees earlier Results still reference.
+func takeCompiled(d *netlist.Design, clockPort string, ex parasitics.Extractor, partitions int) *cacheEntry {
 	compileCache.Lock()
 	defer compileCache.Unlock()
 	for i, e := range compileCache.entries {
-		if e.d == d && e.clockPort == clockPort && e.extractor == ex {
+		if e.d == d && e.clockPort == clockPort && e.extractor == ex && e.partitions == partitions {
 			compileCache.entries = slices.Delete(compileCache.entries, i, i+1)
+			compileCache.hits++
 			return e
 		}
 	}
+	compileCache.misses++
 	return nil
 }
 
 // storeCompiled inserts an entry at the MRU position, evicting past the
-// capacity.
+// bounds.
 func storeCompiled(e *cacheEntry) {
+	e.bytes = e.cg.approxBytes()
+	if e.sg != nil {
+		e.bytes += e.sg.approxBytes()
+	}
 	compileCache.Lock()
 	defer compileCache.Unlock()
 	compileCache.entries = slices.Insert(compileCache.entries, 0, e)
-	if len(compileCache.entries) > compileCacheCap {
-		compileCache.entries = compileCache.entries[:compileCacheCap]
+	evictLocked()
+}
+
+// approxBytes estimates a compiled graph's resident size. Eviction only
+// needs the dominant linear terms: the flat per-net state, the arc,
+// consumer and sequential tables, and the RC slabs.
+func (cg *CompiledGraph) approxBytes() int64 {
+	const perNet = 6*8 + // arrMax/arrMin/slewMax/reqMax/totalCap + rc ptr
+		2 + 2*4 + // hasArr/hasReq, level, drvIdx
+		3*24 + // sinkD/combArcs-share/queue headers
+		2*8 // netID map entry
+	b := int64(len(cg.nets)) * perNet
+	b += int64(len(cg.reqConsArr))*8 + int64(len(cg.reqConsOff))*4
+	b += int64(len(cg.seqs)) * 96
+	arcs := int64(0)
+	for _, a := range cg.combArcs {
+		arcs += int64(cap(a))
 	}
+	b += arcs*64 + int64(len(cg.combs))*24
+	nodes, sinks := int64(0), int64(0)
+	for _, t := range cg.rc {
+		if t != nil {
+			nodes += int64(cap(t.CapPF))
+			sinks += int64(cap(t.SinkNode))
+		}
+	}
+	b += nodes*3*8 + sinks*2*8
+	b += int64(len(cg.arrQ.mark)+len(cg.reqQ.mark)) * 4
+	return b
+}
+
+// approxBytes estimates the sharded overlay's resident size (ownership,
+// marks, interface graph).
+func (sg *ShardedGraph) approxBytes() int64 {
+	nn := int64(len(sg.owner))
+	b := nn * (4 + 4 + 4 + 4) // owner, bSlot, arrMark, reqMark
+	b += int64(len(sg.boundary)) * (4 + 4*8 + 2)
+	for i := range sg.shards {
+		s := &sg.shards[i]
+		b += int64(len(s.nets))*4 + int64(len(s.arrB)+len(s.reqB))*24
+	}
+	return b
 }
 
 // refresh re-runs the flat passes on a revision-matched graph under a
@@ -74,7 +199,11 @@ func storeCompiled(e *cacheEntry) {
 func (e *cacheEntry) refresh(cfg Config) *Result {
 	cg := e.cg
 	cg.cfg = cfg
-	cg.repropagateAll()
+	if e.sg != nil {
+		e.sg.repropagateAll()
+	} else {
+		cg.repropagateAll()
+	}
 	r := e.res
 	r.Config = cfg
 	for _, id := range cg.arrChanged {

@@ -428,6 +428,14 @@ func sinkPos(n *netlist.Net, inst *netlist.Instance, pin string) int32 {
 // consistent with the Result's documented live-view semantics — so the
 // steady-state retime loop allocates nothing.
 func (cg *CompiledGraph) extract(id int32) {
+	cg.extractWith(id, &cg.elmoreDelay, &cg.elmoreDown)
+}
+
+// extractWith is extract with caller-supplied Elmore scratch, so the
+// sharded kernel can run per-shard extraction concurrently (each shard
+// owns disjoint nets and its own scratch; all other written state —
+// rc/totalCap/sinkD — is per-net).
+func (cg *CompiledGraph) extractWith(id int32, elmoreDelay, elmoreDown *[]float64) {
 	n := cg.nets[id]
 	var t *parasitics.RCTree
 	if cg.intoEx != nil {
@@ -440,11 +448,11 @@ func (cg *CompiledGraph) extract(id int32) {
 	// Per-sink wire delays, padded with zeros past SinkNode exactly like
 	// legacy sinkWireDelay's out-of-range fallback.
 	nodes := len(t.CapPF)
-	if cap(cg.elmoreDelay) < nodes {
-		cg.elmoreDelay = make([]float64, nodes)
-		cg.elmoreDown = make([]float64, nodes)
+	if cap(*elmoreDelay) < nodes {
+		*elmoreDelay = make([]float64, nodes)
+		*elmoreDown = make([]float64, nodes)
 	}
-	delay := t.ElmoreInto(cg.elmoreDelay[:nodes], cg.elmoreDown[:nodes])
+	delay := t.ElmoreInto((*elmoreDelay)[:nodes], (*elmoreDown)[:nodes])
 	sd := cg.sinkD[id][:0]
 	for i := range n.Sinks {
 		if i < len(t.SinkNode) {

@@ -35,6 +35,7 @@ type Incremental struct {
 	d   *netlist.Design
 	cfg Config // normalized
 	cg  *CompiledGraph
+	sg  *ShardedGraph // non-nil when cfg.Partitions > 1: sharded propagation
 	res *Result
 	rev uint64 // design revision res reflects
 
@@ -73,13 +74,30 @@ func (inc *Incremental) Design() *netlist.Design { return inc.d }
 // Stats returns the update counters.
 func (inc *Incremental) Stats() IncrementalStats { return inc.stats }
 
-// rebuild recompiles the flat graph and re-runs the full analysis.
+// sharded reports whether the config asks for the partition-parallel
+// kernel.
+func (inc *Incremental) sharded() bool {
+	return inc.cfg.Partitions > 1 || inc.cfg.shardAssign != nil
+}
+
+// rebuild recompiles the flat graph (plus the sharded overlay when
+// partitioning is on) and re-runs the full analysis.
 func (inc *Incremental) rebuild() error {
 	cg, err := Compile(inc.d, inc.cfg)
 	if err != nil {
 		return err
 	}
-	cg.runFull()
+	inc.sg = nil
+	if inc.sharded() {
+		sg, err := buildSharded(cg, inc.cfg)
+		if err != nil {
+			return err
+		}
+		sg.runFull()
+		inc.sg = sg
+	} else {
+		cg.runFull()
+	}
 	inc.cg = cg
 	inc.res = cg.materialize()
 	inc.rev = inc.d.Revision()
@@ -118,6 +136,15 @@ func (inc *Incremental) Update() (*Result, error) {
 			return nil, err // e.g. a combinational cycle was introduced
 		}
 		cg.importFrom(inc.cg)
+		if inc.sharded() {
+			// The net/instance population changed: recluster and rebuild
+			// the shard overlay over the new graph.
+			sg, err := buildSharded(cg, inc.cfg)
+			if err != nil {
+				return nil, err
+			}
+			inc.sg = sg
+		}
 		inc.cg = cg
 		inc.stats.StructuralUpdates++
 	} else {
@@ -149,10 +176,14 @@ func (inc *Incremental) Update() (*Result, error) {
 func (inc *Incremental) retime(delta []netlist.Change) {
 	cg := inc.cg
 	r := inc.res
-	cg.arrQ.reset()
-	cg.reqQ.reset()
-	cg.arrChanged = cg.arrChanged[:0]
-	cg.reqChanged = cg.reqChanged[:0]
+	if inc.sg != nil {
+		inc.sg.resetAll()
+	} else {
+		cg.arrQ.reset()
+		cg.reqQ.reset()
+		cg.arrChanged = cg.arrChanged[:0]
+		cg.reqChanged = cg.reqChanged[:0]
+	}
 
 	seen := make(map[int32]bool, len(delta))
 	var touched []int32
@@ -188,12 +219,22 @@ func (inc *Incremental) retime(delta []netlist.Change) {
 		}
 	}
 
-	for _, id := range touched {
-		cg.seedRetime(id)
+	if sg := inc.sg; sg != nil {
+		// Seeds land only in the owning shards' queues, so a swap batch
+		// confined to a few clusters activates only those shards (plus
+		// whatever the interface graph ripples into).
+		for _, id := range touched {
+			sg.seedRetime(id)
+		}
+		inc.stats.NetsRetimed += sg.propagate()
+	} else {
+		for _, id := range touched {
+			cg.seedRetime(id)
+		}
+		cg.flowArrival(&inc.stats.NetsRetimed)
+		cg.flowRequired()
+		cg.endpointScan()
 	}
-	cg.flowArrival(&inc.stats.NetsRetimed)
-	cg.flowRequired()
-	cg.endpointScan()
 
 	// Patch the live map view from the flat state.
 	for _, id := range touched {

@@ -34,6 +34,29 @@ type Config struct {
 	ClockArrival func(*netlist.Instance) float64
 	// ClockSlewNs is the slew at flop clock pins (post-CTS).
 	ClockSlewNs float64
+
+	// Partitions, when > 1, runs Analyze/Incremental on the sharded
+	// kernel: the design is clustered (internal/partition) into about
+	// this many shards and propagation fans out per shard, iterating the
+	// cross-shard interface graph to a fixed point. Results are
+	// bit-identical to the monolithic kernel at any worker count.
+	Partitions int
+	// ShardJobs bounds the sharded kernel's fan-out width (<= 0 means
+	// GOMAXPROCS; always clamped to the shard count). At 1 the sharded
+	// path stays on the calling goroutine and allocates nothing.
+	ShardJobs int
+	// ShardRun, when set, runs a sharded fan-out of `tasks` tasks on an
+	// external scheduler (internal/core wires the flow engine's pool in
+	// here; sta cannot import engine). nil uses an internal worker group.
+	// Implementations must call run(t) exactly once for every t in
+	// [0, tasks) and return only after all calls complete.
+	ShardRun func(tasks, workers int, run func(task int))
+
+	// shardAssign overrides the clustering pass with an explicit
+	// instance-to-shard assignment of shardCount shards — the property
+	// tests' hook for adversarially random cuts.
+	shardAssign func(*netlist.Instance) int32
+	shardCount  int
 }
 
 // Result is a completed timing analysis.
@@ -120,24 +143,45 @@ func Analyze(d *netlist.Design, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if e := takeCompiled(d, cfg.ClockPort, cfg.Extractor); e != nil {
-		if e.rev == d.Revision() {
-			r := e.refresh(cfg)
-			storeCompiled(e)
-			return r, nil
+	parts := 0
+	if cfg.Partitions > 1 {
+		parts = cfg.Partitions
+	}
+	// The shardAssign test hook imposes a different cut per call, so its
+	// graphs must never be cached or reused.
+	hooked := cfg.shardAssign != nil
+	if !hooked {
+		if e := takeCompiled(d, cfg.ClockPort, cfg.Extractor, parts); e != nil {
+			if e.rev == d.Revision() {
+				r := e.refresh(cfg)
+				storeCompiled(e)
+				return r, nil
+			}
+			// Stale revision: drop the entry and recompile below.
 		}
-		// Stale revision: drop the entry and recompile below.
 	}
 	cg, err := Compile(d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	cg.runFull()
+	var sg *ShardedGraph
+	if parts > 0 || hooked {
+		sg, err = buildSharded(cg, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sg.runFull()
+	} else {
+		cg.runFull()
+	}
 	res := cg.materialize()
 	res.Revision = d.Revision()
+	if hooked {
+		return res, nil
+	}
 	storeCompiled(&cacheEntry{
 		d: d, rev: res.Revision, clockPort: cfg.ClockPort,
-		extractor: cfg.Extractor, cg: cg, res: res,
+		extractor: cfg.Extractor, partitions: parts, cg: cg, sg: sg, res: res,
 	})
 	return res.snapshot(), nil
 }

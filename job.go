@@ -49,6 +49,13 @@ type JobSpec struct {
 	// this inrush limit — for the improved technique when selected,
 	// otherwise the first selected technique that built clusters.
 	InrushLimitMA float64 `json:"inrush_limit_ma,omitempty"`
+	// Partitions, when > 1, runs the job's timing analyses on the
+	// partition-parallel sharded kernel (bit-identical results; see
+	// Config.Partitions). 0 or 1 means monolithic.
+	Partitions int `json:"partitions,omitempty"`
+	// ShardJobs bounds the sharded kernel's fan-out width per design
+	// (<= 0 means GOMAXPROCS). Only meaningful with Partitions > 1.
+	ShardJobs int `json:"shard_jobs,omitempty"`
 }
 
 // JobOptions configures RunJob's execution (not the work itself — that
@@ -102,8 +109,8 @@ func (e *Environment) ScheduleWakeup(r *TechniqueResult, maxInrushMA float64) (*
 // values up front and use this to report the effective bound.
 func EffectiveJobs(n int) int { return engine.NormalizeWorkers(n) }
 
-// BenchmarkCircuit resolves a benchmark name ("a", "b", "small",
-// "large") to its spec — the one resolver every CLI and the smtd service
+// BenchmarkCircuit resolves a benchmark name ("a", "b", "small", "large",
+// "huge") to its spec — the one resolver every CLI and the smtd service
 // share.
 func BenchmarkCircuit(name string) (CircuitSpec, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
@@ -115,8 +122,10 @@ func BenchmarkCircuit(name string) (CircuitSpec, error) {
 		return SmallTest(), nil
 	case "large":
 		return CircuitLarge(), nil
+	case "huge":
+		return CircuitHuge(), nil
 	}
-	return CircuitSpec{}, fmt.Errorf("selectivemt: unknown circuit %q (want a, b, small or large)", name)
+	return CircuitSpec{}, fmt.Errorf("selectivemt: unknown circuit %q (want a, b, small, large or huge)", name)
 }
 
 // jobTechniques is the canonical technique table: JSON/CLI keys and
@@ -238,6 +247,12 @@ func (s JobSpec) Validate() error {
 	if s.InrushLimitMA < 0 {
 		return fmt.Errorf("selectivemt: negative inrush limit %g mA", s.InrushLimitMA)
 	}
+	if s.Partitions < 0 {
+		return fmt.Errorf("selectivemt: negative partition count %d", s.Partitions)
+	}
+	if s.ShardJobs < 0 {
+		return fmt.Errorf("selectivemt: negative shard-jobs %d", s.ShardJobs)
+	}
 	switch {
 	case s.Circuit != "" && s.Verilog != "":
 		return fmt.Errorf("selectivemt: job lists both a benchmark circuit and a Verilog netlist")
@@ -269,6 +284,8 @@ func (e *Environment) RunJob(spec JobSpec, opts JobOptions) (*JobOutcome, error)
 
 	cfg := e.NewConfig()
 	cfg.Corners = corners
+	cfg.Partitions = spec.Partitions
+	cfg.ShardJobs = spec.ShardJobs
 
 	var name string
 	var prepare func() (*Design, error)

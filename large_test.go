@@ -6,6 +6,7 @@
 package selectivemt
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -19,12 +20,21 @@ import (
 // largeTimingSetup prepares the 100k-tier design (synthesized and placed)
 // and the timing config the Large tests and benchmarks share.
 func largeTimingSetup(tb testing.TB) (*netlist.Design, sta.Config, *Environment) {
+	return tierTimingSetup(tb, CircuitLarge())
+}
+
+// hugeTimingSetup is largeTimingSetup at the ~1M-instance tier, the scale
+// target for the partition-parallel sharded kernel.
+func hugeTimingSetup(tb testing.TB) (*netlist.Design, sta.Config, *Environment) {
+	return tierTimingSetup(tb, CircuitHuge())
+}
+
+func tierTimingSetup(tb testing.TB, spec CircuitSpec) (*netlist.Design, sta.Config, *Environment) {
 	tb.Helper()
 	env, err := NewEnvironment()
 	if err != nil {
 		tb.Fatal(err)
 	}
-	spec := CircuitLarge()
 	cfg := env.NewConfig()
 	cfg.ClockSlack = spec.ClockSlack
 	d, err := core.PrepareBase(spec.Module, cfg)
@@ -139,6 +149,86 @@ func BenchmarkLargeIncremental(b *testing.B) {
 			continue
 		}
 		if n++; n%5 != 0 {
+			continue
+		}
+		if env.Lib.Variant(inst.Cell, liberty.FlavorHVT) != nil {
+			swaps = append(swaps, inst)
+		}
+	}
+	inc, err := sta.NewIncremental(d, stCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			inst := swaps[(i*batch+j)%len(swaps)]
+			f := liberty.FlavorHVT
+			if inst.Cell.Flavor == liberty.FlavorHVT {
+				f = liberty.FlavorLVT
+			}
+			if err := d.ReplaceCell(inst, env.Lib.Variant(inst.Cell, f)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := inc.Update(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := inc.Stats()
+	b.ReportMetric(float64(st.NetsRetimed)/float64(b.N), "nets-retimed/op")
+}
+
+// benchFullSharded times steady-state full analysis through the sharded
+// kernel at worker counts 1/2/4. The w1 number against the monolithic
+// Full benchmark of the same tier is the protocol-overhead measurement
+// (the acceptance bar is <= 10% on the 100k tier); w2/w4 show the
+// fan-out scaling. All worker counts share one cached sharded graph —
+// results are bit-identical, only the schedule changes.
+func benchFullSharded(b *testing.B, setup func(testing.TB) (*netlist.Design, sta.Config, *Environment), partitions int) {
+	d, stCfg, _ := setup(b)
+	stCfg.Partitions = partitions
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			cfg := stCfg
+			cfg.ShardJobs = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sta.Analyze(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLargeFullSharded: the 100k tier through the sharded kernel.
+// Compare w1 against BenchmarkLargeFullFlat for the protocol overhead;
+// recorded numbers live in BENCH_sta_pr7.json.
+func BenchmarkLargeFullSharded(b *testing.B) {
+	benchFullSharded(b, largeTimingSetup, 8)
+}
+
+// BenchmarkHugeFullSharded: full analysis of the ~1M-instance tier
+// (gen.Huge) through the sharded kernel at workers 1/2/4.
+func BenchmarkHugeFullSharded(b *testing.B) {
+	benchFullSharded(b, hugeTimingSetup, 16)
+}
+
+// BenchmarkHugeIncremental times the ECO cadence on the 1M tier: a batch
+// of 4 Vth toggles per incremental update on a persistent partitioned
+// timer, so only the dirty shards repropagate.
+func BenchmarkHugeIncremental(b *testing.B) {
+	d, stCfg, env := hugeTimingSetup(b)
+	stCfg.Partitions = 16
+	var swaps []*netlist.Instance
+	n := 0
+	for _, inst := range d.Instances() {
+		if inst.Cell.Kind != liberty.KindComb {
+			continue
+		}
+		if n++; n%101 != 0 {
 			continue
 		}
 		if env.Lib.Variant(inst.Cell, liberty.FlavorHVT) != nil {
