@@ -15,20 +15,25 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs           submit (202 + job id; 429 when the queue is full)
+//	POST   /v1/jobs           submit (202 + job id; 429 when the queue is full or the client is rate-limited)
 //	GET    /v1/jobs/{id}      status + per-stage progress
+//	GET    /v1/jobs/{id}/events   stage progress as SSE (replay-then-follow, heartbeats, done frame)
 //	GET    /v1/jobs/{id}/result   technique metrics as JSON
 //	GET    /v1/jobs/{id}/report   rendered Table-1 / report text
 //	DELETE /v1/jobs/{id}      cancel (202; 409 once finished)
 //	GET    /v1/healthz        ok / draining
-//	GET    /v1/stats          cache hits/misses, queue depth, worker occupancy
+//	GET    /v1/stats          cache hits/misses, queue depth, worker occupancy, rate-limit/durability counters
 //
 // SIGTERM/SIGINT drain gracefully: accepted jobs finish (bounded by
-// -drain-timeout), new submissions get 503.
+// -drain-timeout), new submissions get 503. With -state-dir the store
+// is durable: finished jobs are re-served byte-identically after a
+// restart and interrupted ones are re-enqueued on startup, so a kill
+// mid-backlog loses no work.
 //
 // Usage:
 //
 //	smtd [-addr :8177] [-jobs N] [-queue N] [-max-upload BYTES] [-drain-timeout 2m]
+//	     [-state-dir DIR] [-rate JOBS_PER_SEC] [-rate-burst N]
 package main
 
 import (
@@ -57,6 +62,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for accepted jobs")
 	partitions := flag.Int("partitions", 0, "default timing shards for specs that leave partitions unset (<= 1 = monolithic)")
 	shardJobs := flag.Int("shard-jobs", 0, "default per-shard fan-out for specs that leave shard_jobs unset (0 = GOMAXPROCS)")
+	stateDir := flag.String("state-dir", "", "durable job store directory: jobs survive restarts, interrupted ones are re-enqueued (empty = in-memory only)")
+	rate := flag.Float64("rate", 0, "per-client submit rate limit in jobs/s, keyed by X-Client-ID or remote host (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", server.DefaultRateBurst, "per-client token-bucket depth when -rate is set")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -80,14 +88,23 @@ func main() {
 	}
 	log.Printf("smtd: library characterized in %v (%d cells)", time.Since(start).Round(time.Millisecond), len(env.Lib.Cells))
 
-	srv := server.New(env, server.Options{
+	srv, err := server.New(env, server.Options{
 		Workers:        *jobs,
 		QueueCap:       *queue,
 		MaxUploadBytes: *maxUpload,
 		MaxJobs:        *maxJobs,
 		Partitions:     *partitions,
 		ShardJobs:      *shardJobs,
+		StateDir:       *stateDir,
+		RatePerSec:     *rate,
+		RateBurst:      *rateBurst,
 	})
+	if err != nil {
+		log.Fatalf("smtd: %v", err)
+	}
+	if *stateDir != "" {
+		log.Printf("smtd: durable store at %s (%d interrupted jobs re-enqueued)", *stateDir, srv.Recovered())
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

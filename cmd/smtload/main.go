@@ -1,0 +1,456 @@
+// Command smtload is the serving-path load harness: it drives an smtd
+// server with hundreds-to-thousands of concurrent mixed-size jobs — a
+// blend of benchmark circuits and uploaded Verilog netlists, followed
+// by a blend of polling and SSE-streaming clients — and records latency
+// percentiles, throughput, error/backpressure counts and the analysis
+// cache hit rate into a BENCH_serve.json.
+//
+// By default it boots an in-process server (one Environment, exactly
+// the smtd serving stack) on a loopback listener, so a recorded run
+// needs no external setup; point -url at a running smtd to load a real
+// deployment instead.
+//
+// Each concurrent client submits under its own X-Client-ID, so a
+// -rate/-rate-burst run exercises the per-client fairness path: 429s
+// are retried with backoff and tallied separately as queue-full vs
+// rate-limited.
+//
+// Usage:
+//
+//	smtload [-n 500] [-c 16] [-sse 0.4] [-verilog 0.25] [-circuits small,a,b]
+//	        [-url http://host:8177 | -jobs N -queue N -rate R -rate-burst B -state-dir DIR]
+//	        [-out BENCH_serve.json]
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selectivemt"
+	"selectivemt/internal/server"
+)
+
+func main() {
+	urlFlag := flag.String("url", "", "target smtd base URL (empty = boot an in-process server)")
+	n := flag.Int("n", 500, "total jobs to run")
+	c := flag.Int("c", 16, "concurrent clients")
+	sseFrac := flag.Float64("sse", 0.4, "fraction of clients following jobs over SSE instead of polling")
+	vlogFrac := flag.Float64("verilog", 0.25, "fraction of jobs submitted as Verilog uploads")
+	circuits := flag.String("circuits", "small,a,b", "comma-separated benchmark mix for non-upload jobs")
+	out := flag.String("out", "BENCH_serve.json", "metrics output path")
+	jobs := flag.Int("jobs", 0, "in-process server: flow workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", server.DefaultQueueCap, "in-process server: pending-job queue cap")
+	rate := flag.Float64("rate", 0, "in-process server: per-client submit rate limit in jobs/s (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", server.DefaultRateBurst, "in-process server: token-bucket depth when -rate is set")
+	stateDir := flag.String("state-dir", "", "in-process server: durable job store directory (empty = in-memory)")
+	flag.Parse()
+	log.SetFlags(0)
+	if *n <= 0 || *c <= 0 {
+		log.Fatalf("smtload: -n and -c must be positive")
+	}
+
+	base := *urlFlag
+	var shutdown func()
+	if base == "" {
+		var err error
+		base, shutdown, err = bootInProcess(*jobs, *queue, *rate, *rateBurst, *stateDir)
+		if err != nil {
+			log.Fatalf("smtload: %v", err)
+		}
+		defer shutdown()
+	}
+
+	mix := strings.Split(*circuits, ",")
+	for i := range mix {
+		mix[i] = strings.TrimSpace(mix[i])
+	}
+
+	statsBefore, err := fetchStats(base)
+	if err != nil {
+		log.Fatalf("smtload: stats: %v", err)
+	}
+
+	res := run(base, *n, *c, *sseFrac, *vlogFrac, mix)
+
+	statsAfter, err := fetchStats(base)
+	if err != nil {
+		log.Fatalf("smtload: stats: %v", err)
+	}
+	hits := statsAfter.Cache.Hits - statsBefore.Cache.Hits
+	misses := statsAfter.Cache.Misses - statsBefore.Cache.Misses
+	if hits+misses > 0 {
+		res.Cache.Hits = hits
+		res.Cache.Misses = misses
+		res.Cache.HitRate = round3(float64(hits) / float64(hits+misses))
+	}
+
+	data, _ := json.MarshalIndent(res, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("smtload: write %s: %v", *out, err)
+	}
+	fmt.Printf("%s", data)
+	if res.Failed > 0 || res.Canceled > 0 {
+		log.Fatalf("smtload: %d failed / %d canceled jobs", res.Failed, res.Canceled)
+	}
+}
+
+// benchResult is the BENCH_serve.json schema.
+type benchResult struct {
+	Source      string  `json:"source"`
+	Jobs        int     `json:"jobs"`
+	Concurrency int     `json:"concurrency"`
+	SSEClients  int     `json:"sse_clients"`
+	VerilogJobs int     `json:"verilog_jobs"`
+	Mix         string  `json:"benchmark_mix"`
+	Done        int     `json:"done"`
+	Failed      int     `json:"failed"`
+	Canceled    int     `json:"canceled"`
+	QueueFull   uint64  `json:"submit_429_queue_full"`
+	RateLimited uint64  `json:"submit_429_rate_limited"`
+	WallSec     float64 `json:"wall_clock_sec"`
+	Throughput  float64 `json:"throughput_jobs_per_sec"`
+	Latency     struct {
+		P50 float64 `json:"p50_ms"`
+		P90 float64 `json:"p90_ms"`
+		P95 float64 `json:"p95_ms"`
+		P99 float64 `json:"p99_ms"`
+		Max float64 `json:"max_ms"`
+	} `json:"latency"`
+	Cache struct {
+		Hits    uint64  `json:"hits"`
+		Misses  uint64  `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"cache"`
+}
+
+// run fans the job mix out over c clients and aggregates the tallies.
+func run(base string, n, c int, sseFrac, vlogFrac float64, mix []string) *benchResult {
+	res := &benchResult{
+		Jobs:        n,
+		Concurrency: c,
+		SSEClients:  int(float64(c) * sseFrac),
+		Mix:         strings.Join(mix, ","),
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		next      atomic.Int64
+		queue429  atomic.Uint64
+		rate429   atomic.Uint64
+		done      atomic.Int64
+		failed    atomic.Int64
+		canceled  atomic.Int64
+		vlogJobs  atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < c; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			client := fmt.Sprintf("load-%03d", ci)
+			useSSE := ci < res.SSEClients
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= n {
+					return
+				}
+				spec, isVlog := jobSpec(j, vlogFrac, mix)
+				if isVlog {
+					vlogJobs.Add(1)
+				}
+				t0 := time.Now()
+				id, err := submit(base, client, spec, &queue429, &rate429)
+				if err != nil {
+					log.Printf("smtload: job %d: %v", j, err)
+					failed.Add(1)
+					continue
+				}
+				var status string
+				if useSSE {
+					status, err = followSSE(base, id)
+				} else {
+					status, err = followPoll(base, id)
+				}
+				if err != nil {
+					log.Printf("smtload: job %d (%s): %v", j, id, err)
+					failed.Add(1)
+					continue
+				}
+				lat := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+				switch status {
+				case "done":
+					done.Add(1)
+				case "canceled":
+					canceled.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res.VerilogJobs = int(vlogJobs.Load())
+	res.Done = int(done.Load())
+	res.Failed = int(failed.Load())
+	res.Canceled = int(canceled.Load())
+	res.QueueFull = queue429.Load()
+	res.RateLimited = rate429.Load()
+	res.WallSec = round3(wall.Seconds())
+	if wall > 0 {
+		res.Throughput = round3(float64(n) / wall.Seconds())
+	}
+	sort.Slice(latencies, func(i, k int) bool { return latencies[i] < latencies[k] })
+	res.Latency.P50 = percentileMs(latencies, 0.50)
+	res.Latency.P90 = percentileMs(latencies, 0.90)
+	res.Latency.P95 = percentileMs(latencies, 0.95)
+	res.Latency.P99 = percentileMs(latencies, 0.99)
+	if len(latencies) > 0 {
+		res.Latency.Max = round3(latencies[len(latencies)-1].Seconds() * 1000)
+	}
+	res.Source = fmt.Sprintf("smtload -n %d -c %d (sse clients %d, verilog jobs %d)",
+		n, c, res.SSEClients, res.VerilogJobs)
+	return res
+}
+
+// jobSpec picks job j's spec from the mix: a vlogFrac share of jobs are
+// Verilog uploads cycling through three generated sizes, the rest cycle
+// through the benchmark circuits. The stride-37 residue walk hits the
+// exact fraction over every 100 jobs while keeping the two kinds
+// interleaved rather than clustered.
+func jobSpec(j int, vlogFrac float64, mix []string) (spec string, isVlog bool) {
+	if vlogFrac > 0 && float64(j*37%100) < vlogFrac*100 {
+		src := verilogVariant(j % 3)
+		b, _ := json.Marshal(map[string]any{
+			"verilog":         src,
+			"clock_period_ns": 10.0,
+		})
+		return string(b), true
+	}
+	b, _ := json.Marshal(map[string]string{"circuit": mix[j%len(mix)]})
+	return string(b), false
+}
+
+// verilogVariant generates one of three deterministic structural
+// netlists of different sizes — a NAND front end, an inverter chain and
+// a capturing flop — so upload jobs exercise parse + placement + flow
+// on distinct fingerprints (three cache misses total, hits thereafter).
+func verilogVariant(k int) string {
+	chain := []int{4, 12, 28}[k%3]
+	var b strings.Builder
+	fmt.Fprintf(&b, "module load_upload_%d (a, b, clk, y);\n", k%3)
+	b.WriteString("  input a, b;\n  input clk;\n  output y;\n")
+	fmt.Fprintf(&b, "  wire n0;\n")
+	for i := 1; i <= chain; i++ {
+		fmt.Fprintf(&b, "  wire n%d;\n", i)
+	}
+	b.WriteString("  NAND2_X1_L g0 (.A(a), .B(b), .ZN(n0));\n")
+	for i := 1; i <= chain; i++ {
+		fmt.Fprintf(&b, "  INV_X1_L g%d (.A(n%d), .ZN(n%d));\n", i, i-1, i)
+	}
+	fmt.Fprintf(&b, "  DFF_X1_L ff (.D(n%d), .CK(clk), .Q(y));\nendmodule\n", chain)
+	return b.String()
+}
+
+// submit posts one job, retrying 429 backpressure with backoff and
+// tallying queue-full vs rate-limited refusals separately.
+func submit(base, client, spec string, queue429, rate429 *atomic.Uint64) (string, error) {
+	backoff := 5 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest("POST", base+"/v1/jobs", strings.NewReader(spec))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set(server.ClientIDHeader, client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return "", err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var acc struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &acc); err != nil {
+				return "", err
+			}
+			return acc.ID, nil
+		case http.StatusTooManyRequests:
+			if strings.Contains(string(body), "rate limit") {
+				rate429.Add(1)
+			} else {
+				queue429.Add(1)
+			}
+			if attempt > 2000 {
+				return "", fmt.Errorf("still 429 after %d attempts: %s", attempt, body)
+			}
+			time.Sleep(backoff)
+			if backoff < 250*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			return "", fmt.Errorf("submit: %d %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// followPoll is the polling client: GET status until terminal.
+func followPoll(base, id string) (string, error) {
+	deadline := time.Now().Add(10 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return "", err
+		}
+		var v struct {
+			Status string `json:"status"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch v.Status {
+		case "done", "failed", "canceled":
+			return v.Status, nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("job %s never finished", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// followSSE is the streaming client: attach to the job's event stream
+// and wait for the done frame.
+func followSSE(base, id string) (string, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("events: %d %s", resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lastEvent := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			lastEvent = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && lastEvent == "done":
+			var v struct {
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &v); err != nil {
+				return "", err
+			}
+			return v.Status, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("job %s: stream closed without done frame", id)
+}
+
+type statsPayload struct {
+	Cache struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+	} `json:"cache"`
+}
+
+func fetchStats(base string) (*statsPayload, error) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var v statsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// bootInProcess stands up the real smtd serving stack on a loopback
+// listener and returns its base URL plus a drain-and-stop func.
+func bootInProcess(jobs, queue int, rate float64, rateBurst int, stateDir string) (string, func(), error) {
+	start := time.Now()
+	env, err := selectivemt.NewEnvironment()
+	if err != nil {
+		return "", nil, err
+	}
+	log.Printf("smtload: library characterized in %v", time.Since(start).Round(time.Millisecond))
+	srv, err := server.New(env, server.Options{
+		Workers:    jobs,
+		QueueCap:   queue,
+		RatePerSec: rate,
+		RateBurst:  rateBurst,
+		StateDir:   stateDir,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	log.Printf("smtload: in-process smtd on %s (%d workers, queue cap %d)", base, selectivemt.EffectiveJobs(jobs), queue)
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		_ = srv.Drain(ctx)
+		_ = httpSrv.Shutdown(ctx)
+	}
+	return base, shutdown, nil
+}
+
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return round3(sorted[idx].Seconds() * 1000)
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"selectivemt"
+)
+
+// persister is the store's durable mirror: one JSON file per job under
+// a state directory, written atomically (temp file + rename) on every
+// state transition. The files are small — a finished job holds only the
+// scalar result view and the rendered report, and a queued Verilog
+// upload keeps its source exactly until the flow consumes it — so the
+// write-per-transition cost stays negligible next to a flow run.
+//
+// Durability contract: a restart re-serves every finished job byte-for-
+// byte (result view, report, stage history) and re-enqueues every job
+// that was queued or running when the process died. Re-run jobs start
+// from scratch — their partial stage history is discarded — and land on
+// the same report bytes as an uninterrupted run would have: the flow is
+// deterministic and the AnalysisCache fingerprint keys make the replay
+// cheap when the cache survives (and merely slower, never different,
+// when it does not).
+type persister struct {
+	dir string
+	// writeErrs counts failed disk writes; the serving path never fails
+	// on them (memory stays authoritative) but /v1/stats surfaces the
+	// counter so an operator sees a sick state directory.
+	writeErrs atomic.Uint64
+}
+
+// persistedJob is the on-disk form of a Job. It carries the spec —
+// including an uploaded Verilog source while the job is live — because
+// a requeued job must be re-runnable from the file alone.
+type persistedJob struct {
+	ID       string              `json:"id"`
+	Spec     selectivemt.JobSpec `json:"spec"`
+	Status   Status              `json:"status"`
+	Circuit  string              `json:"circuit,omitempty"`
+	Stages   []Stage             `json:"stages,omitempty"`
+	Result   *resultView         `json:"result,omitempty"`
+	Report   string              `json:"report,omitempty"`
+	Err      string              `json:"error,omitempty"`
+	Created  time.Time           `json:"created"`
+	Started  time.Time           `json:"started,omitzero"`
+	Finished time.Time           `json:"finished,omitzero"`
+}
+
+// openPersister creates (or reopens) a state directory.
+func openPersister(dir string) (*persister, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	return &persister{dir: dir}, nil
+}
+
+func (p *persister) path(id string) string {
+	return filepath.Join(p.dir, id+".json")
+}
+
+// put mirrors one job snapshot to disk. The caller holds the store
+// lock, which orders the writes: the last rename wins and it is always
+// the newest state.
+func (p *persister) put(j *Job) {
+	pj := persistedJob{
+		ID:       j.ID,
+		Spec:     j.Spec,
+		Status:   j.Status,
+		Circuit:  j.Circuit,
+		Stages:   j.Stages,
+		Result:   j.Result,
+		Report:   j.Report,
+		Err:      j.Err,
+		Created:  j.Created,
+		Started:  j.Started,
+		Finished: j.Finished,
+	}
+	data, err := json.Marshal(pj)
+	if err != nil {
+		p.writeErrs.Add(1)
+		return
+	}
+	tmp := p.path(j.ID) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		p.writeErrs.Add(1)
+		return
+	}
+	if err := os.Rename(tmp, p.path(j.ID)); err != nil {
+		_ = os.Remove(tmp)
+		p.writeErrs.Add(1)
+	}
+}
+
+// remove deletes a job's file (submit rollback or retention eviction).
+func (p *persister) remove(id string) {
+	if err := os.Remove(p.path(id)); err != nil && !os.IsNotExist(err) {
+		p.writeErrs.Add(1)
+	}
+}
+
+// load reads every persisted job, in ID order (which is submission
+// order — IDs are a zero-padded sequence), skipping torn or foreign
+// files rather than refusing to start.
+func (p *persister) load() ([]*Job, error) {
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".json") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	jobs := make([]*Job, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(p.dir, name))
+		if err != nil {
+			continue
+		}
+		var pj persistedJob
+		if err := json.Unmarshal(data, &pj); err != nil || pj.ID == "" {
+			// A torn write can only be a stale .tmp leftover or a file
+			// corrupted outside our atomic-rename protocol; skip it.
+			continue
+		}
+		jobs = append(jobs, &Job{
+			ID:       pj.ID,
+			Spec:     pj.Spec,
+			Status:   pj.Status,
+			Circuit:  pj.Circuit,
+			Stages:   pj.Stages,
+			Result:   pj.Result,
+			Report:   pj.Report,
+			Err:      pj.Err,
+			Created:  pj.Created,
+			Started:  pj.Started,
+			Finished: pj.Finished,
+		})
+	}
+	return jobs, nil
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ClientIDHeader names the submitting client for rate-limiting
+// fairness. Absent the header, the client key falls back to the remote
+// address's host, so co-located clients behind one NAT share a bucket
+// while distinct hosts get their own.
+const ClientIDHeader = "X-Client-ID"
+
+// maxRateClients bounds the bucket map; past it, the next new client
+// triggers a sweep of buckets idle long enough to have refilled
+// completely (forgetting those loses no information — a full bucket is
+// exactly what a brand-new client gets).
+const maxRateClients = 65536
+
+// rateLimiter is a per-client token bucket layered above the pool's
+// queue-full backpressure: the queue 429 protects the server from
+// aggregate overload, the bucket 429 protects clients from each other —
+// one greedy submitter exhausts its own bucket while everyone else's
+// stays full. Buckets refill at ratePerSec up to burst.
+type rateLimiter struct {
+	mu         sync.Mutex
+	ratePerSec float64
+	burst      float64
+	buckets    map[string]*bucket
+	throttled  uint64
+	now        func() time.Time // injectable for deterministic tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(ratePerSec float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		ratePerSec: ratePerSec,
+		burst:      float64(burst),
+		buckets:    make(map[string]*bucket),
+		now:        time.Now,
+	}
+}
+
+// allow spends one token from key's bucket, reporting false (and
+// counting the throttle) when the bucket is empty.
+func (l *rateLimiter) allow(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxRateClients {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.ratePerSec)
+		b.last = now
+	}
+	if b.tokens < 1 {
+		l.throttled++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweepLocked forgets buckets idle long enough to have refilled to
+// burst — indistinguishable from never having existed.
+func (l *rateLimiter) sweepLocked(now time.Time) {
+	refill := time.Duration(l.burst / l.ratePerSec * float64(time.Second))
+	for key, b := range l.buckets {
+		if now.Sub(b.last) >= refill {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// stats snapshots the limiter for /v1/stats.
+func (l *rateLimiter) stats() (clients int, throttled uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets), l.throttled
+}
+
+// clientKey identifies the submitting client: the X-Client-ID header
+// when present, else the remote host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get(ClientIDHeader); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

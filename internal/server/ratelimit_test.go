@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"selectivemt"
+)
+
+// TestRateLimiterBuckets drives the token bucket with an injected
+// clock: burst spends, refill over elapsed time, per-key independence,
+// and the idle sweep.
+func TestRateLimiterBuckets(t *testing.T) {
+	l := newRateLimiter(1, 2) // 1 token/s, burst 2
+	now := time.Unix(1_000_000, 0)
+	l.now = func() time.Time { return now }
+
+	if !l.allow("alice") || !l.allow("alice") {
+		t.Fatal("burst of 2 must admit two submits")
+	}
+	if l.allow("alice") {
+		t.Fatal("third submit within the burst must be throttled")
+	}
+	// A different client is untouched by alice's empty bucket.
+	if !l.allow("bob") {
+		t.Fatal("bob throttled by alice's bucket")
+	}
+	// 1.5s refills 1.5 tokens: one submit passes, the next does not.
+	now = now.Add(1500 * time.Millisecond)
+	if !l.allow("alice") {
+		t.Fatal("refilled token not granted")
+	}
+	if l.allow("alice") {
+		t.Fatal("half a token granted")
+	}
+	clients, throttled := l.stats()
+	if clients != 2 || throttled != 2 {
+		t.Errorf("stats = %d clients / %d throttled, want 2 / 2", clients, throttled)
+	}
+	// Idle long enough to refill to burst: the sweep forgets the bucket
+	// (indistinguishable from a brand-new client).
+	now = now.Add(10 * time.Second)
+	l.mu.Lock()
+	l.sweepLocked(now)
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n != 0 {
+		t.Errorf("sweep left %d buckets", n)
+	}
+}
+
+// submitAs posts a job spec under a client identity.
+func submitAs(t *testing.T, url, clientID, spec string) (int, string, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/jobs", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clientID != "" {
+		req.Header.Set(ClientIDHeader, clientID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// TestRateLimitFairness is the per-client fairness contract over HTTP:
+// one greedy client exhausts its own bucket and gets 429s naming it,
+// while other clients — and clients identified only by remote host —
+// keep submitting. The limiter surfaces in /v1/stats.
+func TestRateLimitFairness(t *testing.T) {
+	// Effectively no refill within the test: only the burst matters.
+	s, ts := newTestServer(t, Options{Workers: 1, RatePerSec: 1e-9, RateBurst: 2})
+	s.run = func(ctx context.Context, spec selectivemt.JobSpec, progress func(selectivemt.BatchEvent)) (*selectivemt.JobOutcome, error) {
+		return &selectivemt.JobOutcome{Circuit: spec.Circuit, Report: "fake"}, nil
+	}
+
+	for i := 0; i < 2; i++ {
+		if code, body, _ := submitAs(t, ts.URL, "alice", `{"circuit":"small"}`); code != http.StatusAccepted {
+			t.Fatalf("alice submit %d: %d %s", i, code, body)
+		}
+	}
+	code, body, hdr := submitAs(t, ts.URL, "alice", `{"circuit":"small"}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("alice over burst: %d %s, want 429", code, body)
+	}
+	if !strings.Contains(body, "rate limit") || !strings.Contains(body, "alice") {
+		t.Errorf("429 body should name the rate limit and the client: %s", body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("rate-limited response missing Retry-After")
+	}
+	// Fairness: alice's empty bucket does not throttle bob...
+	if code, body, _ := submitAs(t, ts.URL, "bob", `{"circuit":"small"}`); code != http.StatusAccepted {
+		t.Fatalf("bob throttled by alice: %d %s", code, body)
+	}
+	// ...nor anonymous clients, who are keyed by remote host.
+	for i := 0; i < 2; i++ {
+		if code, body, _ := submitAs(t, ts.URL, "", `{"circuit":"small"}`); code != http.StatusAccepted {
+			t.Fatalf("anonymous submit %d: %d %s", i, code, body)
+		}
+	}
+	if code, _, _ := submitAs(t, ts.URL, "", `{"circuit":"small"}`); code != http.StatusTooManyRequests {
+		t.Fatalf("anonymous over burst: %d, want 429", code)
+	}
+
+	st := fetchStats(t, ts.URL)
+	if st.RateLimit == nil {
+		t.Fatal("stats missing rate_limit with limiting enabled")
+	}
+	if st.RateLimit.Clients != 3 || st.RateLimit.Throttled < 2 || st.RateLimit.Burst != 2 {
+		t.Errorf("rate_limit stats = %+v, want 3 clients, >= 2 throttled, burst 2", st.RateLimit)
+	}
+	// A rate-limit 429 must not leave a job behind (it refuses before
+	// the store ever sees the spec).
+	total := 0
+	for _, n := range st.Jobs {
+		total += n
+	}
+	if total != 5 {
+		t.Errorf("job records = %d, want the 5 accepted", total)
+	}
+}

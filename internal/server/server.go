@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,24 @@ type Options struct {
 	// ShardJobs bounds per-shard fan-out when partitioned timing is on;
 	// same spec-wins default rule as Partitions. <= 0 means GOMAXPROCS.
 	ShardJobs int
+	// StateDir, when set, makes the job store durable: every job state
+	// transition is mirrored to one JSON file per job under this
+	// directory, finished jobs are re-served byte-identically after a
+	// restart, and jobs that were queued or running when the process
+	// died are re-enqueued on startup. Empty keeps the store in memory.
+	StateDir string
+	// RatePerSec, when > 0, turns on per-client submit rate limiting:
+	// each client (X-Client-ID header, else remote host) gets a token
+	// bucket refilling at this rate. Overflow answers 429 without
+	// touching the job queue, so one greedy client cannot starve the
+	// others out of the queue's capacity.
+	RatePerSec float64
+	// RateBurst is the bucket depth when rate limiting is on; <= 0
+	// means DefaultRateBurst.
+	RateBurst int
+	// SSEHeartbeat is the idle keepalive interval on event streams;
+	// <= 0 means DefaultSSEHeartbeat.
+	SSEHeartbeat time.Duration
 }
 
 // Serving defaults.
@@ -52,17 +71,21 @@ const (
 	DefaultQueueCap  = 64
 	DefaultMaxUpload = 8 << 20
 	DefaultMaxJobs   = 1024
+	DefaultRateBurst = 8
 )
 
 // Server is the smtd HTTP service: a bounded job store feeding the flow
 // engine pool, all jobs sharing one Environment (library, analysis
 // cache, corner set).
 type Server struct {
-	env      *selectivemt.Environment
-	pool     *engine.Pool
-	store    *store
-	opts     Options
-	draining atomic.Bool
+	env          *selectivemt.Environment
+	pool         *engine.Pool
+	store        *store
+	opts         Options
+	limits       *rateLimiter
+	sseHeartbeat time.Duration
+	recovered    int
+	draining     atomic.Bool
 
 	// run executes one job's flow; it is env.RunJob in production and a
 	// seam for handler tests that need a controllable (blockable,
@@ -71,8 +94,11 @@ type Server struct {
 }
 
 // New builds a Server on the environment. The worker pool starts
-// immediately; call Drain to shut it down.
-func New(env *selectivemt.Environment, opts Options) *Server {
+// immediately; call Drain to shut it down. With Options.StateDir set,
+// New also replays the state directory: finished jobs are re-served
+// as-is and interrupted (queued/running) jobs are re-enqueued before
+// the first request lands.
+func New(env *selectivemt.Environment, opts Options) (*Server, error) {
 	if opts.QueueCap <= 0 {
 		opts.QueueCap = DefaultQueueCap
 	}
@@ -85,11 +111,22 @@ func New(env *selectivemt.Environment, opts Options) *Server {
 	if opts.MaxJobs <= 0 {
 		opts.MaxJobs = DefaultMaxJobs
 	}
+	if opts.SSEHeartbeat <= 0 {
+		opts.SSEHeartbeat = DefaultSSEHeartbeat
+	}
 	s := &Server{
-		env:   env,
-		pool:  engine.NewPool(opts.Workers, opts.QueueCap),
-		store: newStore(opts.MaxJobs),
-		opts:  opts,
+		env:          env,
+		pool:         engine.NewPool(opts.Workers, opts.QueueCap),
+		store:        newStore(opts.MaxJobs),
+		opts:         opts,
+		sseHeartbeat: opts.SSEHeartbeat,
+	}
+	if opts.RatePerSec > 0 {
+		burst := opts.RateBurst
+		if burst <= 0 {
+			burst = DefaultRateBurst
+		}
+		s.limits = newRateLimiter(opts.RatePerSec, burst)
 	}
 	s.run = func(ctx context.Context, spec selectivemt.JobSpec, progress func(selectivemt.BatchEvent)) (*selectivemt.JobOutcome, error) {
 		if spec.Partitions == 0 {
@@ -104,14 +141,67 @@ func New(env *selectivemt.Environment, opts Options) *Server {
 			Progress: progress,
 		})
 	}
-	return s
+	if opts.StateDir != "" {
+		if err := s.recover(opts.StateDir); err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
+
+// recover opens the state directory, reloads every persisted job and
+// re-enqueues the interrupted ones. It runs before the server accepts
+// traffic, so recovered jobs keep their IDs and order ahead of any new
+// submission.
+func (s *Server) recover(dir string) error {
+	p, err := openPersister(dir)
+	if err != nil {
+		return err
+	}
+	jobs, err := p.load()
+	if err != nil {
+		return err
+	}
+	s.store.persist = p
+	for _, j := range jobs {
+		if j.Status.finished() {
+			s.store.restore(j)
+			continue
+		}
+		// Interrupted mid-queue or mid-run: re-run from scratch. The
+		// partial stage history is discarded — the flow re-emits it —
+		// and determinism plus the AnalysisCache fingerprint keys land
+		// the re-run on the same bytes an uninterrupted run produces.
+		j.Status = StatusQueued
+		j.Stages = nil
+		j.Started = time.Time{}
+		ctx := s.store.restore(j)
+		id, spec := j.ID, j.Spec
+		task := func(ctx context.Context) { s.runJob(ctx, id, spec) }
+		if err := s.pool.SubmitNamed(ctx, id+"/"+spec.Circuit, task); err != nil {
+			// A queue smaller than the recovered backlog: the overflow
+			// lands failed with the reason recorded rather than silently
+			// vanishing. Raise -queue to resume a bigger backlog.
+			s.store.finish(id, StatusFailed, nil, "",
+				fmt.Errorf("requeue after restart refused: %w", err))
+			continue
+		}
+		s.recovered++
+	}
+	return nil
+}
+
+// Recovered reports how many interrupted jobs startup recovery
+// re-enqueued (0 without a state directory).
+func (s *Server) Recovered() int { return s.recovered }
 
 // Handler returns the service's routing table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -146,15 +236,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server draining, not accepting jobs")
 		return
 	}
+	if s.limits != nil {
+		if key := clientKey(r); !s.limits.allow(key) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"rate limit exceeded for client %q (%g jobs/s, burst %d), retry later",
+				key, s.limits.ratePerSec, int(s.limits.burst))
+			return
+		}
+	}
 	var spec selectivemt.JobSpec
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
-	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+	dec := json.NewDecoder(body)
+	// A misspelled spec key must answer 400 naming the field, not
+	// silently run with defaults ("partitons": 4 is a bug in the
+	// client, not a request for the default partition count).
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
 			return
 		}
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	// The body is one JSON object; trailing non-whitespace bytes mean a
+	// malformed client, not a second job.
+	if _, err := dec.Token(); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "bad job spec: trailing data after JSON object")
 		return
 	}
 	// Validate before accepting: RunJob's own check, applied up front,
@@ -427,7 +537,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsView is the /v1/stats payload: the shared cache's amortization
-// counters, the pool's queue depth and occupancy, and job tallies.
+// counters, the pool's queue depth and occupancy, job tallies, the
+// per-client rate limiter (when enabled) and the durable store's
+// health (when a state directory is configured).
 type statsView struct {
 	Cache struct {
 		Hits    uint64 `json:"hits"`
@@ -442,7 +554,22 @@ type statsView struct {
 		Submitted uint64 `json:"submitted"`
 		Completed uint64 `json:"completed"`
 	} `json:"pool"`
-	Jobs map[Status]int `json:"jobs"`
+	Jobs      map[Status]int `json:"jobs"`
+	RateLimit *rateLimitView `json:"rate_limit,omitempty"`
+	Durable   *durableView   `json:"durable,omitempty"`
+}
+
+type rateLimitView struct {
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      int     `json:"burst"`
+	Clients    int     `json:"clients"`
+	Throttled  uint64  `json:"throttled"`
+}
+
+type durableView struct {
+	StateDir  string `json:"state_dir"`
+	Recovered int    `json:"recovered"`
+	WriteErrs uint64 `json:"write_errors"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -456,5 +583,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	v.Pool.Submitted = ps.Submitted
 	v.Pool.Completed = ps.Completed
 	v.Jobs = s.store.counts()
+	if s.limits != nil {
+		clients, throttled := s.limits.stats()
+		v.RateLimit = &rateLimitView{
+			RatePerSec: s.limits.ratePerSec,
+			Burst:      int(s.limits.burst),
+			Clients:    clients,
+			Throttled:  throttled,
+		}
+	}
+	if p := s.store.persist; p != nil {
+		v.Durable = &durableView{
+			StateDir:  p.dir,
+			Recovered: s.recovered,
+			WriteErrs: p.writeErrs.Load(),
+		}
+	}
 	writeJSON(w, http.StatusOK, v)
 }

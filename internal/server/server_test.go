@@ -35,7 +35,10 @@ func testEnv(t *testing.T) *selectivemt.Environment {
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(testEnv(t), opts)
+	s, err := New(testEnv(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -116,6 +119,11 @@ func TestBadRequests(t *testing.T) {
 		want   string
 	}{
 		{"bad json", "POST", "/v1/jobs", "{not json", http.StatusBadRequest, "bad job spec"},
+		// A misspelled spec key must answer 400 naming the field —
+		// before the DisallowUnknownFields fix this job silently ran
+		// with the default partition count.
+		{"unknown field", "POST", "/v1/jobs", `{"circuit":"small","partitons":4}`, http.StatusBadRequest, "partitons"},
+		{"trailing garbage", "POST", "/v1/jobs", `{"circuit":"small"} {"oops":1}`, http.StatusBadRequest, "trailing data"},
 		{"empty spec", "POST", "/v1/jobs", "{}", http.StatusBadRequest, "circuit name or a Verilog"},
 		{"unknown circuit", "POST", "/v1/jobs", `{"circuit":"z"}`, http.StatusBadRequest, "unknown circuit"},
 		{"unknown technique", "POST", "/v1/jobs", `{"circuit":"small","techniques":["magic"]}`, http.StatusBadRequest, "unknown technique"},
@@ -127,6 +135,7 @@ func TestBadRequests(t *testing.T) {
 			fmt.Sprintf(`{"verilog":%q,"clock_period_ns":1}`, strings.Repeat("x", 4096)),
 			http.StatusRequestEntityTooLarge, "exceeds"},
 		{"status unknown job", "GET", "/v1/jobs/job-99999999", "", http.StatusNotFound, "unknown job"},
+		{"events unknown job", "GET", "/v1/jobs/job-99999999/events", "", http.StatusNotFound, "unknown job"},
 		{"result unknown job", "GET", "/v1/jobs/job-99999999/result", "", http.StatusNotFound, "unknown job"},
 		{"report unknown job", "GET", "/v1/jobs/job-99999999/report", "", http.StatusNotFound, "unknown job"},
 		{"cancel unknown job", "DELETE", "/v1/jobs/job-99999999", "", http.StatusNotFound, "unknown job"},

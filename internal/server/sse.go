@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// DefaultSSEHeartbeat is the idle-stream keepalive interval: a comment
+// frame every 15s keeps proxies and LB idle timeouts from severing a
+// stream while a long stage runs.
+const DefaultSSEHeartbeat = 15 * time.Second
+
+// handleEvents is GET /v1/jobs/{id}/events: the job's stage records as
+// a Server-Sent Events stream. Semantics are replay-then-follow — every
+// stage recorded so far is replayed first, then new ones arrive live,
+// and the concatenation is exactly the polled Stages sequence (the
+// snapshot and the subscription are taken under one store lock, so
+// nothing is missed or duplicated). Frames:
+//
+//	id: <n>          monotonically increasing event index
+//	event: stage     data: one Stage record as JSON
+//	event: done      data: {"id":..., "status":...}; the stream closes
+//	: hb             heartbeat comment while a long stage runs
+//
+// A stream attached to an already-finished job replays the full history
+// and closes with the done frame immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	replay, final, sub, ok := s.store.watch(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if sub != nil {
+		defer s.store.unwatch(id, sub)
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	seq := 0
+	writeStage := func(st Stage) {
+		data, _ := json.Marshal(st)
+		fmt.Fprintf(w, "id: %d\nevent: stage\ndata: %s\n\n", seq, data)
+		seq++
+	}
+	writeDone := func(status Status) {
+		fmt.Fprintf(w, "id: %d\nevent: done\ndata: {\"id\":%q,\"status\":%q}\n\n", seq, id, status)
+		flusher.Flush()
+	}
+
+	for _, st := range replay {
+		writeStage(st)
+	}
+	flusher.Flush()
+	if final != nil {
+		writeDone(*final)
+		return
+	}
+
+	heartbeat := time.NewTicker(s.sseHeartbeat)
+	defer heartbeat.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case ev, ok := <-sub.ch:
+			if !ok {
+				// Channel closed: the job reached a terminal state (or
+				// was rolled back and no longer exists) — the one signal
+				// a full buffer can never swallow. Serve the final state
+				// from the store.
+				if j := s.store.get(id); j != nil && j.Status.finished() {
+					writeDone(j.Status)
+				}
+				return
+			}
+			if ev.Final != nil {
+				writeDone(*ev.Final)
+				return
+			}
+			writeStage(ev.Stage)
+			flusher.Flush()
+		case <-heartbeat.C:
+			fmt.Fprintf(w, ": hb\n\n")
+			flusher.Flush()
+		case <-ctx.Done():
+			return
+		}
+	}
+}

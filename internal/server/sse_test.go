@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"selectivemt"
+)
+
+// sseFrame is one parsed Server-Sent Events frame (or comment line).
+type sseFrame struct {
+	id      string
+	event   string
+	data    string
+	comment bool
+}
+
+// readFrame parses the next frame off the stream: lines up to a blank
+// separator. A comment line (": hb") is returned as its own frame.
+func readFrame(br *bufio.Reader) (sseFrame, error) {
+	var f sseFrame
+	got := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return f, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if got {
+				return f, nil
+			}
+		case strings.HasPrefix(line, ": "):
+			f.comment = true
+			got = true
+		case strings.HasPrefix(line, "id: "):
+			f.id = strings.TrimPrefix(line, "id: ")
+			got = true
+		case strings.HasPrefix(line, "event: "):
+			f.event = strings.TrimPrefix(line, "event: ")
+			got = true
+		case strings.HasPrefix(line, "data: "):
+			f.data = strings.TrimPrefix(line, "data: ")
+			got = true
+		}
+	}
+}
+
+// openStream attaches an SSE client to a job and returns the reader.
+func openStream(t *testing.T, url, id string) (*bufio.Reader, func()) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("events: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	return bufio.NewReader(resp.Body), func() { resp.Body.Close() }
+}
+
+// TestSSEReplayThenFollow pins the stream's ordering contract: a client
+// attaching mid-run gets every already-recorded stage replayed first,
+// then follows new ones live, and the concatenation is exactly the
+// polled Stages sequence — no gap, no duplicate — capped by the done
+// frame when the job finishes.
+func TestSSEReplayThenFollow(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+	phase1 := make(chan struct{})
+	proceed := make(chan struct{})
+	s.run = func(ctx context.Context, spec selectivemt.JobSpec, progress func(selectivemt.BatchEvent)) (*selectivemt.JobOutcome, error) {
+		progress(selectivemt.BatchEvent{Task: "prepare", State: selectivemt.JobRunning})
+		progress(selectivemt.BatchEvent{Task: "prepare", State: selectivemt.JobDone, Elapsed: 3 * time.Millisecond})
+		progress(selectivemt.BatchEvent{Task: "Improved-SMT", Stage: "CTS", State: selectivemt.JobRunning})
+		close(phase1)
+		<-proceed
+		progress(selectivemt.BatchEvent{Task: "Improved-SMT", Stage: "CTS", State: selectivemt.JobDone, Elapsed: 7 * time.Millisecond})
+		progress(selectivemt.BatchEvent{Task: "Improved-SMT", State: selectivemt.JobDone})
+		return &selectivemt.JobOutcome{Circuit: spec.Circuit, Report: "fake"}, nil
+	}
+
+	code, body := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"circuit":"small"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &acc); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-phase1:
+	case <-time.After(30 * time.Second):
+		t.Fatal("flow never reached phase 1")
+	}
+
+	// Attach mid-run: three stages are on record, two more are coming.
+	br, closeStream := openStream(t, ts.URL, acc.ID)
+	defer closeStream()
+	var streamed []Stage
+	readStages := func(n int) {
+		t.Helper()
+		for len(streamed) < n {
+			f, err := readFrame(br)
+			if err != nil {
+				t.Fatalf("stream ended early (%v) after %d stages", err, len(streamed))
+			}
+			if f.comment {
+				continue
+			}
+			if f.event != "stage" {
+				t.Fatalf("unexpected %q frame before stage %d: %s", f.event, n, f.data)
+			}
+			if want := fmt.Sprint(len(streamed)); f.id != want {
+				t.Errorf("frame id = %q, want %q", f.id, want)
+			}
+			var st Stage
+			if err := json.Unmarshal([]byte(f.data), &st); err != nil {
+				t.Fatalf("bad stage data %q: %v", f.data, err)
+			}
+			streamed = append(streamed, st)
+		}
+	}
+	readStages(3) // the replay half
+	close(proceed)
+	readStages(5) // the follow half
+
+	f, err := readFrame(br)
+	if err != nil {
+		t.Fatalf("no done frame: %v", err)
+	}
+	for f.comment {
+		if f, err = readFrame(br); err != nil {
+			t.Fatalf("no done frame: %v", err)
+		}
+	}
+	if f.event != "done" || !strings.Contains(f.data, `"status":"done"`) || !strings.Contains(f.data, acc.ID) {
+		t.Fatalf("done frame = %+v", f)
+	}
+	// Terminal state closes the stream.
+	if _, err := readFrame(br); err != io.EOF {
+		t.Errorf("stream not closed after done frame: %v", err)
+	}
+
+	// The streamed sequence must equal the polled one exactly.
+	code, body = doJSON(t, "GET", ts.URL+"/v1/jobs/"+acc.ID, "")
+	if code != http.StatusOK {
+		t.Fatalf("poll: %d %s", code, body)
+	}
+	var v struct {
+		Stages []Stage `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Stages) != len(streamed) {
+		t.Fatalf("streamed %d stages, polled %d", len(streamed), len(v.Stages))
+	}
+	for i := range v.Stages {
+		if streamed[i] != v.Stages[i] {
+			t.Errorf("stage %d diverged: streamed %+v, polled %+v", i, streamed[i], v.Stages[i])
+		}
+	}
+
+	// A client attaching after completion replays everything and closes
+	// with the done frame immediately.
+	br2, closeStream2 := openStream(t, ts.URL, acc.ID)
+	defer closeStream2()
+	for i := 0; i < len(streamed); i++ {
+		f, err := readFrame(br2)
+		if err != nil || f.event != "stage" {
+			t.Fatalf("post-completion replay frame %d: %+v (%v)", i, f, err)
+		}
+	}
+	f, err = readFrame(br2)
+	if err != nil || f.event != "done" {
+		t.Fatalf("post-completion done frame: %+v (%v)", f, err)
+	}
+	if _, err := readFrame(br2); err != io.EOF {
+		t.Errorf("post-completion stream not closed: %v", err)
+	}
+}
+
+// TestSSEHeartbeatAndCancel: an idle stream carries heartbeat comments
+// while a long stage runs, and a canceled job ends the stream with a
+// canceled done frame.
+func TestSSEHeartbeatAndCancel(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, SSEHeartbeat: 10 * time.Millisecond})
+	started := make(chan struct{}, 1)
+	s.run = func(ctx context.Context, spec selectivemt.JobSpec, progress func(selectivemt.BatchEvent)) (*selectivemt.JobOutcome, error) {
+		progress(selectivemt.BatchEvent{Task: "prepare", State: selectivemt.JobRunning})
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, context.Cause(ctx)
+	}
+	code, body := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"circuit":"small"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	_ = json.Unmarshal([]byte(body), &acc)
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("flow never started")
+	}
+
+	br, closeStream := openStream(t, ts.URL, acc.ID)
+	defer closeStream()
+	heartbeats := 0
+	sawStage := false
+	for heartbeats < 2 {
+		f, err := readFrame(br)
+		if err != nil {
+			t.Fatalf("stream ended while waiting for heartbeats: %v", err)
+		}
+		switch {
+		case f.comment:
+			heartbeats++
+		case f.event == "stage":
+			sawStage = true
+		default:
+			t.Fatalf("unexpected frame %+v", f)
+		}
+	}
+	if !sawStage {
+		t.Error("replay stage never arrived before the heartbeats")
+	}
+
+	if code, body := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+acc.ID, ""); code != http.StatusAccepted {
+		t.Fatalf("cancel: %d %s", code, body)
+	}
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			t.Fatalf("stream ended without a done frame: %v", err)
+		}
+		if f.comment {
+			continue
+		}
+		if f.event == "done" {
+			if !strings.Contains(f.data, `"status":"canceled"`) {
+				t.Fatalf("done frame after cancel = %s", f.data)
+			}
+			break
+		}
+	}
+	if _, err := readFrame(br); err != io.EOF {
+		t.Errorf("stream not closed after cancel: %v", err)
+	}
+}

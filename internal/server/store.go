@@ -35,8 +35,9 @@ func (s Status) finished() bool {
 // stage and each technique at job level, plus — when Stage is set —
 // each pipeline stage inside a technique ("CTS", "hold ECO", ...),
 // with per-stage wall-clock on completion. GET /v1/jobs/{id} serves
-// the full sequence, so a client watching a running job sees live
-// pipeline progress, not just which technique is active.
+// the full sequence, and GET /v1/jobs/{id}/events streams it live as
+// SSE, so a client watching a running job sees live pipeline progress,
+// not just which technique is active.
 type Stage struct {
 	Task      string  `json:"task"`
 	Stage     string  `json:"stage,omitempty"`
@@ -67,25 +68,52 @@ type Job struct {
 	cancel context.CancelCauseFunc
 }
 
-// store is the bounded in-memory job registry. The *pending* bound
-// lives in the engine pool's queue (submit refuses with 429 when full);
-// the store's own bound is on retention: finished jobs beyond maxJobs
-// are evicted oldest-first so a resident server's memory does not grow
-// without limit.
+// streamEvent is one unit of an SSE subscription's follow phase: a
+// stage record, or — when Final is non-nil — the terminal status that
+// ends the stream.
+type streamEvent struct {
+	Stage Stage
+	Final *Status
+}
+
+// subscriber is one attached SSE client. The channel is buffered far
+// beyond any real job's event count; should a pathological pipeline
+// still overflow it, stage events are dropped (the client can re-read
+// the full sequence from GET /v1/jobs/{id}) but the terminal event is
+// never lost: finish closes the channel, and a closed channel tells the
+// handler to re-read the store for the final state.
+type subscriber struct {
+	ch chan streamEvent
+}
+
+// store is the bounded job registry. The *pending* bound lives in the
+// engine pool's queue (submit refuses with 429 when full); the store's
+// own bound is on retention: finished jobs beyond maxJobs are evicted
+// oldest-first so a resident server's memory does not grow without
+// limit. With a non-nil persister every state transition is mirrored to
+// disk (stage appends excepted — an interrupted run re-runs from
+// scratch, so its stage history is rebuilt, and skipping per-stage
+// writes avoids rewriting an uploaded Verilog source on every event).
 type store struct {
 	mu      sync.Mutex
 	jobs    map[string]*Job
 	order   []string // creation order, for eviction
 	seq     uint64
 	maxJobs int
+	persist *persister
+	subs    map[string][]*subscriber
 }
 
 func newStore(maxJobs int) *store {
-	return &store{jobs: make(map[string]*Job), maxJobs: maxJobs}
+	return &store{
+		jobs:    make(map[string]*Job),
+		subs:    make(map[string][]*subscriber),
+		maxJobs: maxJobs,
+	}
 }
 
 // create registers a new queued job and returns it with its context
-// (canceled by the DELETE handler or at eviction).
+// (canceled by the DELETE handler, at submit rollback, or at eviction).
 func (st *store) create(spec selectivemt.JobSpec) (*Job, context.Context) {
 	ctx, cancel := context.WithCancelCause(context.Background())
 	st.mu.Lock()
@@ -100,8 +128,51 @@ func (st *store) create(spec selectivemt.JobSpec) (*Job, context.Context) {
 	}
 	st.jobs[j.ID] = j
 	st.order = append(st.order, j.ID)
+	st.persistLocked(j)
 	st.evictLocked()
 	return j, ctx
+}
+
+// restore re-registers one recovered job (already terminal, or reset to
+// queued by the caller) during startup recovery, before the server
+// accepts traffic. The sequence counter advances past every recovered
+// ID so new submissions cannot collide. For a queued job it returns the
+// fresh context the requeued task must run under.
+func (st *store) restore(j *Job) context.Context {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var ctx context.Context
+	if !j.Status.finished() {
+		ctx, j.cancel = context.WithCancelCause(context.Background())
+	}
+	if seq := jobSeq(j.ID); seq > st.seq {
+		st.seq = seq
+	}
+	st.jobs[j.ID] = j
+	st.order = append(st.order, j.ID)
+	st.persistLocked(j)
+	st.evictLocked()
+	return ctx
+}
+
+// jobSeq parses the numeric suffix of a "job-%08d" ID; malformed IDs
+// map to 0 (they never collide with generated ones).
+func jobSeq(id string) uint64 {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// persistLocked mirrors one job's current state to the state directory.
+// Persistence errors must not fail the serving path: the job stays
+// authoritative in memory and the error is surfaced on the persister's
+// health counter instead.
+func (st *store) persistLocked(j *Job) {
+	if st.persist != nil {
+		st.persist.put(j)
+	}
 }
 
 // evictLocked drops the oldest finished jobs beyond the retention cap.
@@ -117,6 +188,9 @@ func (st *store) evictLocked() {
 		j := st.jobs[id]
 		if excess > 0 && j != nil && j.Status.finished() {
 			delete(st.jobs, id)
+			if st.persist != nil {
+				st.persist.remove(id)
+			}
 			excess--
 			continue
 		}
@@ -126,16 +200,28 @@ func (st *store) evictLocked() {
 }
 
 // remove deletes a job outright (submit rollback when the pool refuses
-// the task).
+// the task). The job's cancel func is released here — before this fix,
+// every 429/503 rollback leaked the context created by create, since
+// nothing ever canceled it once the job record was dropped.
 func (st *store) remove(id string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if j := st.jobs[id]; j != nil && j.cancel != nil {
+		j.cancel(fmt.Errorf("job %s rolled back at submit", id))
+		j.cancel = nil
+	}
 	delete(st.jobs, id)
 	for i, oid := range st.order {
 		if oid == id {
 			st.order = append(st.order[:i], st.order[i+1:]...)
 			break
 		}
+	}
+	// A subscriber that attached in the create-to-rollback window ends
+	// its stream on the closed channel and finds the job gone.
+	st.closeSubsLocked(id, nil)
+	if st.persist != nil {
+		st.persist.remove(id)
 	}
 }
 
@@ -164,13 +250,15 @@ func (st *store) markRunning(id string) bool {
 	}
 	j.Status = StatusRunning
 	j.Started = time.Now().UTC()
+	st.persistLocked(j)
 	return true
 }
 
-// finish records a terminal state and releases the job's cancel func.
-// The heavyweight inputs are dropped here: the uploaded Verilog source
-// is no longer needed once the flow ran (or will never run), and only
-// the serializable result view and rendered report survive.
+// finish records a terminal state, releases the job's cancel func and
+// ends every attached event stream. The heavyweight inputs are dropped
+// here: the uploaded Verilog source is no longer needed once the flow
+// ran (or will never run), and only the serializable result view and
+// rendered report survive — in memory and on disk.
 func (st *store) finish(id string, status Status, result *resultView, report string, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -193,15 +281,85 @@ func (st *store) finish(id string, status Status, result *resultView, report str
 		j.cancel(nil)
 		j.cancel = nil
 	}
+	st.persistLocked(j)
+	st.closeSubsLocked(id, &status)
 }
 
-// appendStage records one progress event.
+// appendStage records one progress event and fans it out to the job's
+// event streams.
 func (st *store) appendStage(id string, s Stage) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if j := st.jobs[id]; j != nil {
-		j.Stages = append(j.Stages, s)
+	j := st.jobs[id]
+	if j == nil {
+		return
 	}
+	j.Stages = append(j.Stages, s)
+	for _, sub := range st.subs[id] {
+		select {
+		case sub.ch <- streamEvent{Stage: s}:
+		default:
+			// Overflowing buffer: drop the stage event rather than block
+			// the flow; the terminal close still reaches the client.
+		}
+	}
+}
+
+// watch attaches an event stream to a job: the replay snapshot of every
+// stage recorded so far plus — atomically, under the same lock — a
+// subscription to everything after it, so the concatenation is exactly
+// the polled Stages sequence with no gap and no duplicate. For an
+// already-terminal job it returns the final status and no subscription.
+// ok is false for unknown jobs.
+func (st *store) watch(id string) (replay []Stage, final *Status, sub *subscriber, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return nil, nil, nil, false
+	}
+	replay = append([]Stage(nil), j.Stages...)
+	if j.Status.finished() {
+		status := j.Status
+		return replay, &status, nil, true
+	}
+	sub = &subscriber{ch: make(chan streamEvent, 1024)}
+	st.subs[id] = append(st.subs[id], sub)
+	return replay, nil, sub, true
+}
+
+// unwatch detaches an event stream (client went away before the job
+// finished). Detaching after finish already dropped the subscriber list
+// is a no-op.
+func (st *store) unwatch(id string, sub *subscriber) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	subs := st.subs[id]
+	for i, s := range subs {
+		if s == sub {
+			st.subs[id] = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	if len(st.subs[id]) == 0 {
+		delete(st.subs, id)
+	}
+}
+
+// closeSubsLocked ends every event stream attached to id: the terminal
+// status (when known) is offered on the buffer and the channel is
+// closed, which is the one signal that cannot be lost to a full buffer.
+func (st *store) closeSubsLocked(id string, final *Status) {
+	for _, sub := range st.subs[id] {
+		if final != nil {
+			select {
+			case sub.ch <- streamEvent{Final: final}:
+			default:
+			}
+		}
+		close(sub.ch)
+	}
+	delete(st.subs, id)
 }
 
 // requestCancel cancels a job. A queued job flips to canceled
@@ -230,6 +388,8 @@ func (st *store) requestCancel(id string) (Status, error) {
 		j.Err = "canceled by client while queued"
 		j.Spec.Verilog = ""
 		j.Finished = time.Now().UTC()
+		st.persistLocked(j)
+		st.closeSubsLocked(id, &j.Status)
 	}
 	return j.Status, nil
 }
