@@ -1,0 +1,84 @@
+// Strategy benchmarks on the big tiers: greedy (the paper's
+// slack-ordered pass) vs sensitivity (leakage-saved-per-slack LUT
+// ordering with batched re-timing) on the same 100k-/1M-instance
+// designs the kernel benchmarks use. Each iteration runs the whole
+// assignment on a fresh clone, so ns/op is the full optimization-loop
+// cost, and the reported leak_mw/swaps/reverts/wns_ns metrics are the
+// quality numbers recorded in BENCH_assign.json. The parent benchmark
+// also enforces the PR acceptance bar directly: sensitivity must end
+// violation-free with leakage no worse than greedy.
+package selectivemt
+
+import (
+	"testing"
+
+	"selectivemt/internal/dualvth"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/power"
+	"selectivemt/internal/sta"
+)
+
+var assignStrategyNames = []string{"greedy", "sensitivity"}
+
+type strategyOutcome struct {
+	leakMW float64
+	wnsNs  float64
+	ran    bool
+}
+
+func benchAssignStrategies(b *testing.B, setup func(testing.TB) (*netlist.Design, sta.Config, *Environment)) map[string]strategyOutcome {
+	d, stCfg, _ := setup(b)
+	out := map[string]strategyOutcome{}
+	for _, name := range assignStrategyNames {
+		b.Run(name, func(b *testing.B) {
+			opts := dualvth.DefaultOptions()
+			opts.Strategy = name
+			var res *dualvth.Result
+			var leak float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clone := d.Clone()
+				r, err := dualvth.Assign(clone, stCfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+				leak = power.ActiveLeakage(clone)
+			}
+			b.ReportMetric(leak, "leak_mw")
+			b.ReportMetric(float64(res.Swapped), "swaps")
+			b.ReportMetric(float64(res.Reverts), "reverts")
+			b.ReportMetric(res.Timing.WNS, "wns_ns")
+			out[name] = strategyOutcome{leakMW: leak, wnsNs: res.Timing.WNS, ran: true}
+		})
+	}
+	return out
+}
+
+// BenchmarkAssignStrategies: both strategies on the 100k tier. The
+// recorded numbers live in BENCH_assign.json; CI re-derives that file
+// from this benchmark in the large-tier step.
+func BenchmarkAssignStrategies(b *testing.B) {
+	out := benchAssignStrategies(b, largeTimingSetup)
+	g, s := out["greedy"], out["sensitivity"]
+	if !g.ran || !s.ran {
+		return // a -bench filter selected only one subbenchmark
+	}
+	if g.wnsNs < 0 || s.wnsNs < 0 {
+		b.Errorf("strategy left the 100k tier violating: greedy WNS %v, sensitivity WNS %v", g.wnsNs, s.wnsNs)
+	}
+	if s.leakMW > g.leakMW {
+		b.Errorf("sensitivity leakage %v mW worse than greedy %v mW on the 100k tier", s.leakMW, g.leakMW)
+	}
+}
+
+// BenchmarkHugeAssignStrategies is the same comparison at the
+// ~1M-instance tier on the partitioned timer (excluded from CI like the
+// other Huge benches; run locally with -bench '^BenchmarkHugeAssign').
+func BenchmarkHugeAssignStrategies(b *testing.B) {
+	benchAssignStrategies(b, func(tb testing.TB) (*netlist.Design, sta.Config, *Environment) {
+		d, stCfg, env := hugeTimingSetup(tb)
+		stCfg.Partitions = 16
+		return d, stCfg, env
+	})
+}

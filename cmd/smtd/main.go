@@ -33,7 +33,7 @@
 // Usage:
 //
 //	smtd [-addr :8177] [-jobs N] [-queue N] [-max-upload BYTES] [-drain-timeout 2m]
-//	     [-state-dir DIR] [-rate JOBS_PER_SEC] [-rate-burst N]
+//	     [-state-dir DIR] [-rate JOBS_PER_SEC] [-rate-burst N] [-strategy greedy|sensitivity]
 package main
 
 import (
@@ -62,6 +62,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for accepted jobs")
 	partitions := flag.Int("partitions", 0, "default timing shards for specs that leave partitions unset (<= 1 = monolithic)")
 	shardJobs := flag.Int("shard-jobs", 0, "default per-shard fan-out for specs that leave shard_jobs unset (0 = GOMAXPROCS)")
+	strategy := flag.String("strategy", "", "default Vth-assignment strategy for specs that leave strategy unset (greedy or sensitivity)")
 	stateDir := flag.String("state-dir", "", "durable job store directory: jobs survive restarts, interrupted ones are re-enqueued (empty = in-memory only)")
 	rate := flag.Float64("rate", 0, "per-client submit rate limit in jobs/s, keyed by X-Client-ID or remote host (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", server.DefaultRateBurst, "per-client token-bucket depth when -rate is set")
@@ -95,6 +96,7 @@ func main() {
 		MaxJobs:        *maxJobs,
 		Partitions:     *partitions,
 		ShardJobs:      *shardJobs,
+		Strategy:       *strategy,
 		StateDir:       *stateDir,
 		RatePerSec:     *rate,
 		RateBurst:      *rateBurst,

@@ -46,6 +46,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max concurrent technique jobs (0 = GOMAXPROCS)")
 	partitions := flag.Int("partitions", 0, "timing shards per analysis (<= 1 = monolithic flat kernel; results are bit-identical)")
 	shardJobs := flag.Int("shard-jobs", 0, "max concurrent timing shards when -partitions > 1 (0 = GOMAXPROCS)")
+	strategy := flag.String("strategy", "", "Vth-assignment strategy: greedy (paper default) or sensitivity (leakage-per-slack LUT ordering)")
 	outVerilog := flag.String("out-verilog", "", "write the final netlist here")
 	outSpef := flag.String("out-spef", "", "write the VGND parasitics here")
 	outDef := flag.String("out-def", "", "write the final placement here (DEF)")
@@ -76,6 +77,9 @@ func main() {
 	cfg := env.NewConfig()
 	cfg.Partitions = *partitions
 	cfg.ShardJobs = *shardJobs
+	if cfg.Strategy, err = selectivemt.ParseStrategy(*strategy); err != nil {
+		log.Fatalf("smtflow: %v", err)
+	}
 
 	var base *netlist.Design
 	if *verilogIn != "" {

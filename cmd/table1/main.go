@@ -38,6 +38,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max concurrent flow jobs (0 = GOMAXPROCS, 1 = sequential)")
 	partitions := flag.Int("partitions", 0, "timing shards per analysis (<= 1 = monolithic flat kernel; results are bit-identical)")
 	shardJobs := flag.Int("shard-jobs", 0, "max concurrent timing shards when -partitions > 1 (0 = GOMAXPROCS)")
+	strategy := flag.String("strategy", "", "Vth-assignment strategy: greedy (paper default) or sensitivity (leakage-per-slack LUT ordering)")
 	cornersFlag := flag.String("corners", "", "PVT sign-off corners: all, or comma-separated typ,slow,fast-hot,fast-cold")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here (go tool pprof format)")
 	memprofile := flag.String("memprofile", "", "write a heap profile here on exit")
@@ -52,6 +53,10 @@ func main() {
 	}
 	if *shardJobs < 0 {
 		log.Fatalf("table1: -shard-jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *shardJobs)
+	}
+	strategyName, err := selectivemt.ParseStrategy(*strategy)
+	if err != nil {
+		log.Fatalf("table1: %v", err)
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -85,6 +90,7 @@ func main() {
 			cfg.Corners = corners
 			cfg.Partitions = *partitions
 			cfg.ShardJobs = *shardJobs
+			cfg.Strategy = strategyName
 		},
 		Progress: func(ev selectivemt.BatchEvent) {
 			if ev.Stage != "" {

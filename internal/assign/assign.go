@@ -1,0 +1,197 @@
+// Package assign is the Vth-assignment strategy subsystem: the
+// select/commit/revert policy that used to be hardwired into the
+// dual-Vth swap loops, extracted behind a Strategy interface so
+// alternate policies drop in as registrations instead of surgery.
+//
+// A Strategy drives one Problem (a swap domain — flavor assignment or
+// drive resizing) on an incremental timer. Two builtins ship:
+//
+//   - "greedy": the paper's slack-ordered pass — most-slack-first
+//     commits under a locally estimated delay budget, full critical
+//     reverts when over-committed. Byte-identical by construction to
+//     the pre-refactor dualvth loops (oracle-enforced).
+//   - "sensitivity": candidates ordered by leakage-saved per slack
+//     consumed using a per-(cell, flavor) leakage LUT built once per
+//     library, commits in batches with incremental re-timing between
+//     batches, and a revert pass driven by worst-slack contribution.
+//
+// Future strategies (simulated annealing, ILP relaxations, cluster
+// sizing) register themselves the same way.
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/sta"
+)
+
+// DefaultStrategy names the strategy an empty selection resolves to.
+const DefaultStrategy = "greedy"
+
+// DefaultBatchSize is the sensitivity strategy's commit batch when
+// Options.BatchSize is zero: enough swaps to amortize an incremental
+// re-time, few enough that stale-slack overcommit stays shallow.
+const DefaultBatchSize = 64
+
+// ErrUnknownStrategy reports a strategy name with no registration.
+var ErrUnknownStrategy = errors.New("assign: unknown strategy")
+
+// Options tunes an assignment run. The zero value of every field means
+// its documented default; negative values are rejected by the callers'
+// validation (see dualvth.Options), not silently replaced.
+type Options struct {
+	// SlackMarginNs is the slack every committed move must preserve.
+	SlackMarginNs float64
+	// MaxPasses bounds the re-time/commit/revert iterations (0 = 12).
+	MaxPasses int
+	// SwapFlops allows DFF Vth moves too (flavor problems only).
+	SwapFlops bool
+	// SafetyFactor scales the locally estimated delay increase before
+	// comparing against slack (0 = 1.5; covers path reconvergence).
+	SafetyFactor float64
+	// BatchSize bounds how many moves the sensitivity strategy commits
+	// between incremental re-timings (0 = DefaultBatchSize). The greedy
+	// strategy commits a whole pass at once and ignores it.
+	BatchSize int
+}
+
+// withDefaults resolves the zero-value knobs. It mirrors the defaults
+// the pre-refactor loops applied, so greedy stays byte-identical.
+func (o Options) withDefaults() Options {
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 12
+	}
+	if o.SafetyFactor <= 0 {
+		o.SafetyFactor = 1.5
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	return o
+}
+
+// Move is one candidate cell rebind: an instance and the variant a
+// strategy may commit it to, scored under the timing snapshot the
+// candidates were enumerated against.
+type Move struct {
+	Inst *netlist.Instance
+	To   *liberty.Cell
+	// SlackNs is the instance's output setup slack at enumeration.
+	SlackNs float64
+	// DeltaNs is the locally estimated worst-arc delay increase of
+	// committing the move (the slack the move consumes, pre-safety).
+	DeltaNs float64
+	// LeakSavedMW is the powered-leakage reduction the move buys
+	// (from the library LUT; 0 when the problem tracks no leakage).
+	LeakSavedMW float64
+}
+
+// Problem abstracts one swap domain: which instances may move where,
+// and how over-commitment unwinds. Implementations enumerate in
+// deterministic design-instance order; strategies own the ordering,
+// batching and revert policy on top.
+type Problem interface {
+	// Candidates enumerates the legal moves under fresh timing.
+	Candidates(timing *sta.Result) []Move
+	// RevertCandidates enumerates the moves that would unwind
+	// instances violating the slack margin (most problems rebind them
+	// toward the fast end of their ladder).
+	RevertCandidates(timing *sta.Result) ([]Move, error)
+	// Apply commits a move on the design.
+	Apply(Move) error
+	// Tally counts the movable population after the run: instances
+	// ending at the problem's target versus instances kept off it.
+	Tally() (moved, kept int)
+}
+
+// Result reports an assignment outcome.
+type Result struct {
+	// Moved/Kept is the problem's final population tally.
+	Moved, Kept int
+	// Passes counts re-time iterations the strategy ran.
+	Passes int
+	// Commits/Reverts count individual moves committed and unwound —
+	// the work the strategy did, not the net population change.
+	Commits, Reverts int
+	// Timing is the final verified analysis.
+	Timing *sta.Result
+}
+
+// Strategy drives the select/commit/revert loop of one Problem on an
+// incremental timer until convergence or the pass budget runs out.
+type Strategy interface {
+	Name() string
+	Run(inc *sta.Incremental, p Problem, opts Options) (*Result, error)
+}
+
+// registry is the process-wide strategy table. The builtins register
+// at init; embedding programs add theirs via Register.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Strategy
+}{m: make(map[string]Strategy)}
+
+// Register adds a strategy under its (case-insensitive) name. Names
+// must be non-empty and unused.
+func Register(s Strategy) error {
+	name := strings.ToLower(strings.TrimSpace(s.Name()))
+	if name == "" {
+		return fmt.Errorf("assign: strategy has no name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("assign: strategy %q already registered", name)
+	}
+	registry.m[name] = s
+	return nil
+}
+
+// Lookup finds a registered strategy by name, case-insensitively.
+func Lookup(name string) (Strategy, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	s, ok := registry.m[strings.ToLower(strings.TrimSpace(name))]
+	return s, ok
+}
+
+// Names lists the registered strategy names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for name := range registry.m { // rangemap:ok sorted before returning
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse resolves a strategy selection: empty means DefaultStrategy,
+// anything else must be registered. The error wraps
+// ErrUnknownStrategy and names the valid choices.
+func Parse(name string) (Strategy, error) {
+	if strings.TrimSpace(name) == "" {
+		name = DefaultStrategy
+	}
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (registered: %s)",
+			ErrUnknownStrategy, name, strings.Join(Names(), ", "))
+	}
+	return s, nil
+}
+
+func init() {
+	for _, s := range []Strategy{greedy{}, sensitivity{}} {
+		if err := Register(s); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package assign_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"selectivemt/internal/assign"
+	"selectivemt/internal/dualvth"
+	"selectivemt/internal/gen"
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/parasitics"
+	"selectivemt/internal/place"
+	"selectivemt/internal/power"
+	"selectivemt/internal/sta"
+	"selectivemt/internal/synth"
+	"selectivemt/internal/tech"
+)
+
+var (
+	sharedLib  *liberty.Library
+	sharedProc *tech.Process
+)
+
+func lib(t *testing.T) *liberty.Library {
+	t.Helper()
+	if sharedLib == nil {
+		sharedProc = tech.Default130()
+		l, err := liberty.Generate(sharedProc, liberty.DefaultBuildOptions(sharedProc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLib = l
+	}
+	return sharedLib
+}
+
+// randomModule builds a deterministic random pipeline: registered random
+// logic clouds between input and output flops (the mcmm property-test
+// generator, reused for strategy comparisons).
+func randomModule(seed int64, gates int) *gen.Module {
+	m := gen.NewModule(fmt.Sprintf("rand_%d", seed))
+	in := m.InputBus("in", 8)
+	regs := m.DFFBus(in)
+	cloud := m.RandomLogic(regs, gates, seed)
+	m.OutputBus("out", m.DFFBus(cloud))
+	return m
+}
+
+// prepRandom maps and places a randomized circuit and returns it with an
+// STA config at slack× its minimum period.
+func prepRandom(t *testing.T, seed int64, gates int, slack float64) (*netlist.Design, sta.Config) {
+	t.Helper()
+	l := lib(t)
+	d, err := synth.Map(randomModule(seed, gates), l, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := place.Place(d, place.DefaultOptions(sharedProc.RowHeightUm, sharedProc.SitePitchUm)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sta.Config{
+		ClockPeriodNs: 100,
+		ClockPort:     "clk",
+		InputSlewNs:   0.03,
+		Extractor:     &parasitics.EstimateExtractor{Proc: sharedProc},
+	}
+	pmin, err := sta.MinPeriod(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ClockPeriodNs = pmin * slack
+	return d, cfg
+}
+
+func TestParseAndNames(t *testing.T) {
+	names := assign.Names()
+	if len(names) < 2 {
+		t.Fatalf("Names() = %v, want at least the two builtins", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	def, err := assign.Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name() != assign.DefaultStrategy {
+		t.Fatalf("Parse(\"\") = %q, want %q", def.Name(), assign.DefaultStrategy)
+	}
+	for _, alias := range []string{"greedy", "GREEDY", "  Greedy "} {
+		s, err := assign.Parse(alias)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", alias, err)
+		}
+		if s.Name() != "greedy" {
+			t.Fatalf("Parse(%q) = %q", alias, s.Name())
+		}
+	}
+	if _, err := assign.Parse("simulated-annealing"); !errors.Is(err, assign.ErrUnknownStrategy) {
+		t.Fatalf("Parse(unknown) = %v, want ErrUnknownStrategy", err)
+	} else if !strings.Contains(err.Error(), "greedy") {
+		t.Fatalf("unknown-strategy error should list choices, got %v", err)
+	}
+}
+
+type namelessStrategy struct{ name string }
+
+func (s namelessStrategy) Name() string { return s.name }
+func (s namelessStrategy) Run(*sta.Incremental, assign.Problem, assign.Options) (*assign.Result, error) {
+	return &assign.Result{}, nil
+}
+
+func TestRegisterRejectsBadNames(t *testing.T) {
+	if err := assign.Register(namelessStrategy{name: "  "}); err == nil {
+		t.Fatal("Register with blank name succeeded")
+	}
+	if err := assign.Register(namelessStrategy{name: "Greedy"}); err == nil {
+		t.Fatal("Register duplicating a builtin (case-insensitively) succeeded")
+	}
+}
+
+// TestLeakageLUT checks the first-class library artifact: every
+// swappable LVT cell gets a row toward HVT, the recorded saving matches
+// the library delta and is strictly positive (HVT leaks less), and the
+// table is cached per (library, flavor).
+func TestLeakageLUT(t *testing.T) {
+	l := lib(t)
+	lut := assign.LeakageLUT(l, liberty.FlavorHVT)
+	if lut.Len() == 0 {
+		t.Fatal("empty LUT for HVT target")
+	}
+	if lut.Target() != liberty.FlavorHVT {
+		t.Fatalf("Target() = %v", lut.Target())
+	}
+	rows := 0
+	for _, name := range l.CellNames() {
+		c := l.Cell(name)
+		if c.Flavor != liberty.FlavorLVT {
+			continue
+		}
+		v := l.Variant(c, liberty.FlavorHVT)
+		if v == nil {
+			continue
+		}
+		e, ok := lut.Entry(c)
+		if !ok {
+			t.Fatalf("no LUT row for %s", name)
+		}
+		rows++
+		if e.Variant != v {
+			t.Fatalf("%s: LUT variant %v != library variant %v", name, e.Variant.Name, v.Name)
+		}
+		if want := c.LeakageMW - v.LeakageMW; e.LeakSavedMW != want {
+			t.Fatalf("%s: LeakSavedMW %v != library delta %v", name, e.LeakSavedMW, want)
+		}
+		if e.LeakSavedMW <= 0 {
+			t.Fatalf("%s: moving LVT→HVT should save leakage, got %v", name, e.LeakSavedMW)
+		}
+		if e.DelayCostNs <= 0 {
+			t.Fatalf("%s: moving LVT→HVT should cost delay, got %v", name, e.DelayCostNs)
+		}
+		if lut.Saved(c) != e.LeakSavedMW {
+			t.Fatalf("%s: Saved() disagrees with Entry()", name)
+		}
+	}
+	if rows == 0 {
+		t.Fatal("no LVT→HVT rows checked")
+	}
+	if again := assign.LeakageLUT(l, liberty.FlavorHVT); again != lut {
+		t.Fatal("LeakageLUT not cached per (library, flavor)")
+	}
+	if other := assign.LeakageLUT(l, liberty.FlavorMTConv); other == lut {
+		t.Fatal("different target flavors share a LUT")
+	}
+}
+
+// TestSensitivityNeverWorseTimingThanGreedy is the PR 9 property test:
+// across randomized circuits and clock pressures, the sensitivity
+// strategy never leaves a setup violation the greedy strategy would
+// have avoided — whenever greedy ends timing-clean, sensitivity ends
+// timing-clean too (at the same margin), and both leave positive-slack
+// designs strictly less leaky than the all-LVT baseline.
+func TestSensitivityNeverWorseTimingThanGreedy(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	slacks := []float64{1.02, 1.1, 1.35}
+	for _, seed := range seeds {
+		for _, slack := range slacks {
+			base, cfg := prepRandom(t, seed, 160, slack)
+			before := power.ActiveLeakage(base)
+
+			run := func(strategy string) (*dualvth.Result, *netlist.Design) {
+				d := base.Clone()
+				opts := dualvth.DefaultOptions()
+				opts.Strategy = strategy
+				res, err := dualvth.Assign(d, cfg, opts)
+				if err != nil {
+					t.Fatalf("seed %d slack %v %s: %v", seed, slack, strategy, err)
+				}
+				return res, d
+			}
+			g, gd := run("greedy")
+			s, sd := run("sensitivity")
+
+			if g.Timing.WNS >= 0 && s.Timing.WNS < 0 {
+				t.Errorf("seed %d slack %v: greedy clean (WNS %v) but sensitivity violating (WNS %v)",
+					seed, slack, g.Timing.WNS, s.Timing.WNS)
+			}
+			for name, res := range map[string]*dualvth.Result{"greedy": g, "sensitivity": s} {
+				if res.Swapped+res.Kept == 0 {
+					t.Errorf("seed %d slack %v %s: empty tally", seed, slack, name)
+				}
+				if res.Commits < res.Swapped {
+					t.Errorf("seed %d slack %v %s: %d commits below net %d swaps",
+						seed, slack, name, res.Commits, res.Swapped)
+				}
+			}
+			if gl := power.ActiveLeakage(gd); g.Swapped > 0 && !(gl < before) {
+				t.Errorf("seed %d slack %v: greedy did not reduce leakage (%v → %v)", seed, slack, before, gl)
+			}
+			if sl := power.ActiveLeakage(sd); s.Swapped > 0 && !(sl < before) {
+				t.Errorf("seed %d slack %v: sensitivity did not reduce leakage (%v → %v)", seed, slack, before, sl)
+			}
+		}
+	}
+}
+
+// TestSensitivityBatchSizeOne drives the batched commit path at its
+// finest granularity: with BatchSize 1 every commit is followed by a
+// re-time, which must still converge and end timing-clean at a relaxed
+// clock.
+func TestSensitivityBatchSizeOne(t *testing.T) {
+	d, cfg := prepRandom(t, 11, 120, 1.25)
+	opts := dualvth.DefaultOptions()
+	opts.Strategy = "sensitivity"
+	opts.BatchSize = 1
+	res, err := dualvth.Assign(d, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timing.WNS < 0 {
+		t.Fatalf("batch-1 sensitivity broke timing: WNS %v", res.Timing.WNS)
+	}
+	if res.Swapped == 0 {
+		t.Fatal("batch-1 sensitivity swapped nothing at a relaxed clock")
+	}
+}
+
+// TestSizingProblemGreedy sanity-checks the generic loop over the
+// sizing domain through the public wrapper: drives only step down when
+// timing allows, and the design never ends violating at a loose clock.
+func TestSizingProblemGreedy(t *testing.T) {
+	d, cfg := prepRandom(t, 3, 140, 1.3)
+	opts := dualvth.DefaultOptions()
+	if _, err := dualvth.Assign(d, cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	n, err := dualvth.RecoverSizing(d, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 0 {
+		t.Fatalf("net downsizes negative: %d", n)
+	}
+	timing, err := sta.Analyze(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.WNS < 0 {
+		t.Fatalf("sizing recovery broke timing: WNS %v", timing.WNS)
+	}
+}

@@ -1,0 +1,162 @@
+package assign
+
+import (
+	"fmt"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/sta"
+)
+
+// FlavorProblem is the Vth-assignment swap domain: movable instances
+// rebind to the target flavor, over-committed ones unwind to revertTo
+// (LVT for the Dual-Vth baseline; the MT flavor in the SMT flows, so
+// criticals stay gateable rather than leaky). Flops have no MT
+// variants — when revertTo is an MT flavor they fall back to LVT.
+type FlavorProblem struct {
+	d                *netlist.Design
+	target, revertTo liberty.Flavor
+	opts             Options
+	lut              *LeakLUT
+}
+
+// NewFlavorProblem builds the flavor swap domain over d. The leakage
+// LUT for (d.Lib, target) is resolved from the process-wide cache, so
+// repeated runs over the same library pay characterization once.
+func NewFlavorProblem(d *netlist.Design, target, revertTo liberty.Flavor, opts Options) *FlavorProblem {
+	return &FlavorProblem{
+		d:        d,
+		target:   target,
+		revertTo: revertTo,
+		opts:     opts,
+		lut:      LeakageLUT(d.Lib, target),
+	}
+}
+
+func (p *FlavorProblem) swappable(inst *netlist.Instance) bool {
+	switch inst.Cell.Kind {
+	case liberty.KindComb:
+		return true
+	case liberty.KindFF:
+		return p.opts.SwapFlops
+	}
+	return false
+}
+
+// Candidates enumerates, in design-instance order, every movable
+// instance not yet at the target flavor that has a target variant,
+// scored under the given timing snapshot.
+func (p *FlavorProblem) Candidates(timing *sta.Result) []Move {
+	var moves []Move
+	for _, inst := range p.d.Instances() {
+		if !p.swappable(inst) || inst.Cell.Flavor == p.target {
+			continue
+		}
+		v := variantFor(p.d.Lib, inst.Cell, p.target)
+		if v == nil {
+			continue
+		}
+		moves = append(moves, Move{
+			Inst:        inst,
+			To:          v,
+			SlackNs:     timing.InstSlack(inst),
+			DeltaNs:     delayDelta(inst, v, timing),
+			LeakSavedMW: p.lut.Saved(inst.Cell),
+		})
+	}
+	return moves
+}
+
+// RevertCandidates enumerates the unwind moves for every movable
+// instance on a violating path, in the timing engine's critical order
+// (design-instance order over the violating set). It errors when the
+// library is missing the revert variant — a characterization hole, not
+// a timing condition.
+func (p *FlavorProblem) RevertCandidates(timing *sta.Result) ([]Move, error) {
+	var moves []Move
+	for _, inst := range timing.CriticalInstances(p.opts.SlackMarginNs) {
+		if !p.swappable(inst) {
+			continue
+		}
+		to := p.revertTo
+		if variantFor(p.d.Lib, inst.Cell, to) == nil {
+			to = liberty.FlavorLVT // flops have no MT variants
+		}
+		if inst.Cell.Flavor == to {
+			continue
+		}
+		v := p.d.Lib.Variant(inst.Cell, to)
+		if v == nil {
+			return moves, fmt.Errorf("assign: no %s variant of %s", to, inst.Cell.Name)
+		}
+		moves = append(moves, Move{Inst: inst, To: v, SlackNs: timing.InstSlack(inst)})
+	}
+	return moves, nil
+}
+
+// Apply rebinds the instance to the move's variant.
+func (p *FlavorProblem) Apply(m Move) error {
+	return p.d.ReplaceCell(m.Inst, m.To)
+}
+
+// Tally counts the movable population: instances ending at the target
+// flavor versus instances kept off it.
+func (p *FlavorProblem) Tally() (moved, kept int) {
+	for _, inst := range p.d.Instances() {
+		if !p.swappable(inst) {
+			continue
+		}
+		if inst.Cell.Flavor == p.target {
+			moved++
+		} else {
+			kept++
+		}
+	}
+	return moved, kept
+}
+
+// variantFor returns the target-flavor variant of a cell. Flops have no
+// MT variants: when the target is an MT flavor they keep their Vth (the
+// flow handles flop criticality by leaving critical flops LVT).
+func variantFor(lib *liberty.Library, c *liberty.Cell, target liberty.Flavor) *liberty.Cell {
+	if c.Kind == liberty.KindFF &&
+		(target == liberty.FlavorMTConv || target == liberty.FlavorMTNoVGND || target == liberty.FlavorMTVGND) {
+		return nil
+	}
+	return lib.Variant(c, target)
+}
+
+// delayDelta estimates the worst-arc delay increase of swapping inst to
+// v under the instance's current slews and output load.
+func delayDelta(inst *netlist.Instance, v *liberty.Cell, timing *sta.Result) float64 {
+	out := inst.OutputNet()
+	if out == nil {
+		return 0
+	}
+	rc := timing.RC[out]
+	load := 0.0
+	if rc != nil {
+		load = rc.TotalCap()
+	}
+	var worstOld, worstNew float64
+	for _, arc := range inst.Cell.Arcs {
+		inNet := inst.Conns[arc.From]
+		if inNet == nil {
+			continue
+		}
+		slew := timing.SlewMax[inNet]
+		if dOld := arc.WorstDelay(slew, load); dOld > worstOld {
+			worstOld = dOld
+		}
+		if na := v.Arc(arc.From, arc.To); na != nil {
+			if dNew := na.WorstDelay(slew, load); dNew > worstNew {
+				worstNew = dNew
+			}
+		}
+	}
+	if v.Kind == liberty.KindFF {
+		// Flop swaps also pay the setup difference at their own D input.
+		return worstNew - worstOld + (v.SetupNs - inst.Cell.SetupNs)
+	}
+	return worstNew - worstOld
+}

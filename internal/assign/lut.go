@@ -1,0 +1,117 @@
+package assign
+
+import (
+	"sync"
+
+	"selectivemt/internal/liberty"
+)
+
+// Reference operating point for the LUT's delay-cost column. The cost
+// is an ordering signal (which swap is cheap relative to another), not
+// a timing estimate — per-instance DeltaNs carries the real slews and
+// loads — so one nominal point per library is enough.
+const (
+	lutRefSlewNs = 0.05
+	lutRefLoadPF = 0.01
+)
+
+// LeakLUT is the per-library leakage-saving lookup for one target
+// flavor: for every cell with a target variant, the powered-leakage
+// reduction and a reference delay cost of taking the swap. It is the
+// LKG_LUT of the multi-Vth exemplar flows made a first-class artifact —
+// built once per (library, target) and cached process-wide, so
+// strategies score candidates by table lookup instead of re-deriving
+// library facts inside the hot loop.
+type LeakLUT struct {
+	target  liberty.Flavor
+	entries map[*liberty.Cell]LUTEntry
+}
+
+// LUTEntry is one cell's row: the resolved target variant and the
+// swap's precomputed costs.
+type LUTEntry struct {
+	Variant *liberty.Cell
+	// LeakSavedMW is the powered-leakage reduction of the swap
+	// (positive when the target flavor leaks less).
+	LeakSavedMW float64
+	// DelayCostNs is the worst-arc delay increase at the reference
+	// operating point (may be negative for a faster target).
+	DelayCostNs float64
+}
+
+// lutCache memoizes LUTs per (library, target flavor). Libraries are
+// immutable after characterization, so entries never invalidate.
+var lutCache sync.Map // lutKey -> *LeakLUT
+
+type lutKey struct {
+	lib    *liberty.Library
+	target liberty.Flavor
+}
+
+// LeakageLUT returns the (cached) leakage LUT of a library for one
+// target flavor. Construction walks the sorted cell-name list, so the
+// table's contents are deterministic across processes.
+func LeakageLUT(lib *liberty.Library, target liberty.Flavor) *LeakLUT {
+	key := lutKey{lib, target}
+	if v, ok := lutCache.Load(key); ok {
+		return v.(*LeakLUT)
+	}
+	lut := &LeakLUT{target: target, entries: make(map[*liberty.Cell]LUTEntry)}
+	for _, name := range lib.CellNames() {
+		c := lib.Cell(name)
+		if c == nil || c.Flavor == target {
+			continue
+		}
+		v := variantFor(lib, c, target)
+		if v == nil {
+			continue
+		}
+		lut.entries[c] = LUTEntry{
+			Variant:     v,
+			LeakSavedMW: c.LeakageMW - v.LeakageMW,
+			DelayCostNs: refDelayCost(c, v),
+		}
+	}
+	v, _ := lutCache.LoadOrStore(key, lut)
+	return v.(*LeakLUT)
+}
+
+// Entry returns a cell's LUT row, with ok=false when the cell has no
+// target variant (or already is the target flavor).
+func (l *LeakLUT) Entry(c *liberty.Cell) (LUTEntry, bool) {
+	e, ok := l.entries[c]
+	return e, ok
+}
+
+// Saved returns the powered-leakage reduction of moving a cell to the
+// LUT's target flavor, or 0 when the cell has no row.
+func (l *LeakLUT) Saved(c *liberty.Cell) float64 {
+	return l.entries[c].LeakSavedMW
+}
+
+// Target returns the flavor the LUT scores swaps toward.
+func (l *LeakLUT) Target() liberty.Flavor { return l.target }
+
+// Len returns the number of cells with a row.
+func (l *LeakLUT) Len() int { return len(l.entries) }
+
+// refDelayCost is the worst-arc delay increase of c→v at the reference
+// operating point.
+func refDelayCost(c, v *liberty.Cell) float64 {
+	var worstOld, worstNew float64
+	for _, arc := range c.Arcs {
+		if d := arc.WorstDelay(lutRefSlewNs, lutRefLoadPF); d > worstOld {
+			worstOld = d
+		}
+		if na := v.Arc(arc.From, arc.To); na != nil {
+			if d := na.WorstDelay(lutRefSlewNs, lutRefLoadPF); d > worstNew {
+				worstNew = d
+			}
+		}
+	}
+	cost := worstNew - worstOld
+	if v.Kind == liberty.KindFF {
+		cost += v.SetupNs - c.SetupNs
+	}
+	return cost
+}

@@ -1,0 +1,176 @@
+package assign
+
+import (
+	"math"
+	"sort"
+
+	"selectivemt/internal/sta"
+)
+
+// sensEpsNs floors the per-move delay cost in the priority ratio so
+// free moves (negative or zero estimated delta) sort ahead of costly
+// ones without dividing by zero.
+const sensEpsNs = 1e-6
+
+// sensitivity orders candidates by leakage saved per slack consumed —
+// the multi-Vth exemplar's LKG_LUT priority — instead of plain slack.
+// Moves commit in batches with an incremental re-time between batches,
+// so each commit checks slack at most one batch stale rather than one
+// whole pass stale; a local WNS dip therefore does not end the pass —
+// the fresh-slack guard keeps further commits off the violating paths
+// while the rest of the design keeps absorbing moves. Violations are
+// unwound batch-by-batch (worst slack first, re-timing in between)
+// until the margin holds, so a dip costs its offenders, not the pass.
+// The same unwind runs as the final guard — sensitivity never ends
+// with a setup violation the greedy policy would have avoided.
+type sensitivity struct{}
+
+func (sensitivity) Name() string { return "sensitivity" }
+
+func (sensitivity) Run(inc *sta.Incremental, p Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{}
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		res.Passes = pass + 1
+		timing, err := inc.Update()
+		if err != nil {
+			return res, err
+		}
+		res.Timing = timing
+		if timing.WNS < opts.SlackMarginNs {
+			reverted, err := unwind(inc, p, timing, opts, res)
+			if err != nil {
+				return res, err
+			}
+			if reverted == 0 {
+				break
+			}
+			continue
+		}
+		committed, err := sensitivityPass(inc, p, timing, opts, res)
+		if err != nil {
+			return res, err
+		}
+		if committed == 0 {
+			break
+		}
+	}
+	// Final guard: keep unwinding until the margin holds or no movable
+	// instance remains on a violating path. This is what pins the
+	// "never worse than greedy at equal timing-cleanliness" property.
+	timing, err := inc.Update()
+	if err != nil {
+		return res, err
+	}
+	res.Timing = timing
+	if timing.WNS < opts.SlackMarginNs {
+		if _, err := unwind(inc, p, timing, opts, res); err != nil {
+			return res, err
+		}
+	}
+	res.Moved, res.Kept = p.Tally()
+	return res, nil
+}
+
+// sensitivityPass commits one priority-ordered pass in batches,
+// re-timing incrementally between batches so later commits see slack
+// the earlier batches actually consumed. A WNS dip does not stop the
+// pass: instances on the violating paths fail the fresh-slack guard
+// and are skipped, everything else keeps committing, and the caller's
+// unwind gives back the offenders afterwards.
+func sensitivityPass(inc *sta.Incremental, p Problem, timing *sta.Result, opts Options, res *Result) (int, error) {
+	moves := p.Candidates(timing)
+	sort.SliceStable(moves, func(i, j int) bool {
+		pi := priority(moves[i])
+		pj := priority(moves[j])
+		if pi != pj {
+			return pi > pj
+		}
+		// Ties (e.g. no leakage data): most slack first, like greedy.
+		return moves[i].SlackNs > moves[j].SlackNs
+	})
+	committed, inBatch := 0, 0
+	for _, m := range moves {
+		// Fresh slack from the latest batch re-time, against the raw
+		// delay estimate. Greedy needs its safety factor because every
+		// move in a pass reads pass-start slack; here staleness is at
+		// most one batch, and overshoot is caught by the post-pass
+		// unwind — padding the guard as well would freeze marginal
+		// cells greedy profitably swaps.
+		if timing.InstSlack(m.Inst)-m.DeltaNs <= opts.SlackMarginNs {
+			continue
+		}
+		if err := p.Apply(m); err != nil {
+			res.Commits += committed
+			return committed, err
+		}
+		committed++
+		inBatch++
+		if inBatch < opts.BatchSize {
+			continue
+		}
+		inBatch = 0
+		t, err := inc.Update()
+		if err != nil {
+			res.Commits += committed
+			return committed, err
+		}
+		timing = t
+		res.Timing = t
+	}
+	res.Commits += committed
+	return committed, nil
+}
+
+// priority is leakage saved per slack consumed. Moves with no modeled
+// delay cost rank by raw saving against the epsilon floor.
+func priority(m Move) float64 {
+	return m.LeakSavedMW / math.Max(m.DeltaNs, sensEpsNs)
+}
+
+// unwind reverts batch by batch — worst slack first, re-timing between
+// batches — until the margin holds or no revertable instance remains
+// on a violating path. It returns the number of instances reverted.
+func unwind(inc *sta.Incremental, p Problem, timing *sta.Result, opts Options, res *Result) (int, error) {
+	total := 0
+	for timing.WNS < opts.SlackMarginNs {
+		reverted, err := revertWorst(p, timing, opts, res)
+		if err != nil {
+			return total, err
+		}
+		if reverted == 0 {
+			break
+		}
+		total += reverted
+		timing, err = inc.Update()
+		if err != nil {
+			return total, err
+		}
+		res.Timing = timing
+	}
+	return total, nil
+}
+
+// revertWorst unwinds up to one batch of revert candidates, worst
+// slack first, so the deepest violators give back their gain before
+// anything marginal does.
+func revertWorst(p Problem, timing *sta.Result, opts Options, res *Result) (int, error) {
+	moves, err := p.RevertCandidates(timing)
+	if err != nil {
+		return 0, err
+	}
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].SlackNs < moves[j].SlackNs })
+	if len(moves) > opts.BatchSize {
+		moves = moves[:opts.BatchSize]
+	}
+	reverted := 0
+	for _, m := range moves {
+		if err := p.Apply(m); err != nil {
+			res.Reverts += reverted
+			return reverted, err
+		}
+		reverted++
+	}
+	res.Reverts += reverted
+	return reverted, nil
+}

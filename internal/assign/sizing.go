@@ -1,0 +1,98 @@
+package assign
+
+import (
+	"fmt"
+
+	"selectivemt/internal/liberty"
+	"selectivemt/internal/netlist"
+	"selectivemt/internal/sta"
+)
+
+// SizingProblem is the drive-strength swap domain: over-provisioned
+// combinational drivers step down the drive ladder (X4→X2→X1), saving
+// area and leakage without touching logic; over-eager downsizing steps
+// back up. This is the "gate-sizing" half of Wei et al.'s simultaneous
+// dual-Vth assignment and gate sizing.
+type SizingProblem struct {
+	d    *netlist.Design
+	opts Options
+}
+
+// NewSizingProblem builds the drive-resizing domain over d.
+func NewSizingProblem(d *netlist.Design, opts Options) *SizingProblem {
+	return &SizingProblem{d: d, opts: opts}
+}
+
+// Candidates enumerates, in design-instance order, every combinational
+// instance with a smaller drive available, scored under the given
+// timing snapshot. LeakSavedMW is the direct powered-leakage delta of
+// the narrower devices — no LUT indirection needed, the ladder
+// neighbor is already resolved.
+func (p *SizingProblem) Candidates(timing *sta.Result) []Move {
+	var moves []Move
+	for _, inst := range p.d.Instances() {
+		if inst.Cell.Kind != liberty.KindComb || inst.Cell.Drive <= 1 {
+			continue
+		}
+		smaller := DriveStep(p.d.Lib, inst.Cell, -1)
+		if smaller == nil {
+			continue
+		}
+		moves = append(moves, Move{
+			Inst:        inst,
+			To:          smaller,
+			SlackNs:     timing.InstSlack(inst),
+			DeltaNs:     delayDelta(inst, smaller, timing),
+			LeakSavedMW: inst.Cell.LeakageMW - smaller.LeakageMW,
+		})
+	}
+	return moves
+}
+
+// RevertCandidates upsizes critical combinational cells one step;
+// cells already at the top of their ladder are skipped (nothing bigger
+// to offer the path).
+func (p *SizingProblem) RevertCandidates(timing *sta.Result) ([]Move, error) {
+	var moves []Move
+	for _, inst := range timing.CriticalInstances(p.opts.SlackMarginNs) {
+		if inst.Cell.Kind != liberty.KindComb {
+			continue
+		}
+		bigger := DriveStep(p.d.Lib, inst.Cell, +1)
+		if bigger == nil {
+			continue
+		}
+		moves = append(moves, Move{Inst: inst, To: bigger, SlackNs: timing.InstSlack(inst)})
+	}
+	return moves, nil
+}
+
+// Apply rebinds the instance to the move's drive.
+func (p *SizingProblem) Apply(m Move) error {
+	return p.d.ReplaceCell(m.Inst, m.To)
+}
+
+// Tally reports (0, 0): the sizing domain has no target population to
+// count — callers read net downsizes off Result.Commits - Result.Reverts.
+func (p *SizingProblem) Tally() (moved, kept int) { return 0, 0 }
+
+// DriveStep returns the cell one drive step up (+1) or down (-1) in the
+// same base/flavor family, or nil at the end of the ladder.
+func DriveStep(lib *liberty.Library, c *liberty.Cell, dir int) *liberty.Cell {
+	drives := lib.Drives(c.Base, c.Flavor)
+	idx := -1
+	for i, dr := range drives {
+		if dr == c.Drive {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	idx += dir
+	if idx < 0 || idx >= len(drives) {
+		return nil
+	}
+	return lib.Cell(fmt.Sprintf("%s_X%d_%s", c.Base, drives[idx], c.Flavor))
+}

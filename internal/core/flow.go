@@ -39,6 +39,13 @@ type Config struct {
 	AssignOpts dualvth.Options
 	ECOOpts    eco.Options
 
+	// Strategy names the Vth-assignment strategy every Dual-Vth/SMT
+	// stage runs with ("greedy", "sensitivity", or any registered
+	// assign.Strategy). Empty means AssignOpts.Strategy, which itself
+	// defaults to greedy — the paper's policy. AssignOpts.Strategy, when
+	// set explicitly, wins over this field.
+	Strategy string
+
 	MTEMaxFanout   int
 	ActivityCycles int
 	Seed           int64
@@ -172,6 +179,22 @@ func (c *Config) assignOpts() dualvth.Options {
 	o := c.AssignOpts
 	if o.SlackMarginNs == 0 {
 		o.SlackMarginNs = 0.04 * c.ClockPeriodNs
+	}
+	if o.Strategy == "" {
+		o.Strategy = c.Strategy
+	}
+	// Hand-built configs may leave AssignOpts zero: resolve the
+	// documented defaults here, because dualvth itself now rejects
+	// unspecified knobs instead of silently substituting them.
+	def := dualvth.DefaultOptions()
+	if o.MaxPasses == 0 {
+		o.MaxPasses = def.MaxPasses
+	}
+	if o.SafetyFactor == 0 {
+		o.SafetyFactor = def.SafetyFactor
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = def.BatchSize
 	}
 	return o
 }

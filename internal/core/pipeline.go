@@ -307,7 +307,7 @@ func BuiltinStage(name string) (Stage, bool) {
 // BuiltinStageNames lists the built-in stage names, sorted.
 func BuiltinStageNames() []string {
 	out := make([]string, 0, len(builtinStages))
-	for _, ctor := range builtinStages {
+	for _, ctor := range builtinStages { // rangemap:ok sorted before returning
 		out = append(out, ctor().Name())
 	}
 	sort.Strings(out)

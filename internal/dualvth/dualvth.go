@@ -1,18 +1,47 @@
 // Package dualvth implements the baseline the paper compares against: the
 // Dual-Vth assignment of Wei et al. (CICC 2000) — start all low-Vth, then
-// greedily move cells with positive slack to high-Vth, most-slack first,
-// re-timing between passes and reverting any swap batch that breaks the
-// clock. The same engine, pointed at MT variants instead of HVT ones,
-// performs stage 2 of the paper's Fig. 4 flow (see internal/core).
+// move cells with positive slack to high-Vth, re-timing between passes
+// and reverting any swap batch that breaks the clock. The same engine,
+// pointed at MT variants instead of HVT ones, performs stage 2 of the
+// paper's Fig. 4 flow (see internal/core).
+//
+// The selection/revert policy itself lives in internal/assign: this
+// package validates the run, builds the flavor-swap Problem and hands it
+// to the configured assign.Strategy — "greedy" (the paper's slack-ordered
+// pass, the default) or "sensitivity" (leakage-per-slack ordering off the
+// library LUT, batched commits).
 package dualvth
 
 import (
+	"errors"
 	"fmt"
-	"sort"
+	"math"
 
+	"selectivemt/internal/assign"
 	"selectivemt/internal/liberty"
 	"selectivemt/internal/netlist"
 	"selectivemt/internal/sta"
+)
+
+// Named validation errors. Assign, AssignMixed and RecoverSizing reject
+// nonsensical inputs with these (wrapped with the offending value)
+// instead of silently substituting defaults.
+var (
+	// ErrNilDesign rejects a nil design.
+	ErrNilDesign = errors.New("dualvth: nil design")
+	// ErrNilLibrary rejects a design with no cell library attached.
+	ErrNilLibrary = errors.New("dualvth: design has no library")
+	// ErrUnknownFlavor rejects an AssignMixed target that is not one of
+	// the MT flavors (conventional, no-VGND-opt, VGND-opt).
+	ErrUnknownFlavor = errors.New("dualvth: unknown MT flavor")
+	// ErrNonPositivePasses rejects MaxPasses <= 0.
+	ErrNonPositivePasses = errors.New("dualvth: MaxPasses must be positive")
+	// ErrNonPositiveSafety rejects SafetyFactor <= 0 (or NaN).
+	ErrNonPositiveSafety = errors.New("dualvth: SafetyFactor must be positive")
+	// ErrNonPositiveBatch rejects BatchSize <= 0.
+	ErrNonPositiveBatch = errors.New("dualvth: BatchSize must be positive")
+	// ErrBadSlackMargin rejects a negative or non-finite slack margin.
+	ErrBadSlackMargin = errors.New("dualvth: SlackMarginNs must be finite and non-negative")
 )
 
 // Options tunes the assignment loop.
@@ -26,11 +55,60 @@ type Options struct {
 	// SafetyFactor scales the locally estimated delay increase before
 	// comparing against slack (covers path reconvergence).
 	SafetyFactor float64
+	// Strategy names the assign.Strategy driving the loop: "greedy"
+	// (the paper's slack-ordered pass), "sensitivity" (leakage-per-slack
+	// ordering with batched commits), or any registered custom strategy.
+	// Empty selects assign.DefaultStrategy.
+	Strategy string
+	// BatchSize bounds how many swaps the sensitivity strategy commits
+	// between incremental re-timings. Greedy ignores it (one batch per
+	// pass) but it must still be positive.
+	BatchSize int
 }
 
 // DefaultOptions returns the options used in the experiments.
 func DefaultOptions() Options {
-	return Options{SlackMarginNs: 0.0, MaxPasses: 12, SwapFlops: true, SafetyFactor: 1.5}
+	return Options{
+		SlackMarginNs: 0.0,
+		MaxPasses:     12,
+		SwapFlops:     true,
+		SafetyFactor:  1.5,
+		BatchSize:     assign.DefaultBatchSize,
+	}
+}
+
+// Validate rejects nonsensical option combinations with the package's
+// named errors. The zero value of Options is deliberately invalid:
+// callers state their knobs (or take DefaultOptions) rather than lean
+// on silent substitution inside the hot loop.
+func (o Options) Validate() error {
+	if o.MaxPasses <= 0 {
+		return fmt.Errorf("%w, got %d", ErrNonPositivePasses, o.MaxPasses)
+	}
+	if math.IsNaN(o.SafetyFactor) || o.SafetyFactor <= 0 {
+		return fmt.Errorf("%w, got %v", ErrNonPositiveSafety, o.SafetyFactor)
+	}
+	if o.BatchSize <= 0 {
+		return fmt.Errorf("%w, got %d", ErrNonPositiveBatch, o.BatchSize)
+	}
+	if math.IsNaN(o.SlackMarginNs) || math.IsInf(o.SlackMarginNs, 0) || o.SlackMarginNs < 0 {
+		return fmt.Errorf("%w, got %v", ErrBadSlackMargin, o.SlackMarginNs)
+	}
+	if _, err := assign.Parse(o.Strategy); err != nil {
+		return err
+	}
+	return nil
+}
+
+// assignOptions converts to the strategy subsystem's option set.
+func (o Options) assignOptions() assign.Options {
+	return assign.Options{
+		SlackMarginNs: o.SlackMarginNs,
+		MaxPasses:     o.MaxPasses,
+		SwapFlops:     o.SwapFlops,
+		SafetyFactor:  o.SafetyFactor,
+		BatchSize:     o.BatchSize,
+	}
 }
 
 // Result reports the assignment outcome.
@@ -38,223 +116,61 @@ type Result struct {
 	Swapped int // cells ending at high Vth
 	Kept    int // cells kept low Vth
 	Passes  int
+	// Commits/Reverts count the individual moves the strategy made and
+	// unwound — the loop's work, not the net population change.
+	Commits int
+	Reverts int
 	Timing  *sta.Result
+}
+
+// validateRun checks the design and options and resolves the strategy.
+func validateRun(d *netlist.Design, opts Options) (assign.Strategy, error) {
+	if d == nil {
+		return nil, ErrNilDesign
+	}
+	if d.Lib == nil {
+		return nil, ErrNilLibrary
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return assign.Parse(opts.Strategy)
 }
 
 // Assign converts as many cells as possible to the target flavor without
 // violating timing. The target is FlavorHVT for the Dual-Vth baseline; the
 // SMT flow passes the same engine different targets per criticality class.
 func Assign(d *netlist.Design, cfg sta.Config, opts Options) (*Result, error) {
+	strat, err := validateRun(d, opts)
+	if err != nil {
+		return nil, err
+	}
 	inc, err := sta.NewIncremental(d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return assignFlavor(d, inc, opts, liberty.FlavorHVT, liberty.FlavorLVT)
+	return runFlavor(d, inc, strat, opts, liberty.FlavorHVT, liberty.FlavorLVT)
 }
 
-// assignFlavor greedily moves cells to target; when over-committed it
-// reverts critical cells to revertTo (LVT for the baseline; the MT flavor
-// in the SMT flows, so criticals stay gateable rather than leaky).
-//
-// Timing rides the caller's incremental graph: each pass re-times only
-// the cones dirtied by the previous swap batch instead of re-walking the
-// whole design, and a pass that changed nothing costs nothing.
-func assignFlavor(d *netlist.Design, inc *sta.Incremental, opts Options,
-	target, revertTo liberty.Flavor) (*Result, error) {
-	if opts.MaxPasses <= 0 {
-		opts.MaxPasses = 12
-	}
-	if opts.SafetyFactor <= 0 {
-		opts.SafetyFactor = 1.5
-	}
-	res := &Result{}
-	for pass := 0; pass < opts.MaxPasses; pass++ {
-		res.Passes = pass + 1
-		timing, err := inc.Update()
-		if err != nil {
-			return nil, err
-		}
-		res.Timing = timing
-		if timing.WNS < opts.SlackMarginNs {
-			// Over-committed: revert the most critical swapped cells.
-			reverted, err := revertCritical(d, timing, opts, revertTo)
-			if err != nil {
-				return nil, err
-			}
-			if reverted == 0 {
-				break // cannot improve further
-			}
-			continue
-		}
-		swapped, err := swapPass(d, timing, opts, target)
-		if err != nil {
-			return nil, err
-		}
-		if swapped == 0 {
-			break
-		}
-	}
-	// Final verification pass: when the loop just exited with fresh
-	// timing and zero swaps the design revision is unchanged and this is
-	// a free no-op rather than a redundant full re-analysis.
-	timing, err := inc.Update()
+// runFlavor drives the strategy over the flavor-swap problem: move cells
+// to target; when over-committed, unwind critical cells to revertTo (LVT
+// for the baseline; the MT flavor in the SMT flows, so criticals stay
+// gateable rather than leaky).
+func runFlavor(d *netlist.Design, inc *sta.Incremental, strat assign.Strategy,
+	opts Options, target, revertTo liberty.Flavor) (*Result, error) {
+	ao := opts.assignOptions()
+	r, err := strat.Run(inc, assign.NewFlavorProblem(d, target, revertTo, ao), ao)
 	if err != nil {
 		return nil, err
 	}
-	res.Timing = timing
-	if timing.WNS < opts.SlackMarginNs {
-		if _, err := revertCritical(d, timing, opts, revertTo); err != nil {
-			return nil, err
-		}
-		timing, err = inc.Update()
-		if err != nil {
-			return nil, err
-		}
-		res.Timing = timing
-	}
-	res.Swapped, res.Kept = countAssigned(d, opts, target)
-	return res, nil
-}
-
-// countAssigned tallies the swappable population: cells ending at the
-// target flavor versus cells kept off it.
-func countAssigned(d *netlist.Design, opts Options, target liberty.Flavor) (swapped, kept int) {
-	for _, inst := range d.Instances() {
-		if !swappable(inst, opts) {
-			continue
-		}
-		if inst.Cell.Flavor == target {
-			swapped++
-		} else {
-			kept++
-		}
-	}
-	return swapped, kept
-}
-
-func swappable(inst *netlist.Instance, opts Options) bool {
-	switch inst.Cell.Kind {
-	case liberty.KindComb:
-		return true
-	case liberty.KindFF:
-		return opts.SwapFlops
-	}
-	return false
-}
-
-// swapPass tentatively swaps positive-slack cells to the target flavor.
-func swapPass(d *netlist.Design, timing *sta.Result, opts Options, target liberty.Flavor) (int, error) {
-	type cand struct {
-		inst  *netlist.Instance
-		slack float64
-	}
-	var cands []cand
-	for _, inst := range d.Instances() {
-		if !swappable(inst, opts) || inst.Cell.Flavor == target {
-			continue
-		}
-		cands = append(cands, cand{inst, timing.InstSlack(inst)})
-	}
-	// Most slack first: the cheapest swaps commit earliest.
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].slack > cands[j].slack })
-	budget := make(map[*netlist.Net]float64) // consumed slack per output net cone
-	swapped := 0
-	for _, c := range cands {
-		v := variantFor(d.Lib, c.inst.Cell, target)
-		if v == nil {
-			continue
-		}
-		delta := delayDelta(c.inst, v, timing)
-		out := c.inst.OutputNet()
-		used := 0.0
-		if out != nil {
-			used = budget[out]
-		}
-		if c.slack-used-opts.SafetyFactor*delta <= opts.SlackMarginNs {
-			continue
-		}
-		if err := d.ReplaceCell(c.inst, v); err != nil {
-			return swapped, err
-		}
-		if out != nil {
-			budget[out] = used + opts.SafetyFactor*delta
-		}
-		swapped++
-	}
-	return swapped, nil
-}
-
-// variantFor returns the target-flavor variant of a cell. Flops have no MT
-// variants: when the target is an MT flavor they keep their Vth (the flow
-// handles flop criticality by leaving critical flops LVT).
-func variantFor(lib *liberty.Library, c *liberty.Cell, target liberty.Flavor) *liberty.Cell {
-	if c.Kind == liberty.KindFF &&
-		(target == liberty.FlavorMTConv || target == liberty.FlavorMTNoVGND || target == liberty.FlavorMTVGND) {
-		return nil
-	}
-	return lib.Variant(c, target)
-}
-
-// delayDelta estimates the worst-arc delay increase of swapping inst to v.
-func delayDelta(inst *netlist.Instance, v *liberty.Cell, timing *sta.Result) float64 {
-	out := inst.OutputNet()
-	if out == nil {
-		return 0
-	}
-	rc := timing.RC[out]
-	load := 0.0
-	if rc != nil {
-		load = rc.TotalCap()
-	}
-	var worstOld, worstNew float64
-	for _, arc := range inst.Cell.Arcs {
-		inNet := inst.Conns[arc.From]
-		if inNet == nil {
-			continue
-		}
-		slew := timing.SlewMax[inNet]
-		if dOld := arc.WorstDelay(slew, load); dOld > worstOld {
-			worstOld = dOld
-		}
-		if na := v.Arc(arc.From, arc.To); na != nil {
-			if dNew := na.WorstDelay(slew, load); dNew > worstNew {
-				worstNew = dNew
-			}
-		}
-	}
-	if v.Kind == liberty.KindFF {
-		// Flop swaps also pay the setup difference at their own D input.
-		return worstNew - worstOld + (v.SetupNs - inst.Cell.SetupNs)
-	}
-	return worstNew - worstOld
-}
-
-// revertCritical moves swapped cells on violating paths back to revertTo
-// (flops, which have no MT variants, revert to LVT).
-func revertCritical(d *netlist.Design, timing *sta.Result, opts Options,
-	revertTo liberty.Flavor) (int, error) {
-	reverted := 0
-	for _, inst := range timing.CriticalInstances(opts.SlackMarginNs) {
-		if !swappable(inst, opts) {
-			continue
-		}
-		to := revertTo
-		if variantFor(d.Lib, inst.Cell, to) == nil {
-			to = liberty.FlavorLVT // flops have no MT variants
-		}
-		if inst.Cell.Flavor == to {
-			continue
-		}
-		v := d.Lib.Variant(inst.Cell, to)
-		if v == nil {
-			return reverted, fmt.Errorf("dualvth: no %s variant of %s", to, inst.Cell.Name)
-		}
-		if err := d.ReplaceCell(inst, v); err != nil {
-			return reverted, err
-		}
-		reverted++
-	}
-	return reverted, nil
+	return &Result{
+		Swapped: r.Moved,
+		Kept:    r.Kept,
+		Passes:  r.Passes,
+		Commits: r.Commits,
+		Reverts: r.Reverts,
+		Timing:  r.Timing,
+	}, nil
 }
 
 // AssignMixed performs the SMT stage-2 assignment of Fig. 4: every
@@ -264,6 +180,15 @@ func revertCritical(d *netlist.Design, timing *sta.Result, opts Options,
 // specification satisfied". Cells that cannot meet timing even as MT-cells
 // fall back to plain LVT (they stay un-gated), which real flows also do.
 func AssignMixed(d *netlist.Design, cfg sta.Config, opts Options, mtFlavor liberty.Flavor) (*Result, error) {
+	strat, err := validateRun(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch mtFlavor {
+	case liberty.FlavorMTConv, liberty.FlavorMTNoVGND, liberty.FlavorMTVGND:
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFlavor, mtFlavor)
+	}
 	for _, inst := range d.Instances() {
 		if inst.Cell.Kind != liberty.KindComb || inst.Cell.Flavor != liberty.FlavorLVT {
 			continue
@@ -280,19 +205,29 @@ func AssignMixed(d *netlist.Design, cfg sta.Config, opts Options, mtFlavor liber
 	if err != nil {
 		return nil, err
 	}
-	res, err := assignFlavor(d, inc, opts, liberty.FlavorHVT, mtFlavor)
+	res, err := runFlavor(d, inc, strat, opts, liberty.FlavorHVT, mtFlavor)
 	if err != nil {
 		return nil, err
 	}
 	// Last resort: if the MT derate alone breaks the clock, let the most
-	// critical cells drop back to plain LVT.
+	// critical cells drop back to plain LVT. The problem's revert
+	// machinery does the rebinding; the pass loop stays here because its
+	// stop condition (margin met or pass budget spent) is this flow's
+	// policy, not the strategy's.
+	lvt := assign.NewFlavorProblem(d, liberty.FlavorHVT, liberty.FlavorLVT, opts.assignOptions())
 	timing := res.Timing
 	for pass := 0; timing.WNS < opts.SlackMarginNs && pass < opts.MaxPasses; pass++ {
-		n, err := revertCritical(d, timing, opts, liberty.FlavorLVT)
+		moves, err := lvt.RevertCandidates(timing)
 		if err != nil {
 			return nil, err
 		}
-		if n == 0 {
+		for _, m := range moves {
+			if err := lvt.Apply(m); err != nil {
+				return nil, err
+			}
+		}
+		res.Reverts += len(moves)
+		if len(moves) == 0 {
 			break
 		}
 		timing, err = inc.Update()
@@ -301,9 +236,9 @@ func AssignMixed(d *netlist.Design, cfg sta.Config, opts Options, mtFlavor liber
 		}
 		res.Timing = timing
 	}
-	// The revert loop rebinds cells after assignFlavor tallied its
+	// The revert loop rebinds cells after the strategy tallied its
 	// counts: recount so Swapped/Kept describe the design actually
 	// returned, not the pre-revert one.
-	res.Swapped, res.Kept = countAssigned(d, opts, liberty.FlavorHVT)
+	res.Swapped, res.Kept = lvt.Tally()
 	return res, nil
 }

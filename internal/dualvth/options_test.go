@@ -1,0 +1,115 @@
+package dualvth
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"selectivemt/internal/assign"
+	"selectivemt/internal/liberty"
+)
+
+// TestOptionsValidate is the satellite contract of PR 9: nonsensical
+// option combinations are rejected with named errors instead of being
+// silently replaced with defaults inside the hot loop.
+func TestOptionsValidate(t *testing.T) {
+	valid := DefaultOptions()
+	cases := []struct {
+		name    string
+		mutate  func(*Options)
+		wantErr error // nil means the options must validate
+	}{
+		{"defaults", func(o *Options) {}, nil},
+		{"explicit greedy", func(o *Options) { o.Strategy = "greedy" }, nil},
+		{"sensitivity", func(o *Options) { o.Strategy = "sensitivity" }, nil},
+		{"case-insensitive strategy", func(o *Options) { o.Strategy = "  Greedy " }, nil},
+		{"zero margin ok", func(o *Options) { o.SlackMarginNs = 0 }, nil},
+		{"zero value invalid", func(o *Options) { *o = Options{} }, ErrNonPositivePasses},
+		{"zero passes", func(o *Options) { o.MaxPasses = 0 }, ErrNonPositivePasses},
+		{"negative passes", func(o *Options) { o.MaxPasses = -3 }, ErrNonPositivePasses},
+		{"zero safety", func(o *Options) { o.SafetyFactor = 0 }, ErrNonPositiveSafety},
+		{"negative safety", func(o *Options) { o.SafetyFactor = -1.5 }, ErrNonPositiveSafety},
+		{"NaN safety", func(o *Options) { o.SafetyFactor = math.NaN() }, ErrNonPositiveSafety},
+		{"zero batch", func(o *Options) { o.BatchSize = 0 }, ErrNonPositiveBatch},
+		{"negative batch", func(o *Options) { o.BatchSize = -8 }, ErrNonPositiveBatch},
+		{"negative margin", func(o *Options) { o.SlackMarginNs = -0.1 }, ErrBadSlackMargin},
+		{"NaN margin", func(o *Options) { o.SlackMarginNs = math.NaN() }, ErrBadSlackMargin},
+		{"infinite margin", func(o *Options) { o.SlackMarginNs = math.Inf(1) }, ErrBadSlackMargin},
+		{"unknown strategy", func(o *Options) { o.Strategy = "annealing" }, assign.ErrUnknownStrategy},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := valid
+			tc.mutate(&o)
+			err := o.Validate()
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Validate() = %v, want errors.Is(..., %v)", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunValidation exercises the named errors on the run entry points:
+// nil design, missing library, bad options, and a non-MT AssignMixed
+// flavor, each rejected before any timing work starts.
+func TestRunValidation(t *testing.T) {
+	d, cfg := prepDesign(t, 1.2)
+
+	t.Run("nil design", func(t *testing.T) {
+		if _, err := Assign(nil, cfg, DefaultOptions()); !errors.Is(err, ErrNilDesign) {
+			t.Fatalf("Assign(nil) = %v, want ErrNilDesign", err)
+		}
+		if _, err := RecoverSizing(nil, cfg, DefaultOptions()); !errors.Is(err, ErrNilDesign) {
+			t.Fatalf("RecoverSizing(nil) = %v, want ErrNilDesign", err)
+		}
+	})
+	t.Run("nil library", func(t *testing.T) {
+		clone := d.Clone()
+		clone.Lib = nil
+		if _, err := Assign(clone, cfg, DefaultOptions()); !errors.Is(err, ErrNilLibrary) {
+			t.Fatalf("Assign(no lib) = %v, want ErrNilLibrary", err)
+		}
+	})
+	t.Run("bad options", func(t *testing.T) {
+		opts := DefaultOptions()
+		opts.BatchSize = -1
+		if _, err := Assign(d.Clone(), cfg, opts); !errors.Is(err, ErrNonPositiveBatch) {
+			t.Fatalf("Assign(bad batch) = %v, want ErrNonPositiveBatch", err)
+		}
+	})
+	t.Run("unknown strategy", func(t *testing.T) {
+		opts := DefaultOptions()
+		opts.Strategy = "ilp"
+		if _, err := AssignMixed(d.Clone(), cfg, opts, liberty.FlavorMTNoVGND); !errors.Is(err, assign.ErrUnknownStrategy) {
+			t.Fatalf("AssignMixed(unknown strategy) = %v, want ErrUnknownStrategy", err)
+		}
+	})
+	t.Run("non-MT mixed flavor", func(t *testing.T) {
+		for _, f := range []liberty.Flavor{liberty.FlavorHVT, liberty.FlavorLVT, liberty.Flavor("XT")} {
+			if _, err := AssignMixed(d.Clone(), cfg, DefaultOptions(), f); !errors.Is(err, ErrUnknownFlavor) {
+				t.Fatalf("AssignMixed(%q) = %v, want ErrUnknownFlavor", f, err)
+			}
+		}
+	})
+	t.Run("validation precedes mutation", func(t *testing.T) {
+		// A rejected run must not have touched the design: AssignMixed
+		// validates before its MT pre-conversion pass.
+		clone := d.Clone()
+		before := netlistBytes(t, clone)
+		opts := DefaultOptions()
+		opts.MaxPasses = -1
+		if _, err := AssignMixed(clone, cfg, opts, liberty.FlavorMTNoVGND); err == nil {
+			t.Fatal("AssignMixed with bad options succeeded")
+		}
+		if !bytes.Equal(before, netlistBytes(t, clone)) {
+			t.Fatal("rejected AssignMixed still mutated the design")
+		}
+	})
+}

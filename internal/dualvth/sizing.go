@@ -1,10 +1,7 @@
 package dualvth
 
 import (
-	"fmt"
-	"sort"
-
-	"selectivemt/internal/liberty"
+	"selectivemt/internal/assign"
 	"selectivemt/internal/netlist"
 	"selectivemt/internal/sta"
 )
@@ -15,120 +12,22 @@ import (
 // stepped down one drive strength at a time (X4→X2→X1), which saves both
 // area and leakage (narrower devices) without touching logic.
 //
-// It re-times between passes and reverts over-eager downsizing the same
-// way the Vth loop does. Returns the number of cells downsized.
+// The configured strategy re-times between passes and reverts over-eager
+// downsizing the same way the Vth loop does. Returns the net number of
+// cells downsized (commits minus upsizing reverts).
 func RecoverSizing(d *netlist.Design, cfg sta.Config, opts Options) (int, error) {
-	if opts.MaxPasses <= 0 {
-		opts.MaxPasses = 12
-	}
-	if opts.SafetyFactor <= 0 {
-		opts.SafetyFactor = 1.5
+	strat, err := validateRun(d, opts)
+	if err != nil {
+		return 0, err
 	}
 	inc, err := sta.NewIncremental(d, cfg)
 	if err != nil {
 		return 0, err
 	}
-	downsized := 0
-	for pass := 0; pass < opts.MaxPasses; pass++ {
-		timing, err := inc.Update()
-		if err != nil {
-			return downsized, err
-		}
-		if timing.WNS < opts.SlackMarginNs {
-			// Undo: upsize the critical cells we shrank (step back up).
-			n, err := resizeCritical(d, timing, opts)
-			if err != nil {
-				return downsized, err
-			}
-			downsized -= n
-			if n == 0 {
-				break
-			}
-			continue
-		}
-		type cand struct {
-			inst  *netlist.Instance
-			slack float64
-		}
-		var cands []cand
-		for _, inst := range d.Instances() {
-			if inst.Cell.Kind != liberty.KindComb || inst.Cell.Drive <= 1 {
-				continue
-			}
-			cands = append(cands, cand{inst, timing.InstSlack(inst)})
-		}
-		sort.SliceStable(cands, func(i, j int) bool { return cands[i].slack > cands[j].slack })
-		n := 0
-		for _, c := range cands {
-			smaller := driveStep(d.Lib, c.inst.Cell, -1)
-			if smaller == nil {
-				continue
-			}
-			delta := delayDelta(c.inst, smaller, timing)
-			if c.slack-opts.SafetyFactor*delta <= opts.SlackMarginNs {
-				continue
-			}
-			if err := d.ReplaceCell(c.inst, smaller); err != nil {
-				return downsized, err
-			}
-			n++
-		}
-		downsized += n
-		if n == 0 {
-			break
-		}
+	ao := opts.assignOptions()
+	r, err := strat.Run(inc, assign.NewSizingProblem(d, ao), ao)
+	if r == nil {
+		return 0, err
 	}
-	// Final guard: free when the loop exited with fresh timing.
-	timing, err := inc.Update()
-	if err != nil {
-		return downsized, err
-	}
-	if timing.WNS < opts.SlackMarginNs {
-		n, err := resizeCritical(d, timing, opts)
-		if err != nil {
-			return downsized, err
-		}
-		downsized -= n
-	}
-	return downsized, nil
-}
-
-// driveStep returns the cell one drive step up (+1) or down (-1) in the
-// same base/flavor family, or nil at the end of the ladder.
-func driveStep(lib *liberty.Library, c *liberty.Cell, dir int) *liberty.Cell {
-	drives := lib.Drives(c.Base, c.Flavor)
-	idx := -1
-	for i, dr := range drives {
-		if dr == c.Drive {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return nil
-	}
-	idx += dir
-	if idx < 0 || idx >= len(drives) {
-		return nil
-	}
-	return lib.Cell(fmt.Sprintf("%s_X%d_%s", c.Base, drives[idx], c.Flavor))
-}
-
-// resizeCritical upsizes critical combinational cells one step.
-func resizeCritical(d *netlist.Design, timing *sta.Result, opts Options) (int, error) {
-	n := 0
-	for _, inst := range timing.CriticalInstances(opts.SlackMarginNs) {
-		if inst.Cell.Kind != liberty.KindComb {
-			continue
-		}
-		bigger := driveStep(d.Lib, inst.Cell, +1)
-		if bigger == nil {
-			continue
-		}
-		if err := d.ReplaceCell(inst, bigger); err != nil {
-			return n, err
-		}
-		n++
-	}
-	return n, nil
+	return r.Commits - r.Reverts, err
 }

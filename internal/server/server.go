@@ -46,6 +46,10 @@ type Options struct {
 	// ShardJobs bounds per-shard fan-out when partitioned timing is on;
 	// same spec-wins default rule as Partitions. <= 0 means GOMAXPROCS.
 	ShardJobs int
+	// Strategy is the default Vth-assignment strategy applied to job
+	// specs that leave theirs unset (a spec's own value wins). Empty
+	// means the built-in default (greedy); unknown names fail New.
+	Strategy string
 	// StateDir, when set, makes the job store durable: every job state
 	// transition is mirrored to one JSON file per job under this
 	// directory, finished jobs are re-served byte-identically after a
@@ -111,6 +115,15 @@ func New(env *selectivemt.Environment, opts Options) (*Server, error) {
 	if opts.MaxJobs <= 0 {
 		opts.MaxJobs = DefaultMaxJobs
 	}
+	if opts.Strategy != "" {
+		// Fail fast at boot: a typo'd default strategy would otherwise
+		// surface as a validation error on every submitted job.
+		canonical, err := selectivemt.ParseStrategy(opts.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		opts.Strategy = canonical
+	}
 	if opts.SSEHeartbeat <= 0 {
 		opts.SSEHeartbeat = DefaultSSEHeartbeat
 	}
@@ -134,6 +147,9 @@ func New(env *selectivemt.Environment, opts Options) (*Server, error) {
 		}
 		if spec.ShardJobs == 0 {
 			spec.ShardJobs = opts.ShardJobs
+		}
+		if spec.Strategy == "" {
+			spec.Strategy = opts.Strategy
 		}
 		return env.RunJob(spec, selectivemt.JobOptions{
 			Context:  ctx,

@@ -56,6 +56,12 @@ type JobSpec struct {
 	// ShardJobs bounds the sharded kernel's fan-out width per design
 	// (<= 0 means GOMAXPROCS). Only meaningful with Partitions > 1.
 	ShardJobs int `json:"shard_jobs,omitempty"`
+	// Strategy names the Vth-assignment strategy for every Dual-Vth/SMT
+	// stage of the job: "greedy" (the paper's slack-ordered pass,
+	// the default) or "sensitivity" (leakage-per-slack ordering off the
+	// library LUT), plus any strategy a custom build registered. Empty
+	// means greedy.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // JobOptions configures RunJob's execution (not the work itself — that
@@ -244,6 +250,9 @@ func (s JobSpec) Validate() error {
 	if _, err := parseCornerNames(s.Corners); err != nil {
 		return err
 	}
+	if _, err := ParseStrategy(s.Strategy); err != nil {
+		return err
+	}
 	if s.InrushLimitMA < 0 {
 		return fmt.Errorf("selectivemt: negative inrush limit %g mA", s.InrushLimitMA)
 	}
@@ -286,6 +295,9 @@ func (e *Environment) RunJob(spec JobSpec, opts JobOptions) (*JobOutcome, error)
 	cfg.Corners = corners
 	cfg.Partitions = spec.Partitions
 	cfg.ShardJobs = spec.ShardJobs
+	// Validate vouched for the name; store the canonical form so stage
+	// reports and downstream lookups agree on spelling.
+	cfg.Strategy, _ = ParseStrategy(spec.Strategy)
 
 	var name string
 	var prepare func() (*Design, error)

@@ -1,0 +1,41 @@
+package selectivemt
+
+import (
+	"selectivemt/internal/assign"
+)
+
+// This file is the facade over the Vth-assignment strategy subsystem
+// (internal/assign): name resolution for CLIs and the smtd job service,
+// plus registration for embedding builds — the same extension contract
+// as RegisterPipeline, so a custom strategy becomes selectable by name
+// through Config, JobSpec and every front end without touching them.
+
+// DefaultStrategy is the strategy an empty selection resolves to — the
+// paper's greedy slack-ordered pass.
+const DefaultStrategy = assign.DefaultStrategy
+
+// AssignStrategy is the Vth-assignment policy interface: how candidates
+// are ordered, committed in batches and reverted around the incremental
+// timer. See internal/assign for the Problem/Move contract the two
+// builtins ("greedy", "sensitivity") implement.
+type AssignStrategy = assign.Strategy
+
+// ParseStrategy resolves a strategy selection to its canonical
+// registered name. Empty input selects DefaultStrategy; unknown names
+// error with the registered choices listed.
+func ParseStrategy(name string) (string, error) {
+	s, err := assign.Parse(name)
+	if err != nil {
+		return "", err
+	}
+	return s.Name(), nil
+}
+
+// Strategies lists the registered assignment strategies, sorted.
+func Strategies() []string { return assign.Names() }
+
+// RegisterStrategy adds a custom assignment strategy under its name,
+// making it selectable via Config.Strategy, the JobSpec "strategy"
+// field and the -strategy CLI flags. Registration errors on duplicate
+// or empty names.
+func RegisterStrategy(s AssignStrategy) error { return assign.Register(s) }
