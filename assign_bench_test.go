@@ -10,6 +10,7 @@
 package selectivemt
 
 import (
+	"fmt"
 	"testing"
 
 	"selectivemt/internal/dualvth"
@@ -72,9 +73,51 @@ func BenchmarkAssignStrategies(b *testing.B) {
 	}
 }
 
+// BenchmarkAssignSensitivityLanes runs the sensitivity strategy's
+// shard-parallel lane engine (PR 10) on the 100k tier: a 16-way
+// partitioned timer at 1, 2 and 4 lane workers. The engine is bit-exact
+// across worker counts (TestLaneDeterminismAcrossWorkers pins that), so
+// the widths differ only in wall-clock; each must end violation-free.
+// CI additionally holds w1 to at most 110% of the serial engine's
+// wall-clock — in practice the adaptive batches and dirty-shard
+// re-times make it faster even single-threaded.
+func BenchmarkAssignSensitivityLanes(b *testing.B) {
+	d, stCfg, _ := largeTimingSetup(b)
+	stCfg.Partitions = 16
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			opts := dualvth.DefaultOptions()
+			opts.Strategy = "sensitivity"
+			opts.AssignJobs = w
+			var res *dualvth.Result
+			var leak float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clone := d.Clone()
+				r, err := dualvth.Assign(clone, stCfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+				leak = power.ActiveLeakage(clone)
+			}
+			b.ReportMetric(leak, "leak_mw")
+			b.ReportMetric(float64(res.Swapped), "swaps")
+			b.ReportMetric(float64(res.Reverts), "reverts")
+			b.ReportMetric(res.Timing.WNS, "wns_ns")
+			b.ReportMetric(float64(res.Workers), "lanes")
+			if res.Timing.WNS < 0 {
+				b.Errorf("lane engine left the 100k tier violating at w%d: WNS %v", w, res.Timing.WNS)
+			}
+		})
+	}
+}
+
 // BenchmarkHugeAssignStrategies is the same comparison at the
 // ~1M-instance tier on the partitioned timer (excluded from CI like the
 // other Huge benches; run locally with -bench '^BenchmarkHugeAssign').
+// With Partitions set, sensitivity runs the lane engine — this is the
+// tier where its dirty-shard re-times and adaptive batches pay off.
 func BenchmarkHugeAssignStrategies(b *testing.B) {
 	benchAssignStrategies(b, func(tb testing.TB) (*netlist.Design, sta.Config, *Environment) {
 		d, stCfg, env := hugeTimingSetup(tb)

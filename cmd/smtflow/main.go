@@ -46,6 +46,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max concurrent technique jobs (0 = GOMAXPROCS)")
 	partitions := flag.Int("partitions", 0, "timing shards per analysis (<= 1 = monolithic flat kernel; results are bit-identical)")
 	shardJobs := flag.Int("shard-jobs", 0, "max concurrent timing shards when -partitions > 1 (0 = GOMAXPROCS)")
+	assignJobs := flag.Int("assign-jobs", 0, "max concurrent assignment lanes for the sensitivity strategy when -partitions > 1 (0 = GOMAXPROCS)")
 	strategy := flag.String("strategy", "", "Vth-assignment strategy: greedy (paper default) or sensitivity (leakage-per-slack LUT ordering)")
 	outVerilog := flag.String("out-verilog", "", "write the final netlist here")
 	outSpef := flag.String("out-spef", "", "write the VGND parasitics here")
@@ -65,6 +66,9 @@ func main() {
 	if *shardJobs < 0 {
 		log.Fatalf("smtflow: -shard-jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *shardJobs)
 	}
+	if *assignJobs < 0 {
+		log.Fatalf("smtflow: -assign-jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *assignJobs)
+	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		log.Fatal(err)
@@ -77,6 +81,7 @@ func main() {
 	cfg := env.NewConfig()
 	cfg.Partitions = *partitions
 	cfg.ShardJobs = *shardJobs
+	cfg.AssignJobs = *assignJobs
 	if cfg.Strategy, err = selectivemt.ParseStrategy(*strategy); err != nil {
 		log.Fatalf("smtflow: %v", err)
 	}
@@ -234,5 +239,12 @@ func printResult(base *netlist.Design, res *selectivemt.TechniqueResult) {
 			fmt.Printf(" inserted=%d", s.Inserted)
 		}
 		fmt.Println()
+	}
+	for _, a := range res.AssignReports {
+		const ms = 1e6
+		fmt.Printf("    %-40s jobs=%d passes=%d commits=%d reverts=%d score=%.1fms commit=%.1fms retime=%.1fms unwind=%.1fms\n",
+			a.Stage+" [assign]", a.Workers, a.Passes, a.Commits, a.Reverts,
+			float64(a.Phases.ScoreNs)/ms, float64(a.Phases.CommitNs)/ms,
+			float64(a.Phases.RetimeNs)/ms, float64(a.Phases.UnwindNs)/ms)
 	}
 }

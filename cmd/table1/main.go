@@ -38,6 +38,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max concurrent flow jobs (0 = GOMAXPROCS, 1 = sequential)")
 	partitions := flag.Int("partitions", 0, "timing shards per analysis (<= 1 = monolithic flat kernel; results are bit-identical)")
 	shardJobs := flag.Int("shard-jobs", 0, "max concurrent timing shards when -partitions > 1 (0 = GOMAXPROCS)")
+	assignJobs := flag.Int("assign-jobs", 0, "max concurrent assignment lanes for the sensitivity strategy when -partitions > 1 (0 = GOMAXPROCS)")
 	strategy := flag.String("strategy", "", "Vth-assignment strategy: greedy (paper default) or sensitivity (leakage-per-slack LUT ordering)")
 	cornersFlag := flag.String("corners", "", "PVT sign-off corners: all, or comma-separated typ,slow,fast-hot,fast-cold")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here (go tool pprof format)")
@@ -53,6 +54,9 @@ func main() {
 	}
 	if *shardJobs < 0 {
 		log.Fatalf("table1: -shard-jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *shardJobs)
+	}
+	if *assignJobs < 0 {
+		log.Fatalf("table1: -assign-jobs must be >= 0 (0 = all %d CPUs), got %d", runtime.GOMAXPROCS(0), *assignJobs)
 	}
 	strategyName, err := selectivemt.ParseStrategy(*strategy)
 	if err != nil {
@@ -90,6 +94,7 @@ func main() {
 			cfg.Corners = corners
 			cfg.Partitions = *partitions
 			cfg.ShardJobs = *shardJobs
+			cfg.AssignJobs = *assignJobs
 			cfg.Strategy = strategyName
 		},
 		Progress: func(ev selectivemt.BatchEvent) {

@@ -57,8 +57,19 @@ type Options struct {
 	SafetyFactor float64
 	// BatchSize bounds how many moves the sensitivity strategy commits
 	// between incremental re-timings (0 = DefaultBatchSize). The greedy
-	// strategy commits a whole pass at once and ignores it.
+	// strategy commits a whole pass at once and ignores it. The lane
+	// engine treats it as the initial and minimum adaptive batch.
 	BatchSize int
+	// Workers bounds the lane engine's fan-out width when the strategy
+	// runs on a partitioned timer (<= 0 means GOMAXPROCS, capped at the
+	// shard count). It only changes scheduling, never results: the lane
+	// engine is bit-exact at any worker count.
+	Workers int
+	// Run, when set, executes a lane fan-out of `tasks` tasks on an
+	// external scheduler (internal/core wires the flow engine's pool
+	// here, mirroring sta.Config.ShardRun). Nil uses an internal worker
+	// group; one worker runs inline with no goroutines.
+	Run func(tasks, workers int, run func(task int))
 }
 
 // withDefaults resolves the zero-value knobs. It mirrors the defaults
@@ -95,19 +106,40 @@ type Move struct {
 // Problem abstracts one swap domain: which instances may move where,
 // and how over-commitment unwinds. Implementations enumerate in
 // deterministic design-instance order; strategies own the ordering,
-// batching and revert policy on top.
+// batching and revert policy on top. The enumeration methods append
+// into a caller-owned buffer so steady-state strategy loops re-enumerate
+// without reallocating.
 type Problem interface {
-	// Candidates enumerates the legal moves under fresh timing.
-	Candidates(timing *sta.Result) []Move
-	// RevertCandidates enumerates the moves that would unwind
-	// instances violating the slack margin (most problems rebind them
-	// toward the fast end of their ladder).
-	RevertCandidates(timing *sta.Result) ([]Move, error)
+	// Candidates appends the legal moves under fresh timing to buf
+	// (callers pass buf[:0] to reuse its capacity) and returns the
+	// extended slice.
+	Candidates(timing *sta.Result, buf []Move) []Move
+	// RevertCandidates appends the moves that would unwind instances
+	// violating the slack margin (most problems rebind them toward the
+	// fast end of their ladder), with the same buffer contract.
+	RevertCandidates(timing *sta.Result, buf []Move) ([]Move, error)
+	// Rescore refreshes a move's timing-dependent fields (SlackNs,
+	// DeltaNs) against a newer analysis, leaving the library-derived
+	// ones untouched — the lane engine's incremental re-scoring hook.
+	Rescore(m *Move, timing *sta.Result)
 	// Apply commits a move on the design.
 	Apply(Move) error
 	// Tally counts the movable population after the run: instances
 	// ending at the problem's target versus instances kept off it.
 	Tally() (moved, kept int)
+}
+
+// PhaseTimes is the wall-clock an assignment run spent per phase. The
+// four phases partition the strategy's work: score (candidate
+// enumeration, bucketing and ordering), commit (selection, guards and
+// design edits), retime (incremental timing updates between batches)
+// and unwind (revert selection and edits). Retime time inside an unwind
+// loop counts as retime, so the fields never double-book.
+type PhaseTimes struct {
+	ScoreNs  int64
+	CommitNs int64
+	RetimeNs int64
+	UnwindNs int64
 }
 
 // Result reports an assignment outcome.
@@ -121,6 +153,11 @@ type Result struct {
 	Commits, Reverts int
 	// Timing is the final verified analysis.
 	Timing *sta.Result
+	// Phases breaks the run's wall-clock down by phase.
+	Phases PhaseTimes
+	// Workers is the effective lane fan-out the run used (1 for the
+	// serial engine or a monolithic timer).
+	Workers int
 }
 
 // Strategy drives the select/commit/revert loop of one Problem on an

@@ -18,6 +18,19 @@ type FlavorProblem struct {
 	target, revertTo liberty.Flavor
 	opts             Options
 	lut              *LeakLUT
+
+	// insts snapshots the instance list once: assignment only rebinds
+	// cells, never adds or removes instances, and Design.Instances()
+	// rebuilds its slice per call — too hot for the enumeration loops.
+	insts []*netlist.Instance
+	// vcache memoizes Library.Variant, which formats a cell name per
+	// lookup; the reachable (cell, flavor) set is tiny and fixed.
+	vcache map[variantKey]*liberty.Cell
+}
+
+type variantKey struct {
+	c *liberty.Cell
+	f liberty.Flavor
 }
 
 // NewFlavorProblem builds the flavor swap domain over d. The leakage
@@ -30,7 +43,21 @@ func NewFlavorProblem(d *netlist.Design, target, revertTo liberty.Flavor, opts O
 		revertTo: revertTo,
 		opts:     opts,
 		lut:      LeakageLUT(d.Lib, target),
+		insts:    d.Instances(),
+		vcache:   make(map[variantKey]*liberty.Cell),
 	}
+}
+
+// variant memoizes variantFor so steady-state enumeration stays off the
+// library's name-formatting lookup path. Nil results cache too.
+func (p *FlavorProblem) variant(c *liberty.Cell, f liberty.Flavor) *liberty.Cell {
+	k := variantKey{c, f}
+	if v, ok := p.vcache[k]; ok {
+		return v
+	}
+	v := variantFor(p.d.Lib, c, f)
+	p.vcache[k] = v
+	return v
 }
 
 func (p *FlavorProblem) swappable(inst *netlist.Instance) bool {
@@ -43,16 +70,16 @@ func (p *FlavorProblem) swappable(inst *netlist.Instance) bool {
 	return false
 }
 
-// Candidates enumerates, in design-instance order, every movable
+// Candidates appends, in design-instance order, every movable
 // instance not yet at the target flavor that has a target variant,
 // scored under the given timing snapshot.
-func (p *FlavorProblem) Candidates(timing *sta.Result) []Move {
-	var moves []Move
-	for _, inst := range p.d.Instances() {
+func (p *FlavorProblem) Candidates(timing *sta.Result, buf []Move) []Move {
+	moves := buf
+	for _, inst := range p.insts {
 		if !p.swappable(inst) || inst.Cell.Flavor == p.target {
 			continue
 		}
-		v := variantFor(p.d.Lib, inst.Cell, p.target)
+		v := p.variant(inst.Cell, p.target)
 		if v == nil {
 			continue
 		}
@@ -67,31 +94,40 @@ func (p *FlavorProblem) Candidates(timing *sta.Result) []Move {
 	return moves
 }
 
-// RevertCandidates enumerates the unwind moves for every movable
+// RevertCandidates appends the unwind moves for every movable
 // instance on a violating path, in the timing engine's critical order
-// (design-instance order over the violating set). It errors when the
-// library is missing the revert variant — a characterization hole, not
-// a timing condition.
-func (p *FlavorProblem) RevertCandidates(timing *sta.Result) ([]Move, error) {
-	var moves []Move
-	for _, inst := range timing.CriticalInstances(p.opts.SlackMarginNs) {
-		if !p.swappable(inst) {
+// (design-instance order over the violating set — the same filter
+// sta.Result.CriticalInstances applies, inlined over the instance
+// snapshot so steady-state unwinds build no intermediate slice). It
+// errors when the library is missing the revert variant — a
+// characterization hole, not a timing condition.
+func (p *FlavorProblem) RevertCandidates(timing *sta.Result, buf []Move) ([]Move, error) {
+	moves := buf
+	for _, inst := range p.insts {
+		if !p.swappable(inst) || timing.InstSlack(inst) >= p.opts.SlackMarginNs {
 			continue
 		}
 		to := p.revertTo
-		if variantFor(p.d.Lib, inst.Cell, to) == nil {
+		if p.variant(inst.Cell, to) == nil {
 			to = liberty.FlavorLVT // flops have no MT variants
 		}
 		if inst.Cell.Flavor == to {
 			continue
 		}
-		v := p.d.Lib.Variant(inst.Cell, to)
+		v := p.variant(inst.Cell, to)
 		if v == nil {
 			return moves, fmt.Errorf("assign: no %s variant of %s", to, inst.Cell.Name)
 		}
 		moves = append(moves, Move{Inst: inst, To: v, SlackNs: timing.InstSlack(inst)})
 	}
 	return moves, nil
+}
+
+// Rescore refreshes the move's slack and delay estimate against a newer
+// analysis; the leakage saving is a library property and does not move.
+func (p *FlavorProblem) Rescore(m *Move, timing *sta.Result) {
+	m.SlackNs = timing.InstSlack(m.Inst)
+	m.DeltaNs = delayDelta(m.Inst, m.To, timing)
 }
 
 // Apply rebinds the instance to the move's variant.
@@ -102,7 +138,7 @@ func (p *FlavorProblem) Apply(m Move) error {
 // Tally counts the movable population: instances ending at the target
 // flavor versus instances kept off it.
 func (p *FlavorProblem) Tally() (moved, kept int) {
-	for _, inst := range p.d.Instances() {
+	for _, inst := range p.insts {
 		if !p.swappable(inst) {
 			continue
 		}

@@ -22,7 +22,7 @@ func (greedy) Name() string { return "greedy" }
 
 func (greedy) Run(inc *sta.Incremental, p Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	res := &Result{}
+	res := &Result{Workers: 1}
 	for pass := 0; pass < opts.MaxPasses; pass++ {
 		res.Passes = pass + 1
 		timing, err := inc.Update()
@@ -75,7 +75,7 @@ func (greedy) Run(inc *sta.Incremental, p Problem, opts Options) (*Result, error
 // budget charges each cone for the slack its committed moves consumed,
 // exactly as the pre-refactor swapPass did.
 func greedyPass(p Problem, timing *sta.Result, opts Options, res *Result) (int, error) {
-	moves := p.Candidates(timing)
+	moves := p.Candidates(timing, nil)
 	// Most slack first: the cheapest moves commit earliest.
 	sort.SliceStable(moves, func(i, j int) bool { return moves[i].SlackNs > moves[j].SlackNs })
 	budget := make(map[*netlist.Net]float64) // consumed slack per output net cone
@@ -105,7 +105,7 @@ func greedyPass(p Problem, timing *sta.Result, opts Options, res *Result) (int, 
 // revertAll applies every revert candidate in the problem's critical
 // order — the pre-refactor revertCritical behavior.
 func revertAll(p Problem, timing *sta.Result, res *Result) (int, error) {
-	moves, err := p.RevertCandidates(timing)
+	moves, err := p.RevertCandidates(timing, nil)
 	if err != nil {
 		return 0, err
 	}

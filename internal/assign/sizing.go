@@ -23,13 +23,13 @@ func NewSizingProblem(d *netlist.Design, opts Options) *SizingProblem {
 	return &SizingProblem{d: d, opts: opts}
 }
 
-// Candidates enumerates, in design-instance order, every combinational
+// Candidates appends, in design-instance order, every combinational
 // instance with a smaller drive available, scored under the given
 // timing snapshot. LeakSavedMW is the direct powered-leakage delta of
 // the narrower devices — no LUT indirection needed, the ladder
 // neighbor is already resolved.
-func (p *SizingProblem) Candidates(timing *sta.Result) []Move {
-	var moves []Move
+func (p *SizingProblem) Candidates(timing *sta.Result, buf []Move) []Move {
+	moves := buf
 	for _, inst := range p.d.Instances() {
 		if inst.Cell.Kind != liberty.KindComb || inst.Cell.Drive <= 1 {
 			continue
@@ -52,8 +52,8 @@ func (p *SizingProblem) Candidates(timing *sta.Result) []Move {
 // RevertCandidates upsizes critical combinational cells one step;
 // cells already at the top of their ladder are skipped (nothing bigger
 // to offer the path).
-func (p *SizingProblem) RevertCandidates(timing *sta.Result) ([]Move, error) {
-	var moves []Move
+func (p *SizingProblem) RevertCandidates(timing *sta.Result, buf []Move) ([]Move, error) {
+	moves := buf
 	for _, inst := range timing.CriticalInstances(p.opts.SlackMarginNs) {
 		if inst.Cell.Kind != liberty.KindComb {
 			continue
@@ -65,6 +65,13 @@ func (p *SizingProblem) RevertCandidates(timing *sta.Result) ([]Move, error) {
 		moves = append(moves, Move{Inst: inst, To: bigger, SlackNs: timing.InstSlack(inst)})
 	}
 	return moves, nil
+}
+
+// Rescore refreshes the move's slack and delay estimate against a newer
+// analysis; the leakage delta of the ladder step does not move.
+func (p *SizingProblem) Rescore(m *Move, timing *sta.Result) {
+	m.SlackNs = timing.InstSlack(m.Inst)
+	m.DeltaNs = delayDelta(m.Inst, m.To, timing)
 }
 
 // Apply rebinds the instance to the move's drive.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"selectivemt/internal/assign"
 	"selectivemt/internal/cts"
 	"selectivemt/internal/dualvth"
 	"selectivemt/internal/eco"
@@ -75,13 +76,23 @@ type Config struct {
 	// Partitions, when > 1, runs every timing analysis in the flow on the
 	// partition-parallel sharded kernel: the netlist is clustered into
 	// about this many shards and per-shard propagation fans out on the
-	// engine pool. Results are bit-identical to the monolithic kernel, so
-	// Table 1 and every report are unchanged. 0 or 1 means monolithic.
+	// engine pool. Timing results are bit-identical to the monolithic
+	// kernel at any worker count. The sensitivity assignment strategy
+	// additionally switches to its shard-parallel lane engine on a
+	// partitioned timer — a different (equally valid, violation-free)
+	// commit schedule than the monolithic serial loop, itself bit-exact
+	// across worker counts. Greedy is unaffected. 0 or 1 means
+	// monolithic everywhere.
 	Partitions int
 	// ShardJobs bounds the sharded kernel's per-design fan-out width
 	// (<= 0 means GOMAXPROCS). Independent of SignoffJobs: corners fan
 	// out across designs, shards fan out inside one design.
 	ShardJobs int
+	// AssignJobs bounds the assignment lane engine's fan-out width
+	// (<= 0 means GOMAXPROCS, capped at the shard count). Only the
+	// sensitivity strategy on a partitioned timer fans out; the knob
+	// never changes results, only scheduling.
+	AssignJobs int
 }
 
 // DefaultConfig builds a configuration for the process/library pair. The
@@ -196,12 +207,43 @@ func (c *Config) assignOpts() dualvth.Options {
 	if o.BatchSize == 0 {
 		o.BatchSize = def.BatchSize
 	}
+	if o.AssignJobs == 0 && c.AssignJobs > 0 {
+		o.AssignJobs = c.AssignJobs
+	}
+	if o.Run == nil {
+		o.Run = shardRun // lane fan-outs share the engine pool
+	}
 	return o
 }
 
 // StageReport records one flow stage's vitals (the pass manager's
 // report type: see internal/flow).
 type StageReport = flow.StageReport
+
+// AssignPhaseReport records one Vth-assignment stage's strategy
+// internals: the effective lane fan-out, the loop counters and the
+// per-phase wall-clock split (score/commit/retime/unwind).
+type AssignPhaseReport struct {
+	Stage   string
+	Workers int
+	Passes  int
+	Commits int
+	Reverts int
+	Phases  assign.PhaseTimes
+}
+
+// assignReport converts one dualvth outcome into the stage-attributed
+// phase report TechniqueResult carries.
+func assignReport(stage string, r *dualvth.Result) AssignPhaseReport {
+	return AssignPhaseReport{
+		Stage:   stage,
+		Workers: r.Workers,
+		Passes:  r.Passes,
+		Commits: r.Commits,
+		Reverts: r.Reverts,
+		Phases:  r.Phases,
+	}
+}
 
 // Counts tallies the instance population of a finished design.
 type Counts struct {
@@ -230,6 +272,9 @@ type TechniqueResult struct {
 	Clusters []*vgnd.Cluster
 	CTS      *cts.Result
 	Stages   []StageReport
+	// AssignReports records each Vth-assignment stage's strategy
+	// internals: effective lane fan-out and per-phase wall-clock.
+	AssignReports []AssignPhaseReport
 
 	// InitialSingleSwitchBounceV is the bounce the naive "one switch for
 	// everything" structure would suffer (improved flow only) — the

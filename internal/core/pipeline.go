@@ -109,9 +109,12 @@ const (
 func stageDualVthAssign() Stage {
 	return NewStage(StageNameDualVthAssign, func(_ context.Context, s *FlowState) (*flow.StageReport, error) {
 		pre := s.Config.staConfig(&parasitics.EstimateExtractor{Proc: s.Config.Proc}, nil)
-		if _, err := dualvth.Assign(s.Design, pre, s.Config.assignOpts()); err != nil {
+		r, err := dualvth.Assign(s.Design, pre, s.Config.assignOpts())
+		if err != nil {
 			return nil, err
 		}
+		s.Result.AssignReports = append(s.Result.AssignReports,
+			assignReport(StageNameDualVthAssign, r))
 		return s.StageVitals(StageNameDualVthAssign), nil
 	})
 }
@@ -121,9 +124,11 @@ func stageDualVthAssign() Stage {
 func stageAssignMixed(name string, flavor liberty.Flavor) Stage {
 	return NewStage(name, func(_ context.Context, s *FlowState) (*flow.StageReport, error) {
 		pre := s.Config.staConfig(&parasitics.EstimateExtractor{Proc: s.Config.Proc}, nil)
-		if _, err := dualvth.AssignMixed(s.Design, pre, s.Config.assignOpts(), flavor); err != nil {
+		r, err := dualvth.AssignMixed(s.Design, pre, s.Config.assignOpts(), flavor)
+		if err != nil {
 			return nil, err
 		}
+		s.Result.AssignReports = append(s.Result.AssignReports, assignReport(name, r))
 		s.SetGating(IsGatedMT, HolderOn)
 		return s.StageVitals(name), nil
 	})

@@ -42,6 +42,8 @@ var (
 	ErrNonPositiveBatch = errors.New("dualvth: BatchSize must be positive")
 	// ErrBadSlackMargin rejects a negative or non-finite slack margin.
 	ErrBadSlackMargin = errors.New("dualvth: SlackMarginNs must be finite and non-negative")
+	// ErrNegativeAssignJobs rejects AssignJobs < 0.
+	ErrNegativeAssignJobs = errors.New("dualvth: AssignJobs must be >= 0")
 )
 
 // Options tunes the assignment loop.
@@ -62,8 +64,18 @@ type Options struct {
 	Strategy string
 	// BatchSize bounds how many swaps the sensitivity strategy commits
 	// between incremental re-timings. Greedy ignores it (one batch per
-	// pass) but it must still be positive.
+	// pass) but it must still be positive. The sensitivity lane engine
+	// (partitioned timers) treats it as the initial and minimum
+	// adaptive batch.
 	BatchSize int
+	// AssignJobs bounds the lane fan-out width when the sensitivity
+	// strategy runs on a partitioned timer (0 = all CPUs, capped at the
+	// shard count). It only changes scheduling, never results.
+	AssignJobs int
+	// Run, when set, executes lane fan-outs on an external scheduler
+	// (internal/core wires the flow engine's pool here). Nil uses the
+	// strategy's internal worker group.
+	Run func(tasks, workers int, run func(task int))
 }
 
 // DefaultOptions returns the options used in the experiments.
@@ -94,6 +106,9 @@ func (o Options) Validate() error {
 	if math.IsNaN(o.SlackMarginNs) || math.IsInf(o.SlackMarginNs, 0) || o.SlackMarginNs < 0 {
 		return fmt.Errorf("%w, got %v", ErrBadSlackMargin, o.SlackMarginNs)
 	}
+	if o.AssignJobs < 0 {
+		return fmt.Errorf("%w, got %d", ErrNegativeAssignJobs, o.AssignJobs)
+	}
 	if _, err := assign.Parse(o.Strategy); err != nil {
 		return err
 	}
@@ -108,6 +123,8 @@ func (o Options) assignOptions() assign.Options {
 		SwapFlops:     o.SwapFlops,
 		SafetyFactor:  o.SafetyFactor,
 		BatchSize:     o.BatchSize,
+		Workers:       o.AssignJobs,
+		Run:           o.Run,
 	}
 }
 
@@ -121,6 +138,10 @@ type Result struct {
 	Commits int
 	Reverts int
 	Timing  *sta.Result
+	// Phases breaks the strategy's wall-clock down by phase and Workers
+	// is the effective lane fan-out it used (1 on the serial paths).
+	Phases  assign.PhaseTimes
+	Workers int
 }
 
 // validateRun checks the design and options and resolves the strategy.
@@ -170,6 +191,8 @@ func runFlavor(d *netlist.Design, inc *sta.Incremental, strat assign.Strategy,
 		Commits: r.Commits,
 		Reverts: r.Reverts,
 		Timing:  r.Timing,
+		Phases:  r.Phases,
+		Workers: r.Workers,
 	}, nil
 }
 
@@ -217,7 +240,7 @@ func AssignMixed(d *netlist.Design, cfg sta.Config, opts Options, mtFlavor liber
 	lvt := assign.NewFlavorProblem(d, liberty.FlavorHVT, liberty.FlavorLVT, opts.assignOptions())
 	timing := res.Timing
 	for pass := 0; timing.WNS < opts.SlackMarginNs && pass < opts.MaxPasses; pass++ {
-		moves, err := lvt.RevertCandidates(timing)
+		moves, err := lvt.RevertCandidates(timing, nil)
 		if err != nil {
 			return nil, err
 		}

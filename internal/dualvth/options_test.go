@@ -31,6 +31,8 @@ func TestOptionsValidate(t *testing.T) {
 		{"zero safety", func(o *Options) { o.SafetyFactor = 0 }, ErrNonPositiveSafety},
 		{"negative safety", func(o *Options) { o.SafetyFactor = -1.5 }, ErrNonPositiveSafety},
 		{"NaN safety", func(o *Options) { o.SafetyFactor = math.NaN() }, ErrNonPositiveSafety},
+		{"assign jobs ok", func(o *Options) { o.AssignJobs = 4 }, nil},
+		{"negative assign jobs", func(o *Options) { o.AssignJobs = -1 }, ErrNegativeAssignJobs},
 		{"zero batch", func(o *Options) { o.BatchSize = 0 }, ErrNonPositiveBatch},
 		{"negative batch", func(o *Options) { o.BatchSize = -8 }, ErrNonPositiveBatch},
 		{"negative margin", func(o *Options) { o.SlackMarginNs = -0.1 }, ErrBadSlackMargin},

@@ -50,6 +50,18 @@ type Clustering struct {
 	CutNets int
 }
 
+// ShardOf returns an instance's cluster, falling back to cluster 0 for
+// instances the clustering never saw (the same fallback the sharded
+// timer applies to unassignable nets). Consumers that schedule work per
+// shard — the sharded timing kernel and the assignment lane engine —
+// use this as the one instance→shard lookup.
+func (c *Clustering) ShardOf(inst *netlist.Instance) int32 {
+	if k, ok := c.Of[inst]; ok && k >= 0 && k < int32(c.Count) {
+		return k
+	}
+	return 0
+}
+
 // Cluster partitions the design's instances. The sweep is deterministic:
 // topological instance order, pin-declaration fanin order, lowest-ID tie
 // break.

@@ -46,6 +46,10 @@ type Options struct {
 	// ShardJobs bounds per-shard fan-out when partitioned timing is on;
 	// same spec-wins default rule as Partitions. <= 0 means GOMAXPROCS.
 	ShardJobs int
+	// AssignJobs bounds the sensitivity lane engine's fan-out width;
+	// same spec-wins default rule as ShardJobs. <= 0 means GOMAXPROCS
+	// (capped at the shard count). Never changes results.
+	AssignJobs int
 	// Strategy is the default Vth-assignment strategy applied to job
 	// specs that leave theirs unset (a spec's own value wins). Empty
 	// means the built-in default (greedy); unknown names fail New.
@@ -90,6 +94,7 @@ type Server struct {
 	sseHeartbeat time.Duration
 	recovered    int
 	draining     atomic.Bool
+	assign       assignStats
 
 	// run executes one job's flow; it is env.RunJob in production and a
 	// seam for handler tests that need a controllable (blockable,
@@ -148,14 +153,21 @@ func New(env *selectivemt.Environment, opts Options) (*Server, error) {
 		if spec.ShardJobs == 0 {
 			spec.ShardJobs = opts.ShardJobs
 		}
+		if spec.AssignJobs == 0 {
+			spec.AssignJobs = opts.AssignJobs
+		}
 		if spec.Strategy == "" {
 			spec.Strategy = opts.Strategy
 		}
-		return env.RunJob(spec, selectivemt.JobOptions{
+		out, err := env.RunJob(spec, selectivemt.JobOptions{
 			Context:  ctx,
 			Workers:  opts.JobWorkers,
 			Progress: progress,
 		})
+		if out != nil {
+			s.assign.observe(out)
+		}
+		return out, err
 	}
 	if opts.StateDir != "" {
 		if err := s.recover(opts.StateDir); err != nil {
@@ -573,6 +585,7 @@ type statsView struct {
 	Jobs      map[Status]int `json:"jobs"`
 	RateLimit *rateLimitView `json:"rate_limit,omitempty"`
 	Durable   *durableView   `json:"durable,omitempty"`
+	Assign    *assignView    `json:"assign,omitempty"`
 }
 
 type rateLimitView struct {
@@ -586,6 +599,53 @@ type durableView struct {
 	StateDir  string `json:"state_dir"`
 	Recovered int    `json:"recovered"`
 	WriteErrs uint64 `json:"write_errors"`
+}
+
+// assignStats accumulates Vth-assignment strategy internals across the
+// server's finished jobs: stage count, move counters, per-phase
+// wall-clock, and the widest lane fan-out any stage ran with.
+type assignStats struct {
+	stages   atomic.Uint64
+	commits  atomic.Uint64
+	reverts  atomic.Uint64
+	scoreNs  atomic.Int64
+	commitNs atomic.Int64
+	retimeNs atomic.Int64
+	unwindNs atomic.Int64
+	workers  atomic.Int64
+}
+
+func (a *assignStats) observe(out *selectivemt.JobOutcome) {
+	for _, r := range out.Results {
+		for _, ar := range r.AssignReports {
+			a.stages.Add(1)
+			a.commits.Add(uint64(ar.Commits))
+			a.reverts.Add(uint64(ar.Reverts))
+			a.scoreNs.Add(ar.Phases.ScoreNs)
+			a.commitNs.Add(ar.Phases.CommitNs)
+			a.retimeNs.Add(ar.Phases.RetimeNs)
+			a.unwindNs.Add(ar.Phases.UnwindNs)
+			for {
+				cur := a.workers.Load()
+				if int64(ar.Workers) <= cur || a.workers.CompareAndSwap(cur, int64(ar.Workers)) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// assignView is the /v1/stats "assign" section: cumulative assignment
+// phase timings (milliseconds) over every stage the server ran.
+type assignView struct {
+	Stages     uint64  `json:"stages"`
+	Commits    uint64  `json:"commits"`
+	Reverts    uint64  `json:"reverts"`
+	MaxWorkers int     `json:"max_workers"`
+	ScoreMS    float64 `json:"score_ms"`
+	CommitMS   float64 `json:"commit_ms"`
+	RetimeMS   float64 `json:"retime_ms"`
+	UnwindMS   float64 `json:"unwind_ms"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -613,6 +673,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			StateDir:  p.dir,
 			Recovered: s.recovered,
 			WriteErrs: p.writeErrs.Load(),
+		}
+	}
+	if n := s.assign.stages.Load(); n > 0 {
+		const ms = 1e6
+		v.Assign = &assignView{
+			Stages:     n,
+			Commits:    s.assign.commits.Load(),
+			Reverts:    s.assign.reverts.Load(),
+			MaxWorkers: int(s.assign.workers.Load()),
+			ScoreMS:    float64(s.assign.scoreNs.Load()) / ms,
+			CommitMS:   float64(s.assign.commitNs.Load()) / ms,
+			RetimeMS:   float64(s.assign.retimeNs.Load()) / ms,
+			UnwindMS:   float64(s.assign.unwindNs.Load()) / ms,
 		}
 	}
 	writeJSON(w, http.StatusOK, v)

@@ -39,8 +39,28 @@ type Incremental struct {
 	res *Result
 	rev uint64 // design revision res reflects
 
+	// lastSvc records how the most recent Update was serviced, so
+	// LastRetimeChanged knows whether the compiled graph's changed lists
+	// describe the whole delta (retime), nothing (noop) or are
+	// meaningless because everything was recomputed (full rebuild).
+	lastSvc serviceKind
+	// touched is the retime seed scratch: the net IDs directly named by
+	// the last journal batch (their RC was re-extracted even when their
+	// timing state ended unchanged). Persisted so LastRetimeChanged can
+	// report load changes alongside arrival/required changes.
+	touched []int32
+
 	stats IncrementalStats
 }
+
+// serviceKind classifies how an Update call was satisfied.
+type serviceKind int
+
+const (
+	svcFull   serviceKind = iota // full rebuild: everything changed
+	svcNoop                      // clean journal: nothing changed
+	svcRetime                    // incremental retime: changed lists valid
+)
 
 // IncrementalStats counts how the timer has serviced its updates.
 type IncrementalStats struct {
@@ -102,8 +122,104 @@ func (inc *Incremental) rebuild() error {
 	inc.res = cg.materialize()
 	inc.rev = inc.d.Revision()
 	inc.res.Revision = inc.rev
+	inc.lastSvc = svcFull
 	inc.stats.FullBuilds++
 	return nil
+}
+
+// ShardCount reports how many partition shards the timer propagates on:
+// 1 for the monolithic flat kernel. Callers that schedule work per shard
+// (the assignment lane engine) size their structures off this.
+func (inc *Incremental) ShardCount() int {
+	if inc.sg == nil {
+		return 1
+	}
+	return len(inc.sg.shards)
+}
+
+// ShardOf returns the shard that owns an instance's timing state — the
+// owner of its output net, the same assignment buildSharded derived from
+// the clustering. Sink-only instances and instances of a monolithic
+// timer report shard 0.
+func (inc *Incremental) ShardOf(inst *netlist.Instance) int {
+	if inc.sg == nil {
+		return 0
+	}
+	if out := inst.OutputNet(); out != nil {
+		if id, ok := inc.cg.netID[out]; ok {
+			return int(inc.sg.owner[id])
+		}
+	}
+	return 0
+}
+
+// BoundaryNet reports whether a net is part of the sharded kernel's
+// interface graph — read across a partition cut, so concurrent decisions
+// in different shards can share its slack. Always false on a monolithic
+// timer.
+func (inc *Incremental) BoundaryNet(n *netlist.Net) bool {
+	if inc.sg == nil {
+		return false
+	}
+	if id, ok := inc.cg.netID[n]; ok {
+		return inc.sg.bSlot[id] >= 0
+	}
+	return false
+}
+
+// DirtyShards reports how many shards the most recent retime activated
+// (0 when the timer is monolithic or the last Update was not an
+// incremental retime) — the "only shards that absorbed commits
+// re-propagate" observable the assignment scheduler tunes against.
+func (inc *Incremental) DirtyShards() int {
+	if inc.sg == nil || inc.lastSvc != svcRetime {
+		return 0
+	}
+	return inc.sg.lastDirty
+}
+
+// LastRetimeChanged reports the nets whose timing or parasitic state the
+// most recent Update may have changed, calling fn once per net (a net
+// can be reported more than once). It returns false when the last Update
+// was serviced by a full rebuild — the caller must then assume every net
+// changed. A clean-journal Update reports nothing and returns true.
+// Incremental re-scorers (the sensitivity lane engine) use this to
+// refresh only the candidates whose slack actually moved.
+func (inc *Incremental) LastRetimeChanged(fn func(*netlist.Net)) bool {
+	switch inc.lastSvc {
+	case svcFull:
+		return false
+	case svcNoop:
+		return true
+	}
+	cg := inc.cg
+	for _, id := range inc.touched {
+		fn(cg.nets[id])
+	}
+	for _, id := range cg.arrChanged {
+		fn(cg.nets[id])
+	}
+	for _, id := range cg.reqChanged {
+		fn(cg.nets[id])
+	}
+	return true
+}
+
+// LastRetimeSpan reports how many net-change records LastRetimeChanged
+// would deliver (duplicates included) without iterating them, and
+// whether the changed lists describe the delta at all — false means the
+// last Update was a full rebuild and every net must be assumed changed.
+// Callers weigh this against their design size to choose between
+// per-net dirty marking and a flat everything-is-stale epoch bump.
+func (inc *Incremental) LastRetimeSpan() (int, bool) {
+	switch inc.lastSvc {
+	case svcFull:
+		return 0, false
+	case svcNoop:
+		return 0, true
+	}
+	cg := inc.cg
+	return len(inc.touched) + len(cg.arrChanged) + len(cg.reqChanged), true
 }
 
 // Update brings the result up to date with the design. A clean journal
@@ -120,6 +236,7 @@ func (inc *Incremental) Update() (*Result, error) {
 		return inc.res, nil
 	}
 	if len(delta) == 0 {
+		inc.lastSvc = svcNoop
 		inc.stats.NoopUpdates++
 		return inc.res, nil
 	}
@@ -160,6 +277,7 @@ func (inc *Incremental) Update() (*Result, error) {
 		inc.stats.SwapUpdates++
 	}
 	inc.retime(delta)
+	inc.lastSvc = svcRetime
 	inc.rev = inc.d.Revision()
 	inc.res.Revision = inc.rev
 	return inc.res, nil
@@ -186,7 +304,7 @@ func (inc *Incremental) retime(delta []netlist.Change) {
 	}
 
 	seen := make(map[int32]bool, len(delta))
-	var touched []int32
+	touched := inc.touched[:0]
 	note := func(n *netlist.Net) {
 		id, ok := cg.netID[n]
 		if !ok {
@@ -218,6 +336,7 @@ func (inc *Incremental) retime(delta []netlist.Change) {
 			}
 		}
 	}
+	inc.touched = touched // keep for LastRetimeChanged (and reuse the buffer)
 
 	if sg := inc.sg; sg != nil {
 		// Seeds land only in the owning shards' queues, so a swap batch
@@ -277,6 +396,7 @@ func (inc *Incremental) SetPeriod(periodNs float64) (*Result, error) {
 		return nil, err
 	}
 	inc.cfg.ClockPeriodNs = periodNs
+	inc.lastSvc = svcFull // every constrained endpoint's required shifts
 	cg := inc.cg
 	cg.cfg.ClockPeriodNs = periodNs
 	r := inc.res

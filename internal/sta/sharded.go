@@ -91,8 +91,9 @@ type ShardedGraph struct {
 	arrEpoch uint32
 	reqEpoch uint32
 
-	active []int32 // scratch: shards with pending work this round
-	rounds int     // fixed-point rounds of the last propagate (stats)
+	active    []int32 // scratch: shards with pending work this round
+	rounds    int     // fixed-point rounds of the last propagate (stats)
+	lastDirty int     // shards that recomputed at least one net last propagate
 }
 
 // buildSharded clusters the compiled graph's design and assembles the
@@ -107,7 +108,7 @@ func buildSharded(cg *CompiledGraph, cfg Config) (*ShardedGraph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sta: partitioning: %w", err)
 		}
-		of = func(inst *netlist.Instance) int32 { return cl.Of[inst] }
+		of = cl.ShardOf
 		count = cl.Count
 	}
 	if count < 1 {
@@ -636,10 +637,14 @@ func (sg *ShardedGraph) flowRequired(workers int) {
 func (sg *ShardedGraph) mergeChanged() int {
 	cg := sg.cg
 	retimed := 0
+	sg.lastDirty = 0
 	for si := range sg.shards {
 		s := &sg.shards[si]
 		cg.arrChanged = append(cg.arrChanged, s.arrChanged...)
 		cg.reqChanged = append(cg.reqChanged, s.reqChanged...)
+		if s.retimed > 0 {
+			sg.lastDirty++
+		}
 		retimed += s.retimed
 		s.retimed = 0
 	}

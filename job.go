@@ -56,6 +56,11 @@ type JobSpec struct {
 	// ShardJobs bounds the sharded kernel's fan-out width per design
 	// (<= 0 means GOMAXPROCS). Only meaningful with Partitions > 1.
 	ShardJobs int `json:"shard_jobs,omitempty"`
+	// AssignJobs bounds the sensitivity lane engine's fan-out width
+	// (<= 0 means GOMAXPROCS, capped at the shard count). Only
+	// meaningful with Partitions > 1 and the sensitivity strategy; it
+	// never changes results, only scheduling.
+	AssignJobs int `json:"assign_jobs,omitempty"`
 	// Strategy names the Vth-assignment strategy for every Dual-Vth/SMT
 	// stage of the job: "greedy" (the paper's slack-ordered pass,
 	// the default) or "sensitivity" (leakage-per-slack ordering off the
@@ -262,6 +267,9 @@ func (s JobSpec) Validate() error {
 	if s.ShardJobs < 0 {
 		return fmt.Errorf("selectivemt: negative shard-jobs %d", s.ShardJobs)
 	}
+	if s.AssignJobs < 0 {
+		return fmt.Errorf("selectivemt: negative assign-jobs %d", s.AssignJobs)
+	}
 	switch {
 	case s.Circuit != "" && s.Verilog != "":
 		return fmt.Errorf("selectivemt: job lists both a benchmark circuit and a Verilog netlist")
@@ -295,6 +303,7 @@ func (e *Environment) RunJob(spec JobSpec, opts JobOptions) (*JobOutcome, error)
 	cfg.Corners = corners
 	cfg.Partitions = spec.Partitions
 	cfg.ShardJobs = spec.ShardJobs
+	cfg.AssignJobs = spec.AssignJobs
 	// Validate vouched for the name; store the canonical form so stage
 	// reports and downstream lookups agree on spelling.
 	cfg.Strategy, _ = ParseStrategy(spec.Strategy)
